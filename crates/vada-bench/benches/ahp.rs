@@ -1,0 +1,28 @@
+//! AHP weight derivation vs matrix size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vada_context::PairwiseMatrix;
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ahp/solve");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+            let mut m = PairwiseMatrix::new(names.clone()).expect("criteria valid");
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let scale = 1.0 + ((i + j) % 8) as f64;
+                    m.set(&names[i], &names[j], scale).expect("valid pair");
+                }
+            }
+            b.iter(|| m.solve().weights.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Matcher scaling: schema matching vs attribute count, instance matching
+//! vs row count.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vada_common::{Schema, Value};
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+use vada_match::{
+    instance_match, schema_match, ContextColumn, InstanceMatchConfig, SchemaMatchConfig,
+};
+
+fn wide_schema(name: &str, attrs: usize, prefix: &str) -> Schema {
+    let names: Vec<String> = (0..attrs).map(|i| format!("{prefix}_{i}")).collect();
+    Schema::all_str(name, &names.iter().map(|s| s.as_str()).collect::<Vec<_>>())
+}
+
+fn bench_schema_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/schema_vs_attrs");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for attrs in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &attrs, |b, &attrs| {
+            let src = wide_schema("src", attrs, "source_column");
+            let tgt = wide_schema("tgt", attrs, "target_field");
+            let cfg = SchemaMatchConfig::default();
+            b.iter(|| schema_match(&cfg, &src, &tgt).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_instance_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/instance_vs_rows");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for props in [200usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(props), &props, |b, &props| {
+            let s = Scenario::generate(ScenarioConfig {
+                universe: UniverseConfig { properties: props, seed: 1 },
+                ..Default::default()
+            });
+            let columns: Vec<ContextColumn> = vec![
+                ContextColumn::from_relation(&s.address, "street", "street"),
+                ContextColumn::from_relation(&s.address, "postcode", "postcode"),
+                ContextColumn {
+                    tgt_attr: "bedrooms".into(),
+                    values: (1..=6i64).map(|v| Value::str(v.to_string())).collect(),
+                },
+            ];
+            let cfg = InstanceMatchConfig::default();
+            b.iter(|| instance_match(&cfg, &s.rightmove, &columns).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_match, bench_instance_match);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Quality-metric computation scaling: violation detection and
+//! reference-driven repair.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vada_common::{Relation, Tuple, Value};
+use vada_extract::sources::target_schema;
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+use vada_quality::{
+    consistency, detect_violations, learn_cfds, repair_with_reference, CfdLearnConfig,
+    RepairConfig,
+};
+
+fn raw_result(props: usize) -> (Scenario, Relation) {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: props, seed: 1 },
+        ..Default::default()
+    });
+    let mut rel = Relation::empty(target_schema());
+    for t in s.rightmove.iter() {
+        rel.push(Tuple::new(vec![
+            t[4].clone(),
+            t[5].clone(),
+            t[1].clone(),
+            t[2].clone(),
+            t[3].clone(),
+            t[0].clone(),
+            Value::Null,
+        ]))
+        .expect("arity 7");
+    }
+    (s, rel)
+}
+
+fn bench_violations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/violation_detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for props in [200usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(props), &props, |b, &props| {
+            let (s, rel) = raw_result(props);
+            let cfds = learn_cfds(&CfdLearnConfig::default(), &s.address);
+            b.iter(|| detect_violations(&rel, &cfds).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/consistency_metric");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let (s, rel) = raw_result(1000);
+    let cfds = learn_cfds(&CfdLearnConfig::default(), &s.address);
+    group.bench_function("1000_rows", |b| {
+        b.iter(|| consistency(&rel, &cfds));
+    });
+    group.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/repair");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for props in [200usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(props), &props, |b, &props| {
+            let (s, rel) = raw_result(props);
+            let cfds = learn_cfds(&CfdLearnConfig::default(), &s.address);
+            b.iter(|| {
+                let mut fresh = rel.clone();
+                repair_with_reference(
+                    &RepairConfig::default(),
+                    &mut fresh,
+                    &cfds,
+                    &s.address,
+                    Some(("street", "postcode")),
+                )
+                .total()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_violations, bench_consistency, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! `repro` — regenerate the paper's tables, figures and demo claims.
+//!
+//! ```text
+//! cargo run -p vada-bench --bin repro --release -- all
+//! cargo run -p vada-bench --bin repro --release -- paygo feedback
+//! ```
+
+use vada_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let mut unknown = Vec::new();
+    for id in ids {
+        match experiments::run(id) {
+            Some(report) => {
+                println!("{report}");
+                println!();
+            }
+            None => unknown.push(id.to_string()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} — available: {}",
+            unknown.join(", "),
+            experiments::ALL.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Matcher ablation: schema-only vs schema+instance matching, scored
+//! against the known ground-truth correspondences of the scenario.
+//! Motivates Table 1's split of the Matching activity into two transducers
+//! with different input dependencies.
+
+use std::collections::BTreeSet;
+
+use vada_extract::sources::{source_attrs, target_schema};
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+use vada_match::{
+    combine, instance_match, schema_match, CombineConfig, ContextColumn, Correspondence,
+    InstanceMatchConfig, SchemaMatchConfig,
+};
+
+use crate::report;
+
+/// Ground-truth correspondences for a source given its attribute list in
+/// canonical column order (price, street, postcode, bedrooms, type,
+/// description).
+fn truth_for(source: &str, attrs: &[&str]) -> BTreeSet<(String, String, String)> {
+    let targets = ["price", "street", "postcode", "bedrooms", "type", "description"];
+    attrs
+        .iter()
+        .zip(targets)
+        .map(|(a, t)| (source.to_string(), a.to_string(), t.to_string()))
+        .collect()
+}
+
+/// Precision/recall of a correspondence set against the truth, counting
+/// only each source attribute's *best* match (what mapping generation
+/// consumes).
+fn score(
+    corrs: &[Correspondence],
+    truth: &BTreeSet<(String, String, String)>,
+) -> (f64, f64) {
+    let mut best: std::collections::BTreeMap<(String, String), &Correspondence> =
+        Default::default();
+    for c in corrs {
+        let key = (c.src_rel.clone(), c.src_attr.clone());
+        match best.get(&key) {
+            Some(prev) if prev.score >= c.score => {}
+            _ => {
+                best.insert(key, c);
+            }
+        }
+    }
+    if best.is_empty() {
+        return (0.0, 0.0);
+    }
+    let hits = best
+        .values()
+        .filter(|c| truth.contains(&(c.src_rel.clone(), c.src_attr.clone(), c.tgt_attr.clone())))
+        .count();
+    let precision = hits as f64 / best.len() as f64;
+    let recall = hits as f64 / truth.len() as f64;
+    (precision, recall)
+}
+
+/// Run the ablation on the varied-name source.
+pub fn matcher_ablation() -> String {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 150, seed: 42 },
+        ..Default::default()
+    });
+    let (_, otm_attrs) = source_attrs(true);
+    let truth = truth_for("onthemarket", &otm_attrs);
+    let tgt = target_schema();
+
+    let schema_corrs = schema_match(&SchemaMatchConfig::default(), s.onthemarket.schema(), &tgt);
+
+    let columns = vec![
+        ContextColumn::from_relation(&s.address, "street", "street"),
+        ContextColumn::from_relation(&s.address, "postcode", "postcode"),
+    ];
+    let instance_corrs =
+        instance_match(&InstanceMatchConfig::default(), &s.onthemarket, &columns);
+    let combined = combine(&CombineConfig::default(), &schema_corrs, &instance_corrs);
+
+    let mut rows = Vec::new();
+    for (label, corrs) in [
+        ("schema only", &schema_corrs),
+        ("instance only", &instance_corrs),
+        ("combined", &combined),
+    ] {
+        let (p, r) = score(corrs, &truth);
+        rows.push(vec![
+            label.to_string(),
+            corrs.len().to_string(),
+            format!("{p:.3}"),
+            format!("{r:.3}"),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str("=== Matcher ablation (Table 1's two matching transducers) ===\n\n");
+    out.push_str(&report::table(
+        &["matcher", "correspondences", "precision of best-per-attr", "recall"],
+        &rows,
+    ));
+    out.push_str(
+        "\ninstance evidence covers only context-bound attributes (street, postcode)\n\
+         but corroborates or corrects the name-based matches where it applies;\n\
+         schema evidence is broad but relies on names and the synonym lexicon\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_is_at_least_as_good_as_schema_only() {
+        let s = Scenario::generate(ScenarioConfig {
+            universe: UniverseConfig { properties: 80, seed: 2 },
+            ..Default::default()
+        });
+        let (_, otm_attrs) = source_attrs(true);
+        let truth = truth_for("onthemarket", &otm_attrs);
+        let tgt = target_schema();
+        let schema_corrs =
+            schema_match(&SchemaMatchConfig::default(), s.onthemarket.schema(), &tgt);
+        let columns = vec![
+            ContextColumn::from_relation(&s.address, "street", "street"),
+            ContextColumn::from_relation(&s.address, "postcode", "postcode"),
+        ];
+        let instance_corrs =
+            instance_match(&InstanceMatchConfig::default(), &s.onthemarket, &columns);
+        let combined = combine(&CombineConfig::default(), &schema_corrs, &instance_corrs);
+        let (p_schema, _) = score(&schema_corrs, &truth);
+        let (p_combined, _) = score(&combined, &truth);
+        assert!(p_combined >= p_schema - 1e-9, "{p_schema} -> {p_combined}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = matcher_ablation();
+        assert!(r.contains("schema only"));
+        assert!(r.contains("combined"));
+    }
+}

@@ -1,0 +1,41 @@
+//! One module per experiment in DESIGN.md §4. Every function returns the
+//! report text it prints, so integration tests can assert on content.
+
+pub mod context;
+pub mod datacontext;
+pub mod feedback;
+pub mod figures;
+pub mod matchers;
+pub mod orchestration;
+pub mod repair_cfd;
+
+/// All experiment ids, in DESIGN.md order.
+pub const ALL: &[&str] = &[
+    "table1",
+    "fig2",
+    "fig3",
+    "paygo",
+    "feedback",
+    "context",
+    "orchestration",
+    "datacontext",
+    "matchers",
+    "cfd",
+];
+
+/// Run one experiment by id and return its report text.
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "table1" => figures::table1(),
+        "fig2" => figures::fig2(),
+        "fig3" => figures::fig3(),
+        "paygo" => figures::paygo_experiment(),
+        "feedback" => feedback::feedback_sweep(),
+        "context" => context::context_comparison(),
+        "orchestration" => orchestration::orchestration_dynamics(),
+        "datacontext" => datacontext::datacontext_sweep(),
+        "matchers" => matchers::matcher_ablation(),
+        "cfd" => repair_cfd::cfd_and_repair(),
+        _ => return None,
+    })
+}

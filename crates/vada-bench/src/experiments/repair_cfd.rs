@@ -1,0 +1,134 @@
+//! CFD learning and repair (paper §2.2–2.3): what is learned from the
+//! reference data, how many violations the raw wrangle has, and what
+//! repair fixes.
+
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+use vada_quality::{
+    detect_violations, learn_cfds, repair_with_reference, CfdLearnConfig, RepairConfig,
+};
+use vada_common::{Relation, Tuple, Value};
+use vada_extract::sources::target_schema;
+
+use crate::report;
+
+/// Project a raw source into the target shape (no cleaning) so repair's
+/// effect is isolated from the rest of the pipeline.
+fn raw_projection(s: &Scenario) -> Relation {
+    let mut rel = Relation::empty(target_schema());
+    for t in s.rightmove.iter() {
+        // rightmove columns: price, street, postcode, bedrooms, type, description
+        rel.push(Tuple::new(vec![
+            t[4].clone(),
+            t[5].clone(),
+            t[1].clone(),
+            t[2].clone(),
+            t[3].clone(),
+            t[0].clone(),
+            Value::Null,
+        ]))
+        .expect("target arity");
+    }
+    rel
+}
+
+/// Run the experiment.
+pub fn cfd_and_repair() -> String {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 200, seed: 42 },
+        ..Default::default()
+    });
+    let mut out = String::new();
+    out.push_str("=== CFD learning & repair (paper §2.2–2.3) ===\n\n");
+
+    let cfds = learn_cfds(&CfdLearnConfig::default(), &s.address);
+    out.push_str(&format!("CFDs learned from `address` ({} rows):\n", s.address.len()));
+    let variable: Vec<_> = cfds.iter().filter(|c| c.rhs.1.is_none()).collect();
+    for c in variable.iter().take(10) {
+        out.push_str(&format!("  {}  (support {})\n", c.display(), c.support));
+    }
+    let constants = cfds.len() - variable.len();
+    out.push_str(&format!(
+        "  ... plus {constants} constant CFD pattern(s)\n\n"
+    ));
+
+    let mut result = raw_projection(&s);
+    let before = detect_violations(&result, &cfds);
+    let before_rows = vada_quality::violations::violating_row_count(&before);
+    let q_before = vada_extract::score_result(&s.universe, &result);
+
+    let report_fix = repair_with_reference(
+        &RepairConfig::default(),
+        &mut result,
+        &cfds,
+        &s.address,
+        Some(("street", "postcode")),
+    );
+    let after = detect_violations(&result, &cfds);
+    let after_rows = vada_quality::violations::violating_row_count(&after);
+    let q_after = vada_extract::score_result(&s.universe, &result);
+
+    let rows = vec![
+        vec![
+            "before repair".to_string(),
+            before.len().to_string(),
+            before_rows.to_string(),
+            format!("{:.4}", q_before.attr_accuracy.get("street").copied().unwrap_or(0.0)),
+            format!("{:.4}", q_before.precision),
+        ],
+        vec![
+            "after repair".to_string(),
+            after.len().to_string(),
+            after_rows.to_string(),
+            format!("{:.4}", q_after.attr_accuracy.get("street").copied().unwrap_or(0.0)),
+            format!("{:.4}", q_after.precision),
+        ],
+    ];
+    out.push_str(&report::table(
+        &["state", "violations", "violating rows", "street accuracy", "cell precision"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nrepair actions: {} CFD fixes, {} null fills, {} fuzzy street fixes\n",
+        report_fix.cfd_fixes, report_fix.null_fills, report_fix.fuzzy_fixes
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repair_improves_street_accuracy() {
+        let s = Scenario::generate(ScenarioConfig {
+            universe: UniverseConfig { properties: 100, seed: 3 },
+            ..Default::default()
+        });
+        let cfds = learn_cfds(&CfdLearnConfig::default(), &s.address);
+        let mut result = raw_projection(&s);
+        let before = vada_extract::score_result(&s.universe, &result);
+        let rep = repair_with_reference(
+            &RepairConfig::default(),
+            &mut result,
+            &cfds,
+            &s.address,
+            Some(("street", "postcode")),
+        );
+        let after = vada_extract::score_result(&s.universe, &result);
+        // with unit-level postcodes the FD postcode→street holds on the
+        // reference, so typo'd streets are fixed by CFD lookup (fuzzy repair
+        // is the fallback when key FDs don't hold); either way cells change
+        assert!(rep.total() > 0, "defects must be present and repaired: {rep:?}");
+        let acc_b = before.attr_accuracy["street"];
+        let acc_a = after.attr_accuracy["street"];
+        assert!(acc_a > acc_b, "street accuracy {acc_b} -> {acc_a}");
+    }
+
+    #[test]
+    fn report_shows_learned_fds() {
+        let r = cfd_and_repair();
+        assert!(r.contains("CFDs learned"));
+        assert!(r.contains("postcode"));
+        assert!(r.contains("repair actions"));
+    }
+}

@@ -1,0 +1,13 @@
+//! # vada-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! displays (Table 1, Figures 2–3) and to quantify the demonstration's
+//! pay-as-you-go claims. The `repro` binary drives the experiments listed
+//! in DESIGN.md §4; the Criterion benches cover the scaling behaviour of
+//! every subsystem.
+
+pub mod experiments;
+pub mod paygo;
+pub mod report;
+
+pub use paygo::{run_paygo, PaygoConfig, PaygoOutcome, StepSnapshot};

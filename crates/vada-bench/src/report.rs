@@ -1,0 +1,87 @@
+//! Plain-text report rendering shared by the `repro` binary.
+
+use crate::paygo::{attr_table, StepSnapshot};
+
+/// Render a fixed-width table from a header and rows.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    render_row(
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Render the pay-as-you-go quality progression.
+pub fn paygo_table(steps: &[StepSnapshot]) -> String {
+    let rows: Vec<Vec<String>> = steps
+        .iter()
+        .map(|s| {
+            vec![
+                s.step.clone(),
+                s.rows.to_string(),
+                format!("{:.3}", s.quality.precision),
+                format!("{:.3}", s.quality.recall),
+                format!("{:.3}", s.quality.f1),
+                s.executed.to_string(),
+                s.selected_mapping.clone().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    table(
+        &["step", "rows", "precision", "recall", "f1", "transducer runs", "selected mapping"],
+        &rows,
+    )
+}
+
+/// Render per-attribute completeness/accuracy for one step.
+pub fn attr_detail(s: &StepSnapshot) -> String {
+    let rows: Vec<Vec<String>> = attr_table(s)
+        .into_iter()
+        .map(|(attr, (c, a))| vec![attr, format!("{c:.3}"), format!("{a:.3}")])
+        .collect();
+    format!(
+        "{}\n{}",
+        s.step,
+        table(&["attribute", "completeness", "accuracy"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long_header"],
+            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwww".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[0].contains("long_header"));
+    }
+}

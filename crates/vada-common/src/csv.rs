@@ -1,0 +1,226 @@
+//! A small, dependency-free CSV reader/writer (RFC-4180 quoting).
+//!
+//! Web-extraction output and open-government data arrive as CSV in the demo
+//! scenario; this module is deliberately minimal — comma separator, `"`
+//! quoting with doubled-quote escapes, and `\n`/`\r\n` row terminators.
+
+use crate::error::{Result, VadaError};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parse CSV text into rows of string fields.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(VadaError::Csv(
+                            "quote in the middle of an unquoted field".into(),
+                        ));
+                    }
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(VadaError::Csv("unterminated quoted field".into()));
+    }
+    if saw_any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Escape a field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialise rows of string fields to CSV text.
+pub fn serialize<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| escape(f.as_ref())).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Read CSV text (first row = header) into a [`Relation`], parsing each cell
+/// according to the schema's attribute types. The header must match the
+/// schema's attribute names (order included).
+pub fn read_relation(text: &str, schema: Schema) -> Result<Relation> {
+    let rows = parse(text)?;
+    let mut it = rows.into_iter();
+    let header = it
+        .next()
+        .ok_or_else(|| VadaError::Csv("empty csv: missing header".into()))?;
+    let expected: Vec<String> = schema
+        .attr_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    if header.len() != expected.len()
+        || header.iter().zip(&expected).any(|(h, e)| h.trim() != *e)
+    {
+        return Err(VadaError::Csv(format!(
+            "header {:?} does not match schema attributes {:?}",
+            header, expected
+        )));
+    }
+    let mut rel = Relation::empty(schema);
+    for (line_no, row) in it.enumerate() {
+        if row.len() != expected.len() {
+            return Err(VadaError::Csv(format!(
+                "row {} has {} fields, expected {}",
+                line_no + 2,
+                row.len(),
+                expected.len()
+            )));
+        }
+        let values: Vec<Value> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| Value::parse_as(cell, rel.schema().attr(i).ty))
+            .collect::<Result<_>>()?;
+        rel.push(Tuple::new(values))?;
+    }
+    Ok(rel)
+}
+
+/// Write a [`Relation`] to CSV text (header row included).
+pub fn write_relation(rel: &Relation) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(rel.len() + 1);
+    rows.push(
+        rel.schema()
+            .attr_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for t in rel.iter() {
+        rows.push(t.iter().map(|v| v.to_string()).collect());
+    }
+    serialize(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    #[test]
+    fn parses_plain_rows() {
+        let rows = parse("a,b\n1,2\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn parses_quotes_and_embedded_commas() {
+        let rows = parse("\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rows, vec![vec!["x,y".to_string(), "he said \"hi\"".to_string()]]);
+    }
+
+    #[test]
+    fn parses_crlf_and_missing_final_newline() {
+        let rows = parse("a,b\r\nc,d").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let rows = parse("\"line1\nline2\",x\n").unwrap();
+        assert_eq!(rows[0][0], "line1\nline2");
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(parse("\"oops").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["quote\"inside".to_string(), "multi\nline".to_string()],
+        ];
+        let text = serialize(&data);
+        assert_eq!(parse(&text).unwrap(), data);
+    }
+
+    #[test]
+    fn relation_round_trip() {
+        let schema = Schema::new(
+            "p",
+            [("price", AttrType::Int), ("street", AttrType::Str)],
+        )
+        .unwrap();
+        let text = "price,street\n250000,12 High St\n,\"Flat 2, Low Rd\"\n";
+        let rel = read_relation(text, schema).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.tuples()[1][0].is_null());
+        assert_eq!(rel.tuples()[1][1], Value::str("Flat 2, Low Rd"));
+        let back = write_relation(&rel);
+        let rel2 = read_relation(&back, rel.schema().clone()).unwrap();
+        assert_eq!(rel2.tuples(), rel.tuples());
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let schema = Schema::all_str("p", &["a", "b"]);
+        assert!(read_relation("a,c\n1,2\n", schema).is_err());
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let schema = Schema::all_str("p", &["a", "b"]);
+        assert!(read_relation("a,b\n1\n", schema).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types shared across the VADA workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = VadaError> = std::result::Result<T, E>;
+
+/// The error type used by every VADA crate.
+///
+/// Variants are deliberately coarse: each one names the subsystem that
+/// produced the error and carries a human-readable message. Call sites that
+/// need to react programmatically match on the variant, everything else
+/// bubbles up to the orchestrator which records the failure in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VadaError {
+    /// A schema lookup failed (unknown relation or attribute).
+    Schema(String),
+    /// A value could not be parsed or coerced to the expected type.
+    Type(String),
+    /// Malformed CSV input.
+    Csv(String),
+    /// Datalog parse error (position-annotated).
+    Parse(String),
+    /// Datalog program is unsafe or not stratifiable.
+    Program(String),
+    /// Datalog evaluation failed (e.g. chase termination guard tripped).
+    Eval(String),
+    /// The knowledge base rejected an operation.
+    Kb(String),
+    /// A transducer failed while running.
+    Transducer(String),
+    /// User-context / AHP input is invalid (e.g. inconsistent matrix shape).
+    Context(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl VadaError {
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            VadaError::Schema(m)
+            | VadaError::Type(m)
+            | VadaError::Csv(m)
+            | VadaError::Parse(m)
+            | VadaError::Program(m)
+            | VadaError::Eval(m)
+            | VadaError::Kb(m)
+            | VadaError::Transducer(m)
+            | VadaError::Context(m)
+            | VadaError::Other(m) => m,
+        }
+    }
+
+    /// Short stable tag naming the subsystem, used in traces and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VadaError::Schema(_) => "schema",
+            VadaError::Type(_) => "type",
+            VadaError::Csv(_) => "csv",
+            VadaError::Parse(_) => "parse",
+            VadaError::Program(_) => "program",
+            VadaError::Eval(_) => "eval",
+            VadaError::Kb(_) => "kb",
+            VadaError::Transducer(_) => "transducer",
+            VadaError::Context(_) => "context",
+            VadaError::Other(_) => "other",
+        }
+    }
+}
+
+impl fmt::Display for VadaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for VadaError {}
+
+impl From<std::io::Error> for VadaError {
+    fn from(e: std::io::Error) -> Self {
+        VadaError::Other(format!("io: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = VadaError::Parse("unexpected token at 1:4".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token at 1:4");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token at 1:4");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: VadaError = io.into();
+        assert_eq!(e.kind(), "other");
+        assert!(e.message().contains("gone"));
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        let kinds = [
+            VadaError::Schema(String::new()).kind(),
+            VadaError::Type(String::new()).kind(),
+            VadaError::Csv(String::new()).kind(),
+            VadaError::Parse(String::new()).kind(),
+            VadaError::Program(String::new()).kind(),
+            VadaError::Eval(String::new()).kind(),
+            VadaError::Kb(String::new()).kind(),
+            VadaError::Transducer(String::new()).kind(),
+            VadaError::Context(String::new()).kind(),
+            VadaError::Other(String::new()).kind(),
+        ];
+        let set: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! Monotonic id generation for mappings, matches, trace entries, skolem
+//! terms — anything that needs a workspace-unique identifier.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe monotonic counter producing ids with a fixed prefix, e.g.
+/// `m0, m1, m2, ...`.
+#[derive(Debug)]
+pub struct IdGen {
+    prefix: &'static str,
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// A generator whose ids start at `<prefix>0`.
+    pub const fn new(prefix: &'static str) -> IdGen {
+        IdGen { prefix, next: AtomicU64::new(0) }
+    }
+
+    /// The next id as a string.
+    pub fn next_id(&self) -> String {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        format!("{}{}", self.prefix, n)
+    }
+
+    /// The next id as a raw number.
+    pub fn next_num(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic_and_prefixed() {
+        let g = IdGen::new("m");
+        assert_eq!(g.next_id(), "m0");
+        assert_eq!(g.next_id(), "m1");
+        assert_eq!(g.next_num(), 2);
+    }
+
+    #[test]
+    fn concurrent_ids_unique() {
+        use std::sync::Arc;
+        let g = Arc::new(IdGen::new("t"));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| g.next_id()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

@@ -1,0 +1,353 @@
+//! In-memory relations: a [`Schema`] plus a bag of [`Tuple`]s with optional
+//! hash indexes.
+//!
+//! Relations are the unit of data exchanged between wrangling components and
+//! stored in the knowledge base. They are bags (duplicates allowed) because
+//! extraction output routinely contains duplicates — deduplication is itself
+//! a wrangling step (`vada-fusion`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, VadaError};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An in-memory relation (bag semantics) with lazily built hash indexes.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    /// column set -> (key values -> row ids). Rebuilt on demand, invalidated
+    /// by mutation.
+    indexes: HashMap<Vec<usize>, HashMap<Tuple, Vec<usize>>>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, tuples: Vec::new(), indexes: HashMap::new() }
+    }
+
+    /// Build a relation from tuples, validating arity (types are not strictly
+    /// enforced: wrangling inputs are dirty by nature, and nulls are legal in
+    /// every column).
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Result<Relation> {
+        for t in &tuples {
+            if t.arity() != schema.arity() {
+                return Err(VadaError::Schema(format!(
+                    "tuple arity {} does not match schema `{}` arity {}",
+                    t.arity(),
+                    schema.name,
+                    schema.arity()
+                )));
+            }
+        }
+        Ok(Relation { schema, tuples, indexes: HashMap::new() })
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The relation's name (shorthand for `schema().name`).
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Append a tuple, validating arity.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(VadaError::Schema(format!(
+                "tuple arity {} does not match schema `{}` arity {}",
+                tuple.arity(),
+                self.schema.name,
+                self.schema.arity()
+            )));
+        }
+        self.indexes.clear();
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Append many tuples.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<()> {
+        for t in tuples {
+            self.push(t)?;
+        }
+        Ok(())
+    }
+
+    /// Replace tuple at `row`, keeping indexes coherent.
+    pub fn replace(&mut self, row: usize, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(VadaError::Schema("arity mismatch in replace".into()));
+        }
+        if row >= self.tuples.len() {
+            return Err(VadaError::Schema(format!("row {row} out of range")));
+        }
+        self.indexes.clear();
+        self.tuples[row] = tuple;
+        Ok(())
+    }
+
+    /// Retain only tuples matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&Tuple) -> bool) {
+        self.indexes.clear();
+        self.tuples.retain(f);
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.indexes.clear();
+        self.tuples.clear();
+    }
+
+    /// Ensure a hash index exists on the given columns and return row ids
+    /// whose key equals `key`.
+    pub fn lookup(&mut self, cols: &[usize], key: &Tuple) -> &[usize] {
+        if !self.indexes.contains_key(cols) {
+            let mut idx: HashMap<Tuple, Vec<usize>> = HashMap::new();
+            for (row, t) in self.tuples.iter().enumerate() {
+                idx.entry(t.project(cols)).or_default().push(row);
+            }
+            self.indexes.insert(cols.to_vec(), idx);
+        }
+        self.indexes
+            .get(cols)
+            .and_then(|i| i.get(key))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Project to the named attributes (bag semantics preserved).
+    pub fn project(&self, names: &[&str]) -> Result<Relation> {
+        let schema = self.schema.project(names)?;
+        let indices: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.require(n))
+            .collect::<Result<_>>()?;
+        let tuples = self.tuples.iter().map(|t| t.project(&indices)).collect();
+        Relation::from_tuples(schema, tuples)
+    }
+
+    /// Select tuples where attribute `name` equals `value`.
+    pub fn select_eq(&self, name: &str, value: &Value) -> Result<Relation> {
+        let idx = self.schema.require(name)?;
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| &t[idx] == value)
+            .cloned()
+            .collect();
+        Relation::from_tuples(self.schema.clone(), tuples)
+    }
+
+    /// The distinct values in column `name` (nulls excluded), sorted.
+    pub fn distinct_values(&self, name: &str) -> Result<Vec<Value>> {
+        let idx = self.schema.require(name)?;
+        let mut set: Vec<Value> = self
+            .tuples
+            .iter()
+            .map(|t| t[idx].clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        set.sort();
+        set.dedup();
+        Ok(set)
+    }
+
+    /// Fraction of non-null cells in column `name` (1.0 for empty relations:
+    /// an empty column violates nothing).
+    pub fn completeness(&self, name: &str) -> Result<f64> {
+        let idx = self.schema.require(name)?;
+        if self.tuples.is_empty() {
+            return Ok(1.0);
+        }
+        let non_null = self.tuples.iter().filter(|t| !t[idx].is_null()).count();
+        Ok(non_null as f64 / self.tuples.len() as f64)
+    }
+
+    /// Deduplicate identical tuples in place (set semantics snapshot).
+    pub fn dedup(&mut self) {
+        self.indexes.clear();
+        let mut seen = std::collections::HashSet::new();
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Render as an aligned text table (for reports and the demo harness).
+    pub fn to_table(&self, max_rows: usize) -> String {
+        let headers = self.schema.attr_names();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let shown = self.tuples.iter().take(max_rows).collect::<Vec<_>>();
+        let cells: Vec<Vec<String>> = shown
+            .iter()
+            .map(|t| t.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str("| ");
+                out.push_str(c);
+                out.push_str(&" ".repeat(widths[i].saturating_sub(c.len()) + 1));
+            }
+            out.push_str("|\n");
+        };
+        line(
+            &mut out,
+            &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        );
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &cells {
+            line(&mut out, row);
+        }
+        if self.tuples.len() > max_rows {
+            out.push_str(&format!("... ({} rows total)\n", self.tuples.len()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} rows]", self.schema, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+    use crate::tuple;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(
+            "r",
+            [("a", AttrType::Int), ("b", AttrType::Str)],
+        )
+        .unwrap();
+        Relation::from_tuples(
+            schema,
+            vec![tuple![1, "x"], tuple![2, "y"], tuple![1, "z"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let schema = Schema::all_str("r", &["a"]);
+        assert!(Relation::from_tuples(schema.clone(), vec![tuple![1, 2]]).is_err());
+        let mut r = Relation::empty(schema);
+        assert!(r.push(tuple![1, 2]).is_err());
+        assert!(r.push(tuple![1]).is_ok());
+    }
+
+    #[test]
+    fn lookup_finds_rows() {
+        let mut r = rel();
+        let rows = r.lookup(&[0], &tuple![1]).to_vec();
+        assert_eq!(rows, vec![0, 2]);
+        assert!(r.lookup(&[0], &tuple![99]).is_empty());
+    }
+
+    #[test]
+    fn index_invalidated_on_push() {
+        let mut r = rel();
+        assert_eq!(r.lookup(&[0], &tuple![1]).len(), 2);
+        r.push(tuple![1, "w"]).unwrap();
+        assert_eq!(r.lookup(&[0], &tuple![1]).len(), 3);
+    }
+
+    #[test]
+    fn project_and_select() {
+        let r = rel();
+        let p = r.project(&["b"]).unwrap();
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(p.len(), 3);
+        let s = r.select_eq("a", &Value::Int(1)).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn completeness_counts_nulls() {
+        let schema = Schema::all_str("r", &["a"]);
+        let r = Relation::from_tuples(
+            schema,
+            vec![
+                Tuple::new(vec![Value::Null]),
+                Tuple::new(vec![Value::str("v")]),
+            ],
+        )
+        .unwrap();
+        assert!((r.completeness("a").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_values_sorted_no_nulls() {
+        let schema = Schema::all_str("r", &["a"]);
+        let r = Relation::from_tuples(
+            schema,
+            vec![
+                Tuple::new(vec![Value::str("b")]),
+                Tuple::new(vec![Value::Null]),
+                Tuple::new(vec![Value::str("a")]),
+                Tuple::new(vec![Value::str("b")]),
+            ],
+        )
+        .unwrap();
+        let d = r.distinct_values("a").unwrap();
+        assert_eq!(d, vec![Value::str("a"), Value::str("b")]);
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates() {
+        let schema = Schema::all_str("r", &["a"]);
+        let mut r = Relation::from_tuples(
+            schema,
+            vec![
+                Tuple::new(vec![Value::str("x")]),
+                Tuple::new(vec![Value::str("x")]),
+            ],
+        )
+        .unwrap();
+        r.dedup();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn to_table_renders() {
+        let r = rel();
+        let t = r.to_table(2);
+        assert!(t.contains("| a"));
+        assert!(t.contains("(3 rows total)"));
+    }
+}

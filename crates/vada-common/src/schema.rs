@@ -1,0 +1,227 @@
+//! Relational schemas: attribute names, types, and lookup helpers.
+
+use std::fmt;
+
+use crate::error::{Result, VadaError};
+
+/// The type of an attribute (column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl AttrType {
+    /// Stable lower-case name (`bool` / `int` / `float` / `str`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttrType::Bool => "bool",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "str",
+        }
+    }
+
+    /// Parse a type name as produced by [`AttrType::name`].
+    pub fn parse(s: &str) -> Result<AttrType> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "bool" => Ok(AttrType::Bool),
+            "int" | "integer" => Ok(AttrType::Int),
+            "float" | "double" | "real" => Ok(AttrType::Float),
+            "str" | "string" | "text" => Ok(AttrType::Str),
+            other => Err(VadaError::Type(format!("unknown attribute type `{other}`"))),
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute (column) name; unique within a schema.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A relation schema: a relation name plus an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name.
+    pub name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// Returns an error if two attributes share a name.
+    pub fn new<N, I, S>(name: N, attrs: I) -> Result<Schema>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = (S, AttrType)>,
+        S: Into<String>,
+    {
+        let attributes: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, t)| Attribute::new(n, t))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for a in &attributes {
+            if !seen.insert(a.name.as_str()) {
+                return Err(VadaError::Schema(format!(
+                    "duplicate attribute `{}` in schema",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { name: name.into(), attributes })
+    }
+
+    /// Convenience constructor where every attribute is a string.
+    pub fn all_str<N: Into<String>>(name: N, attrs: &[&str]) -> Schema {
+        Schema::new(name, attrs.iter().map(|a| (a.to_string(), AttrType::Str)))
+            .expect("attribute names must be unique")
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The ordered attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute names in order.
+    pub fn attr_names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Index of `name`, or a [`VadaError::Schema`] naming the relation.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            VadaError::Schema(format!(
+                "relation `{}` has no attribute `{}` (has: {})",
+                self.name,
+                name,
+                self.attr_names().join(", ")
+            ))
+        })
+    }
+
+    /// The attribute at `idx`.
+    pub fn attr(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// A new schema with the same attributes under a different relation name.
+    pub fn renamed(&self, name: impl Into<String>) -> Schema {
+        Schema { name: name.into(), attributes: self.attributes.clone() }
+    }
+
+    /// A new schema projecting the given attributes (by name, in order).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.require(n)?;
+            attrs.push(self.attributes[idx].clone());
+        }
+        Ok(Schema { name: self.name.clone(), attributes: attrs })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn property_schema() -> Schema {
+        Schema::new(
+            "property",
+            [
+                ("price", AttrType::Int),
+                ("street", AttrType::Str),
+                ("postcode", AttrType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = property_schema();
+        assert_eq!(s.index_of("street"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.require("missing").is_err());
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = Schema::new("r", [("a", AttrType::Int), ("a", AttrType::Str)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = property_schema();
+        assert_eq!(
+            s.to_string(),
+            "property(price: int, street: str, postcode: str)"
+        );
+    }
+
+    #[test]
+    fn project_preserves_types() {
+        let s = property_schema();
+        let p = s.project(&["postcode", "price"]).unwrap();
+        assert_eq!(p.attr(0).ty, AttrType::Str);
+        assert_eq!(p.attr(1).ty, AttrType::Int);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn type_parse_round_trip() {
+        for t in [AttrType::Bool, AttrType::Int, AttrType::Float, AttrType::Str] {
+            assert_eq!(AttrType::parse(t.name()).unwrap(), t);
+        }
+        assert!(AttrType::parse("blob").is_err());
+    }
+}

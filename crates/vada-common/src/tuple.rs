@@ -1,0 +1,162 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A row of values. Cheap to clone relative to `Vec` churn (boxed slice, no
+/// spare capacity), hashable and totally ordered so it can serve as a join
+/// or index key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Tuple {
+        Tuple(values.into().into_boxed_slice())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value at `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// A new tuple keeping only the fields at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// A new tuple with field `idx` replaced by `value`.
+    pub fn with_value(&self, idx: usize, value: Value) -> Tuple {
+        let mut v: Vec<Value> = self.0.to_vec();
+        v[idx] = value;
+        Tuple::new(v)
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+
+    /// Number of null fields.
+    pub fn null_count(&self) -> usize {
+        self.0.iter().filter(|v| v.is_null()).count()
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a [`Tuple`] from a list of expressions convertible to [`Value`].
+///
+/// ```
+/// use vada_common::{tuple, Value};
+/// let t = tuple!["12 High St", 3, 250000.0];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], Value::Int(3));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_and_index() {
+        let t = tuple!["a", 1, 2.5, true];
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t[0], Value::str("a"));
+        assert_eq!(t[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = tuple![10, 20, 30];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple![30, 10]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let t = tuple![1].concat(&tuple![2, 3]);
+        assert_eq!(t, tuple![1, 2, 3]);
+    }
+
+    #[test]
+    fn null_count_counts() {
+        let t = Tuple::new(vec![Value::Null, Value::Int(1), Value::Null]);
+        assert_eq!(t.null_count(), 2);
+    }
+
+    #[test]
+    fn with_value_replaces() {
+        let t = tuple![1, 2];
+        assert_eq!(t.with_value(1, Value::Int(9)), tuple![1, 9]);
+        // original untouched
+        assert_eq!(t, tuple![1, 2]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(tuple![1, 2] < tuple![1, 3]);
+        assert!(tuple![1] < tuple![1, 0]);
+    }
+}

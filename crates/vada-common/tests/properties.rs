@@ -1,0 +1,103 @@
+//! Property-based tests for the shared substrate: total value ordering,
+//! hash/equality consistency, CSV round-trips, and similarity bounds.
+
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use vada_common::text::{jaro_winkler, levenshtein, levenshtein_sim, normalize, token_jaccard};
+use vada_common::{csv, Schema, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 £,.-]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn value_ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort(); // sort panics (in debug) on non-total orders; also verify
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "{:?} == {:?} but hashes differ", a, b);
+        }
+    }
+
+    #[test]
+    fn csv_round_trips(rows in proptest::collection::vec(
+        proptest::collection::vec("[^\r]{0,20}", 3..4), 0..20)
+    ) {
+        let text = csv::serialize(&rows);
+        let parsed = csv::parse(&text).unwrap();
+        // serialize always terminates rows, so empty input round-trips to empty
+        if rows.is_empty() {
+            prop_assert!(parsed.is_empty());
+        } else {
+            prop_assert_eq!(parsed, rows);
+        }
+    }
+
+    #[test]
+    fn relation_csv_round_trips(cells in proptest::collection::vec(
+        ("[a-z £,\"0-9]{0,10}", "[a-z]{0,8}"), 1..15)
+    ) {
+        let schema = Schema::all_str("r", &["a", "b"]);
+        let mut rel = vada_common::Relation::empty(schema.clone());
+        for (a, b) in &cells {
+            rel.push(vada_common::Tuple::new(vec![
+                Value::parse_as(a, vada_common::AttrType::Str).unwrap(),
+                Value::parse_as(b, vada_common::AttrType::Str).unwrap(),
+            ])).unwrap();
+        }
+        let text = csv::write_relation(&rel);
+        let back = csv::read_relation(&text, schema).unwrap();
+        prop_assert_eq!(back.tuples(), rel.tuples());
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        // identity, symmetry, triangle inequality
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarities_are_bounded(a in "[a-zA-Z_ ]{0,16}", b in "[a-zA-Z_ ]{0,16}") {
+        for s in [levenshtein_sim(&a, &b), jaro_winkler(&a, &b), token_jaccard(&a, &b)] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "similarity {s} out of range");
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(s in "[a-zA-Z0-9 ,.\\-_]{0,24}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once.clone());
+        // and produces only lowercase alphanumerics and single spaces
+        prop_assert!(!once.contains("  "));
+        prop_assert!(once.chars().all(|c| c.is_lowercase() || c.is_numeric() || c == ' '));
+    }
+}

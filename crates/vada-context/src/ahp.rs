@@ -1,0 +1,225 @@
+//! Analytic Hierarchy Process: derive criterion weights from a reciprocal
+//! pairwise-comparison matrix and measure the consistency of the user's
+//! judgements.
+//!
+//! Weights are computed with the geometric-mean (logarithmic least squares)
+//! method; the principal eigenvalue for the consistency index is estimated
+//! from the derived weights (`λ_max = mean_i (A·w)_i / w_i`), which is exact
+//! for consistent matrices and a standard approximation otherwise.
+
+use vada_common::{Result, VadaError};
+
+/// Random-consistency indices for matrix sizes 1..=10 (Saaty).
+const RANDOM_INDEX: [f64; 11] = [
+    0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49,
+];
+
+/// A reciprocal pairwise-comparison matrix over named criteria.
+#[derive(Debug, Clone)]
+pub struct PairwiseMatrix {
+    criteria: Vec<String>,
+    /// row-major `a[i][j]` = importance of criterion i relative to j.
+    values: Vec<Vec<f64>>,
+}
+
+impl PairwiseMatrix {
+    /// An identity (all-equal) matrix over the given criteria.
+    pub fn new(criteria: Vec<String>) -> Result<PairwiseMatrix> {
+        if criteria.is_empty() {
+            return Err(VadaError::Context("no criteria".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &criteria {
+            if !seen.insert(c.as_str()) {
+                return Err(VadaError::Context(format!("duplicate criterion `{c}`")));
+            }
+        }
+        let n = criteria.len();
+        Ok(PairwiseMatrix { criteria, values: vec![vec![1.0; n]; n] })
+    }
+
+    /// The criteria, in matrix order.
+    pub fn criteria(&self) -> &[String] {
+        &self.criteria
+    }
+
+    /// Number of criteria.
+    pub fn len(&self) -> usize {
+        self.criteria.len()
+    }
+
+    /// Whether the matrix is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.criteria.is_empty()
+    }
+
+    fn index_of(&self, criterion: &str) -> Result<usize> {
+        self.criteria
+            .iter()
+            .position(|c| c == criterion)
+            .ok_or_else(|| VadaError::Context(format!("unknown criterion `{criterion}`")))
+    }
+
+    /// Record that `more` is `scale`× more important than `less`
+    /// (reciprocal is set automatically).
+    pub fn set(&mut self, more: &str, less: &str, scale: f64) -> Result<()> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(VadaError::Context(format!("invalid scale {scale}")));
+        }
+        let i = self.index_of(more)?;
+        let j = self.index_of(less)?;
+        if i == j {
+            return Err(VadaError::Context(format!(
+                "criterion `{more}` compared with itself"
+            )));
+        }
+        self.values[i][j] = scale;
+        self.values[j][i] = 1.0 / scale;
+        Ok(())
+    }
+
+    /// The comparison value between two criteria.
+    pub fn get(&self, a: &str, b: &str) -> Result<f64> {
+        Ok(self.values[self.index_of(a)?][self.index_of(b)?])
+    }
+
+    /// Derive weights and the consistency ratio.
+    pub fn solve(&self) -> AhpResult {
+        let n = self.len();
+        // geometric mean of each row
+        let mut weights: Vec<f64> = self
+            .values
+            .iter()
+            .map(|row| {
+                let log_sum: f64 = row.iter().map(|v| v.ln()).sum();
+                (log_sum / n as f64).exp()
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        // λ_max estimate
+        let mut lambda = 0.0;
+        for i in 0..n {
+            let row_dot: f64 = (0..n).map(|j| self.values[i][j] * weights[j]).sum();
+            lambda += row_dot / weights[i];
+        }
+        lambda /= n as f64;
+        let ci = if n > 1 { (lambda - n as f64) / (n as f64 - 1.0) } else { 0.0 };
+        let ri = RANDOM_INDEX
+            .get(n)
+            .copied()
+            .unwrap_or(*RANDOM_INDEX.last().expect("non-empty table"));
+        let cr = if ri == 0.0 { 0.0 } else { ci / ri };
+        AhpResult {
+            criteria: self.criteria.clone(),
+            weights,
+            lambda_max: lambda,
+            consistency_index: ci,
+            consistency_ratio: cr,
+        }
+    }
+}
+
+/// Derived weights plus consistency diagnostics.
+#[derive(Debug, Clone)]
+pub struct AhpResult {
+    /// Criteria, aligned with `weights`.
+    pub criteria: Vec<String>,
+    /// Normalised weights (sum to 1).
+    pub weights: Vec<f64>,
+    /// Estimated principal eigenvalue.
+    pub lambda_max: f64,
+    /// Consistency index `(λ_max − n) / (n − 1)`.
+    pub consistency_index: f64,
+    /// Consistency ratio `CI / RI`; ≤ 0.1 is conventionally acceptable.
+    pub consistency_ratio: f64,
+}
+
+impl AhpResult {
+    /// The weight of a criterion.
+    pub fn weight(&self, criterion: &str) -> Option<f64> {
+        self.criteria
+            .iter()
+            .position(|c| c == criterion)
+            .map(|i| self.weights[i])
+    }
+
+    /// Whether the judgements are acceptably consistent (CR ≤ 0.1).
+    pub fn is_consistent(&self) -> bool {
+        self.consistency_ratio <= 0.1 + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identity_matrix_gives_equal_weights() {
+        let m = PairwiseMatrix::new(names(&["a", "b", "c"])).unwrap();
+        let r = m.solve();
+        for w in &r.weights {
+            assert!((w - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert!(r.is_consistent());
+        assert!((r.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_criterion_gets_larger_weight() {
+        let mut m = PairwiseMatrix::new(names(&["crime", "type"])).unwrap();
+        m.set("crime", "type", 7.0).unwrap();
+        let r = m.solve();
+        assert!(r.weight("crime").unwrap() > 0.8);
+        assert!((r.weight("crime").unwrap() - 7.0 * r.weight("type").unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn consistent_transitive_judgements() {
+        // a = 2b, b = 2c, a = 4c: perfectly consistent
+        let mut m = PairwiseMatrix::new(names(&["a", "b", "c"])).unwrap();
+        m.set("a", "b", 2.0).unwrap();
+        m.set("b", "c", 2.0).unwrap();
+        m.set("a", "c", 4.0).unwrap();
+        let r = m.solve();
+        assert!(r.consistency_ratio.abs() < 1e-9);
+        let wa = r.weight("a").unwrap();
+        let wb = r.weight("b").unwrap();
+        assert!((wa / wb - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contradictory_judgements_flagged() {
+        // a > b, b > c, c > a strongly: a cycle, badly inconsistent
+        let mut m = PairwiseMatrix::new(names(&["a", "b", "c"])).unwrap();
+        m.set("a", "b", 5.0).unwrap();
+        m.set("b", "c", 5.0).unwrap();
+        m.set("c", "a", 5.0).unwrap();
+        let r = m.solve();
+        assert!(!r.is_consistent(), "CR = {}", r.consistency_ratio);
+    }
+
+    #[test]
+    fn reciprocal_enforced() {
+        let mut m = PairwiseMatrix::new(names(&["a", "b"])).unwrap();
+        m.set("a", "b", 3.0).unwrap();
+        assert!((m.get("b", "a").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(PairwiseMatrix::new(vec![]).is_err());
+        assert!(PairwiseMatrix::new(names(&["a", "a"])).is_err());
+        let mut m = PairwiseMatrix::new(names(&["a", "b"])).unwrap();
+        assert!(m.set("a", "a", 3.0).is_err());
+        assert!(m.set("a", "zz", 3.0).is_err());
+        assert!(m.set("a", "b", -1.0).is_err());
+        assert!(m.set("a", "b", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Data-context analysis: how much of the target schema a context relation
+//! covers, and which context kinds license which wrangling steps.
+
+use vada_common::Result;
+use vada_kb::{ContextKind, KnowledgeBase};
+
+/// What a data-context relation licenses (paper §2.2–2.3): reference and
+/// master data can train CFDs and serve as accuracy ground truth; all kinds
+/// support instance matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextCapabilities {
+    /// Can CFDs be learned from it (needs authoritative coverage)?
+    pub cfd_training: bool,
+    /// Can it act as an accuracy/completeness reference?
+    pub quality_reference: bool,
+    /// Can instance matching exploit it?
+    pub instance_matching: bool,
+}
+
+/// Capabilities of a context kind.
+pub fn capabilities(kind: ContextKind) -> ContextCapabilities {
+    match kind {
+        ContextKind::Reference => ContextCapabilities {
+            cfd_training: true,
+            quality_reference: true,
+            instance_matching: true,
+        },
+        ContextKind::Master => ContextCapabilities {
+            cfd_training: true,
+            quality_reference: true,
+            instance_matching: true,
+        },
+        ContextKind::Example => ContextCapabilities {
+            cfd_training: false,
+            quality_reference: false,
+            instance_matching: true,
+        },
+    }
+}
+
+/// Coverage of the target schema by a context relation: the fraction of
+/// target attributes reachable through context bindings.
+pub fn target_coverage(kb: &KnowledgeBase, context_rel: &str) -> Result<f64> {
+    let target = match kb.target_schema() {
+        Some(t) => t,
+        None => return Ok(0.0),
+    };
+    let bound: std::collections::HashSet<&str> = kb
+        .context_bindings()
+        .iter()
+        .filter(|(rel, _, _)| rel == context_rel)
+        .map(|(_, _, tgt)| tgt.as_str())
+        .collect();
+    if target.arity() == 0 {
+        return Ok(0.0);
+    }
+    Ok(bound.len() as f64 / target.arity() as f64)
+}
+
+/// All context relations that can train CFDs, with their coverage, sorted
+/// by coverage descending.
+pub fn cfd_training_contexts(kb: &KnowledgeBase) -> Result<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    for (rel, kind) in kb.context_relations() {
+        if capabilities(kind).cfd_training {
+            let cov = target_coverage(kb, &rel)?;
+            out.push((rel, cov));
+        }
+    }
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{Relation, Schema, tuple};
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.register_target_schema(Schema::all_str(
+            "property",
+            &["street", "postcode", "price", "crimerank"],
+        ));
+        let mut addr = Relation::empty(Schema::all_str("address", &["street", "city", "postcode"]));
+        addr.push(tuple!["12 High St", "manchester", "M13 9PL"]).unwrap();
+        kb.register_data_context(
+            addr,
+            ContextKind::Reference,
+            &[("street", "street"), ("postcode", "postcode")],
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn reference_data_licenses_cfds() {
+        assert!(capabilities(ContextKind::Reference).cfd_training);
+        assert!(capabilities(ContextKind::Master).cfd_training);
+        assert!(!capabilities(ContextKind::Example).cfd_training);
+        assert!(capabilities(ContextKind::Example).instance_matching);
+    }
+
+    #[test]
+    fn coverage_counts_bound_target_attrs() {
+        let kb = kb();
+        // 2 of 4 target attributes bound
+        assert!((target_coverage(&kb, "address").unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(target_coverage(&kb, "none").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn training_contexts_sorted_by_coverage() {
+        let mut kb = kb();
+        let mut pc = Relation::empty(Schema::all_str("postcodes", &["postcode"]));
+        pc.push(tuple!["M13 9PL"]).unwrap();
+        kb.register_data_context(pc, ContextKind::Reference, &[("postcode", "postcode")])
+            .unwrap();
+        let ctxs = cfd_training_contexts(&kb).unwrap();
+        assert_eq!(ctxs.len(), 2);
+        assert_eq!(ctxs[0].0, "address"); // higher coverage first
+        assert!(ctxs[0].1 > ctxs[1].1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # vada-context
+//!
+//! User and data context (paper §2.2).
+//!
+//! The **user context** is a set of pairwise-comparison statements over
+//! quality criteria ("completeness of crimerank is *very strongly* more
+//! important than accuracy of type", Fig 2(d)). Following the paper's
+//! multi-criteria decision-analysis approach, we map the vocabulary to the
+//! Saaty 1–9 scale ([`saaty`]) and derive criterion weights with the
+//! Analytic Hierarchy Process ([`ahp`]), including the consistency ratio so
+//! contradictory preference sets are flagged.
+//!
+//! The **data context** associates reference / master / example relations
+//! with the target schema; [`data_context`] computes how much of the target
+//! schema a context covers, which gates the transducers that exploit it
+//! (CFD learning, instance matching, repair).
+
+pub mod ahp;
+pub mod data_context;
+pub mod saaty;
+pub mod user_context;
+
+pub use ahp::{AhpResult, PairwiseMatrix};
+pub use saaty::Strength;
+pub use user_context::{Criterion, UserContext};

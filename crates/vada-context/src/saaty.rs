@@ -1,0 +1,104 @@
+//! The Saaty 1–9 importance scale used by pairwise comparisons.
+
+use vada_common::{Result, VadaError};
+
+/// Verbal importance strengths, mapped to the Saaty scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strength {
+    /// 1 — equally important.
+    Equally,
+    /// 3 — moderately more important.
+    Moderately,
+    /// 5 — strongly more important.
+    Strongly,
+    /// 7 — very strongly more important.
+    VeryStrongly,
+    /// 9 — extremely more important.
+    Extremely,
+}
+
+impl Strength {
+    /// The Saaty scale value.
+    pub fn scale(&self) -> f64 {
+        match self {
+            Strength::Equally => 1.0,
+            Strength::Moderately => 3.0,
+            Strength::Strongly => 5.0,
+            Strength::VeryStrongly => 7.0,
+            Strength::Extremely => 9.0,
+        }
+    }
+
+    /// Parse the verbal form used in user-context statements. Accepts the
+    /// bare adverb (`"strongly"`) and the full phrase
+    /// (`"strongly more important than"`).
+    pub fn parse(s: &str) -> Result<Strength> {
+        let norm = s.trim().to_ascii_lowercase();
+        let head = norm
+            .strip_suffix("more important than")
+            .unwrap_or(&norm)
+            .trim();
+        match head {
+            "equally" | "equally important" => Ok(Strength::Equally),
+            "moderately" => Ok(Strength::Moderately),
+            "strongly" => Ok(Strength::Strongly),
+            "very strongly" => Ok(Strength::VeryStrongly),
+            "extremely" => Ok(Strength::Extremely),
+            other => Err(VadaError::Context(format!(
+                "unknown importance strength `{other}` (expected equally / moderately / strongly / very strongly / extremely)"
+            ))),
+        }
+    }
+
+    /// The verbal form.
+    pub fn phrase(&self) -> &'static str {
+        match self {
+            Strength::Equally => "equally important",
+            Strength::Moderately => "moderately more important than",
+            Strength::Strongly => "strongly more important than",
+            Strength::VeryStrongly => "very strongly more important than",
+            Strength::Extremely => "extremely more important than",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_values() {
+        assert_eq!(Strength::Equally.scale(), 1.0);
+        assert_eq!(Strength::Moderately.scale(), 3.0);
+        assert_eq!(Strength::Strongly.scale(), 5.0);
+        assert_eq!(Strength::VeryStrongly.scale(), 7.0);
+        assert_eq!(Strength::Extremely.scale(), 9.0);
+    }
+
+    #[test]
+    fn parse_bare_and_full_phrase() {
+        assert_eq!(Strength::parse("strongly").unwrap(), Strength::Strongly);
+        assert_eq!(
+            Strength::parse("very strongly more important than").unwrap(),
+            Strength::VeryStrongly
+        );
+        assert_eq!(
+            Strength::parse("  Moderately ").unwrap(),
+            Strength::Moderately
+        );
+        assert!(Strength::parse("kinda").is_err());
+    }
+
+    #[test]
+    fn phrase_round_trips() {
+        for s in [
+            Strength::Equally,
+            Strength::Moderately,
+            Strength::Strongly,
+            Strength::VeryStrongly,
+            Strength::Extremely,
+        ] {
+            assert_eq!(Strength::parse(s.phrase()).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The user context: quality criteria, pairwise statements, derived
+//! weights, and weighted utility scoring.
+
+use std::fmt;
+
+use vada_common::{Result, VadaError};
+use vada_kb::PairwiseStatement;
+
+use crate::ahp::{AhpResult, PairwiseMatrix};
+use crate::saaty::Strength;
+
+/// A quality criterion: a metric applied to a scope, e.g.
+/// `completeness(crimerank)` or `consistency(property)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Criterion {
+    /// Quality metric name (`completeness`, `accuracy`, `consistency`, ...).
+    pub metric: String,
+    /// Scope: a target attribute (`crimerank`) or relation (`property`).
+    pub scope: String,
+}
+
+impl Criterion {
+    /// Construct a criterion.
+    pub fn new(metric: impl Into<String>, scope: impl Into<String>) -> Criterion {
+        Criterion { metric: metric.into(), scope: scope.into() }
+    }
+
+    /// Parse `metric(scope)` strings, e.g. `completeness(property.street)`.
+    /// A relation prefix inside the scope (`property.street`) is kept as-is.
+    pub fn parse(s: &str) -> Result<Criterion> {
+        let s = s.trim();
+        let open = s
+            .find('(')
+            .ok_or_else(|| VadaError::Context(format!("criterion `{s}` is not metric(scope)")))?;
+        if !s.ends_with(')') {
+            return Err(VadaError::Context(format!("criterion `{s}` missing `)`")));
+        }
+        let metric = s[..open].trim();
+        let scope = s[open + 1..s.len() - 1].trim();
+        if metric.is_empty() || scope.is_empty() {
+            return Err(VadaError::Context(format!("criterion `{s}` has empty parts")));
+        }
+        Ok(Criterion::new(metric, scope))
+    }
+
+    /// The attribute part of the scope (strips a relation prefix).
+    pub fn scope_attr(&self) -> &str {
+        self.scope.rsplit('.').next().unwrap_or(&self.scope)
+    }
+}
+
+impl fmt::Display for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.metric, self.scope)
+    }
+}
+
+/// The user context: criteria discovered from the statements, the AHP
+/// weights derived from them, and the consistency diagnostics.
+#[derive(Debug, Clone)]
+pub struct UserContext {
+    /// Criteria in matrix order.
+    pub criteria: Vec<Criterion>,
+    /// The AHP solution (weights aligned with `criteria`).
+    pub ahp: AhpResult,
+}
+
+impl UserContext {
+    /// Derive a user context from pairwise statements (paper Fig 2(d)).
+    ///
+    /// Criteria not mentioned in any statement can be supplied via
+    /// `extra_criteria` so they participate with default (equal) judgements.
+    pub fn derive(
+        statements: &[PairwiseStatement],
+        extra_criteria: &[Criterion],
+    ) -> Result<UserContext> {
+        let mut criteria: Vec<Criterion> = Vec::new();
+        let push = |c: Criterion, criteria: &mut Vec<Criterion>| {
+            if !criteria.contains(&c) {
+                criteria.push(c);
+            }
+        };
+        for s in statements {
+            push(Criterion::parse(&s.more_important)?, &mut criteria);
+            push(Criterion::parse(&s.less_important)?, &mut criteria);
+        }
+        for c in extra_criteria {
+            push(c.clone(), &mut criteria);
+        }
+        if criteria.is_empty() {
+            return Err(VadaError::Context(
+                "user context needs at least one criterion".into(),
+            ));
+        }
+        let names: Vec<String> = criteria.iter().map(|c| c.to_string()).collect();
+        let mut matrix = PairwiseMatrix::new(names)?;
+        for s in statements {
+            let strength = Strength::parse(&s.strength)?;
+            let more = Criterion::parse(&s.more_important)?.to_string();
+            let less = Criterion::parse(&s.less_important)?.to_string();
+            matrix.set(&more, &less, strength.scale())?;
+        }
+        let ahp = matrix.solve();
+        Ok(UserContext { criteria, ahp })
+    }
+
+    /// A uniform user context over the given criteria (used when the user
+    /// has expressed no preferences — every criterion weighs the same).
+    pub fn uniform(criteria: Vec<Criterion>) -> Result<UserContext> {
+        let names: Vec<String> = criteria.iter().map(|c| c.to_string()).collect();
+        let matrix = PairwiseMatrix::new(names)?;
+        let ahp = matrix.solve();
+        Ok(UserContext { criteria, ahp })
+    }
+
+    /// The weight of a criterion (0 if unknown).
+    pub fn weight(&self, criterion: &Criterion) -> f64 {
+        self.ahp.weight(&criterion.to_string()).unwrap_or(0.0)
+    }
+
+    /// Weighted utility of an alternative whose per-criterion scores are
+    /// provided by `score` (scores in `[0,1]`; missing criteria score 0).
+    pub fn utility(&self, mut score: impl FnMut(&Criterion) -> Option<f64>) -> f64 {
+        self.criteria
+            .iter()
+            .map(|c| self.weight(c) * score(c).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Render the derived weights as report lines, sorted by weight
+    /// descending.
+    pub fn weight_table(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .criteria
+            .iter()
+            .map(|c| (c.to_string(), self.weight(c)))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+}
+
+/// The three statements of the paper's running example (Fig 2(d)).
+pub fn paper_fig2d_statements() -> Vec<PairwiseStatement> {
+    vec![
+        PairwiseStatement {
+            more_important: "completeness(crimerank)".into(),
+            less_important: "accuracy(property.type)".into(),
+            strength: "very strongly".into(),
+        },
+        PairwiseStatement {
+            more_important: "consistency(property)".into(),
+            less_important: "completeness(property.bedrooms)".into(),
+            strength: "strongly".into(),
+        },
+        PairwiseStatement {
+            more_important: "completeness(property.street)".into(),
+            less_important: "completeness(property.postcode)".into(),
+            strength: "moderately".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn criterion_parse_and_display() {
+        let c = Criterion::parse("completeness(property.street)").unwrap();
+        assert_eq!(c.metric, "completeness");
+        assert_eq!(c.scope, "property.street");
+        assert_eq!(c.scope_attr(), "street");
+        assert_eq!(c.to_string(), "completeness(property.street)");
+        assert!(Criterion::parse("nope").is_err());
+        assert!(Criterion::parse("m()").is_err());
+    }
+
+    #[test]
+    fn paper_statements_derive_sensible_weights() {
+        let ctx = UserContext::derive(&paper_fig2d_statements(), &[]).unwrap();
+        assert_eq!(ctx.criteria.len(), 6);
+        let w_crime = ctx.weight(&Criterion::new("completeness", "crimerank"));
+        let w_type = ctx.weight(&Criterion::new("accuracy", "property.type"));
+        let w_cons = ctx.weight(&Criterion::new("consistency", "property"));
+        let w_bed = ctx.weight(&Criterion::new("completeness", "property.bedrooms"));
+        assert!(w_crime > w_type, "crimerank {w_crime} should beat type {w_type}");
+        assert!(w_cons > w_bed);
+        let total: f64 = ctx.ahp.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With only 3 of 15 comparisons specified (the rest default to 1),
+        // the matrix is mildly inconsistent — CR ≈ 0.147. That is expected
+        // for sparse judgement sets; we only require it stays moderate.
+        assert!(
+            ctx.ahp.consistency_ratio < 0.2,
+            "CR = {}",
+            ctx.ahp.consistency_ratio
+        );
+    }
+
+    #[test]
+    fn uniform_context_weighs_equally() {
+        let ctx = UserContext::uniform(vec![
+            Criterion::new("completeness", "a"),
+            Criterion::new("accuracy", "b"),
+        ])
+        .unwrap();
+        assert!((ctx.weight(&Criterion::new("completeness", "a")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_weights_scores() {
+        let ctx = UserContext::derive(&paper_fig2d_statements(), &[]).unwrap();
+        let u_all = ctx.utility(|_| Some(1.0));
+        assert!((u_all - 1.0).abs() < 1e-9);
+        // an alternative strong only on the dominant criterion beats one
+        // strong only on a dominated criterion
+        let crime = Criterion::new("completeness", "crimerank");
+        let ty = Criterion::new("accuracy", "property.type");
+        let u_crime = ctx.utility(|c| if *c == crime { Some(1.0) } else { Some(0.0) });
+        let u_type = ctx.utility(|c| if *c == ty { Some(1.0) } else { Some(0.0) });
+        assert!(u_crime > u_type);
+    }
+
+    #[test]
+    fn different_contexts_reorder_weights() {
+        // paper §2.2: switching the analysis from crime to size makes
+        // bedrooms completeness more important
+        let crime_ctx = UserContext::derive(&paper_fig2d_statements(), &[]).unwrap();
+        let size_stmts = vec![PairwiseStatement {
+            more_important: "completeness(property.bedrooms)".into(),
+            less_important: "accuracy(property.type)".into(),
+            strength: "very strongly".into(),
+        }];
+        let size_ctx = UserContext::derive(
+            &size_stmts,
+            &[Criterion::new("completeness", "crimerank")],
+        )
+        .unwrap();
+        let bed = Criterion::new("completeness", "property.bedrooms");
+        assert!(size_ctx.weight(&bed) > crime_ctx.weight(&bed));
+    }
+
+    #[test]
+    fn extra_criteria_participate() {
+        let ctx = UserContext::derive(
+            &paper_fig2d_statements(),
+            &[Criterion::new("completeness", "property.price")],
+        )
+        .unwrap();
+        assert_eq!(ctx.criteria.len(), 7);
+        assert!(ctx.weight(&Criterion::new("completeness", "property.price")) > 0.0);
+    }
+
+    #[test]
+    fn weight_table_sorted_desc() {
+        let ctx = UserContext::derive(&paper_fig2d_statements(), &[]).unwrap();
+        let table = ctx.weight_table();
+        for w in table.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

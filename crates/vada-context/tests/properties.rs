@@ -1,0 +1,76 @@
+//! Property-based tests for AHP: weights are a distribution, respect
+//! dominance, and consistent matrices have zero consistency index.
+
+use proptest::prelude::*;
+
+use vada_context::PairwiseMatrix;
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("c{i}")).collect()
+}
+
+proptest! {
+    #[test]
+    fn weights_form_a_distribution(
+        n in 2usize..8,
+        entries in proptest::collection::vec((0usize..8, 0usize..8, 1u8..10), 0..16)
+    ) {
+        let ns = names(n);
+        let mut m = PairwiseMatrix::new(ns.clone()).unwrap();
+        for (i, j, s) in entries {
+            if i < n && j < n && i != j {
+                m.set(&ns[i], &ns[j], s as f64).unwrap();
+            }
+        }
+        let r = m.solve();
+        let total: f64 = r.weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(r.weights.iter().all(|w| *w > 0.0));
+    }
+
+    #[test]
+    fn single_dominant_judgement_orders_weights(n in 2usize..7, scale in 2u8..10) {
+        let ns = names(n);
+        let mut m = PairwiseMatrix::new(ns.clone()).unwrap();
+        m.set(&ns[0], &ns[1], scale as f64).unwrap();
+        let r = m.solve();
+        prop_assert!(
+            r.weight(&ns[0]).unwrap() > r.weight(&ns[1]).unwrap(),
+            "dominant criterion must outweigh the dominated one"
+        );
+    }
+
+    #[test]
+    fn consistent_chains_have_zero_ci(n in 3usize..6, base in 1u8..3) {
+        // w_i = base^i gives a perfectly consistent matrix a_ij = w_i / w_j
+        let ns = names(n);
+        let mut m = PairwiseMatrix::new(ns.clone()).unwrap();
+        let w: Vec<f64> = (0..n).map(|i| (base as f64).powi(i as i32)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(&ns[i], &ns[j], w[i] / w[j]).unwrap();
+            }
+        }
+        let r = m.solve();
+        prop_assert!(r.consistency_index.abs() < 1e-6, "CI = {}", r.consistency_index);
+        // derived weights proportional to the generating weights
+        for i in 1..n {
+            let ratio = r.weights[i - 1] / r.weights[i];
+            prop_assert!((ratio - w[i - 1] / w[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn strengthening_a_judgement_never_decreases_the_winner(
+        n in 2usize..6, s1 in 2u8..5, extra in 1u8..5
+    ) {
+        let ns = names(n);
+        let mut weak = PairwiseMatrix::new(ns.clone()).unwrap();
+        weak.set(&ns[0], &ns[1], s1 as f64).unwrap();
+        let mut strong = PairwiseMatrix::new(ns.clone()).unwrap();
+        strong.set(&ns[0], &ns[1], (s1 + extra) as f64).unwrap();
+        let ww = weak.solve().weight(&ns[0]).unwrap();
+        let ws = strong.solve().weight(&ns[0]).unwrap();
+        prop_assert!(ws >= ww - 1e-12, "weight fell from {ww} to {ws} when judgement strengthened");
+    }
+}

@@ -1,0 +1,36 @@
+//! The built-in wrangling components, each wrapped as a [`Transducer`].
+//!
+//! | Activity  | Transducer            | Input dependency (paper Table 1)        |
+//! |-----------|-----------------------|-----------------------------------------|
+//! | Extraction| `csv_ingestion`       | staged raw documents                    |
+//! | Matching  | `schema_matching`     | source & target schemas                 |
+//! | Matching  | `instance_matching`   | source & target (context) instances     |
+//! | Mapping   | `mapping_generation`  | matches over source & target schemas    |
+//! | Quality   | `cfd_learning`        | data-context instances (examples)       |
+//! | Quality   | `source_profiling`    | source instances                        |
+//! | Quality   | `mapping_quality`     | candidate mappings                      |
+//! | Selection | `mapping_selection`   | quality metrics                         |
+//! | Execution | `mapping_execution`   | a selected mapping                      |
+//! | Repair    | `result_repair`       | a result and learned CFDs               |
+//! | Fusion    | `duplicate_detection` | a result                                |
+//! | Fusion    | `data_fusion`         | detected duplicate clusters             |
+//! | Feedback  | `feedback_repair`     | feedback annotations                    |
+//! | Feedback  | `mapping_evaluation`  | feedback annotations                    |
+//!
+//! [`Transducer`]: crate::transducer::Transducer
+
+pub mod extraction;
+pub mod feedback;
+pub mod fusion_t;
+pub mod mapping;
+pub mod matching;
+pub mod quality;
+pub mod repair_t;
+
+pub use extraction::CsvIngestion;
+pub use feedback::{FeedbackRepair, MappingEvaluation};
+pub use fusion_t::{DataFusion, DuplicateDetection};
+pub use mapping::{MappingExecution, MappingGeneration, MappingSelection};
+pub use matching::{InstanceMatching, SchemaMatching};
+pub use quality::{CfdLearning, MappingQuality, SourceProfiling};
+pub use repair_t::ResultRepair;

@@ -1,0 +1,351 @@
+//! Quality transducers: CFD learning, source profiling, and per-mapping
+//! quality metrics.
+
+use vada_common::{Relation, Result};
+use vada_context::data_context::{capabilities, cfd_training_contexts};
+use vada_kb::{KnowledgeBase, QualityFact};
+use vada_map::{execute_mapping, ExecuteConfig};
+use vada_quality::{accuracy_against_reference, consistency, learn_cfds, CfdLearnConfig};
+
+use crate::components::mapping::candidate_relation_name;
+use crate::transducer::{Activity, RunOutcome, Transducer};
+
+/// Learn CFDs from data-context relations (paper Table 1: "CFD Learning —
+/// Data Examples"; §2.2: reference data "can be used to learn CFDs,
+/// against which the consistency of the address information within the
+/// property table can be established").
+#[derive(Debug, Default)]
+pub struct CfdLearning {
+    /// Learner configuration.
+    pub config: CfdLearnConfig,
+}
+
+impl Transducer for CfdLearning {
+    fn name(&self) -> &str {
+        "cfd_learning"
+    }
+
+    fn activity(&self) -> Activity {
+        Activity::Quality
+    }
+
+    fn input_dependency(&self) -> &str {
+        r#"data_context(C, _), has_instances(C)"#
+    }
+
+    fn input_aspects(&self) -> &'static [&'static str] {
+        &["data_context", "relations"]
+    }
+
+    fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
+        let contexts = cfd_training_contexts(kb)?;
+        if contexts.is_empty() {
+            return Ok(RunOutcome::noop(
+                "no reference/master context to learn from (example data does not license CFDs)",
+            ));
+        }
+        kb.clear_cfds();
+        let mut written = 0usize;
+        for (rel_name, _coverage) in &contexts {
+            let rel = kb.relation(rel_name)?.clone();
+            for cfd in learn_cfds(&self.config, &rel) {
+                kb.add_cfd(cfd);
+                written += 1;
+            }
+        }
+        kb.log("cfd_learning", "add_cfd", &written.to_string());
+        Ok(RunOutcome::new(
+            format!("{written} CFDs from {} context relation(s)", contexts.len()),
+            written,
+        ))
+    }
+}
+
+/// Profile sources: per-attribute completeness quality facts
+/// (paper §2.3: "adding quality metrics on sources ... to the knowledge
+/// base").
+#[derive(Debug, Default)]
+pub struct SourceProfiling;
+
+impl Transducer for SourceProfiling {
+    fn name(&self) -> &str {
+        "source_profiling"
+    }
+
+    fn activity(&self) -> Activity {
+        Activity::Quality
+    }
+
+    fn input_dependency(&self) -> &str {
+        r#"relation(R, "source", N), N > 0"#
+    }
+
+    fn input_aspects(&self) -> &'static [&'static str] {
+        &["relations"]
+    }
+
+    fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
+        kb.clear_quality("source");
+        let mut written = 0usize;
+        for source in kb.source_names() {
+            let rel = kb.relation(&source)?.clone();
+            for attr in rel.schema().attr_names() {
+                let value = rel.completeness(attr)?;
+                kb.add_quality(QualityFact {
+                    entity_kind: "source".into(),
+                    entity: source.clone(),
+                    metric: "completeness".into(),
+                    criterion: format!("completeness({attr})"),
+                    value,
+                });
+                written += 1;
+            }
+        }
+        Ok(RunOutcome::new(format!("{written} source metrics"), written))
+    }
+}
+
+/// Compute quality metrics for every candidate mapping by materialising it
+/// and measuring completeness (per target attribute), consistency (against
+/// the learned CFDs) and syntactic accuracy (against reference
+/// populations). These are the metrics mapping selection weighs under the
+/// user context.
+#[derive(Debug, Default)]
+pub struct MappingQuality {
+    /// Execution configuration for candidate materialisation.
+    pub config: ExecuteConfig,
+}
+
+impl Transducer for MappingQuality {
+    fn name(&self) -> &str {
+        "mapping_quality"
+    }
+
+    fn activity(&self) -> Activity {
+        Activity::Quality
+    }
+
+    fn input_dependency(&self) -> &str {
+        "mapping(_, _)"
+    }
+
+    fn input_aspects(&self) -> &'static [&'static str] {
+        &["mappings", "cfds", "data_context"]
+    }
+
+    fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
+        let mappings: Vec<_> = kb.mappings().cloned().collect();
+        let cfds: Vec<_> = kb.cfds().cloned().collect();
+        // reference populations per target attribute, from context bindings
+        let mut reference_cols: Vec<(String, Relation, String)> = Vec::new();
+        for (ctx_rel, ctx_attr, tgt_attr) in kb.context_bindings().to_vec() {
+            if let Some(kind) = kb
+                .context_relations()
+                .iter()
+                .find(|(n, _)| *n == ctx_rel)
+                .map(|(_, k)| *k)
+            {
+                if capabilities(kind).quality_reference {
+                    let rel = kb.relation(&ctx_rel)?.clone();
+                    reference_cols.push((tgt_attr, rel, ctx_attr));
+                }
+            }
+        }
+        kb.clear_quality("mapping");
+        let mut written = 0usize;
+        let mut materialised: Vec<(String, Relation)> = Vec::new();
+        for mapping in &mappings {
+            let result = execute_mapping(&self.config, mapping, kb)?;
+            // completeness per target attribute
+            for attr in result.schema().attr_names().iter().map(|s| s.to_string()) {
+                let value = result.completeness(&attr)?;
+                kb.add_quality(QualityFact {
+                    entity_kind: "mapping".into(),
+                    entity: mapping.id.clone(),
+                    metric: "completeness".into(),
+                    criterion: format!("completeness({attr})"),
+                    value,
+                });
+                written += 1;
+            }
+            // consistency against learned CFDs (only meaningful once CFDs
+            // exist — before that every mapping scores 1.0 vacuously)
+            let value = consistency(&result, &cfds);
+            kb.add_quality(QualityFact {
+                entity_kind: "mapping".into(),
+                entity: mapping.id.clone(),
+                metric: "consistency".into(),
+                criterion: format!("consistency({})", result.name()),
+                value,
+            });
+            written += 1;
+            // syntactic accuracy against reference populations
+            for (tgt_attr, ref_rel, ref_attr) in &reference_cols {
+                if result.schema().index_of(tgt_attr).is_some() {
+                    let value =
+                        accuracy_against_reference(&result, tgt_attr, ref_rel, ref_attr)?;
+                    kb.add_quality(QualityFact {
+                        entity_kind: "mapping".into(),
+                        entity: mapping.id.clone(),
+                        metric: "accuracy".into(),
+                        criterion: format!("accuracy({tgt_attr})"),
+                        value,
+                    });
+                    written += 1;
+                }
+            }
+            materialised.push((mapping.id.clone(), result));
+        }
+        // relative row coverage: a union over sources reaches more of the
+        // domain than any single source, which per-attribute completeness
+        // fractions cannot see
+        let max_rows = materialised.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+        for (id, result) in materialised {
+            if max_rows > 0 {
+                kb.add_quality(QualityFact {
+                    entity_kind: "mapping".into(),
+                    entity: id.clone(),
+                    metric: "coverage".into(),
+                    criterion: format!("coverage({})", result.name()),
+                    value: result.len() as f64 / max_rows as f64,
+                });
+                written += 1;
+            }
+            // cache the materialisation for execution reuse
+            let cached = Relation::from_tuples(
+                result.schema().renamed(candidate_relation_name(&id)),
+                result.tuples().to_vec(),
+            )?;
+            kb.put_intermediate(cached);
+        }
+        kb.log("mapping_quality", "add_quality", &written.to_string());
+        Ok(RunOutcome::new(
+            format!("{written} metrics over {} candidate mappings", mappings.len()),
+            written,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, AttrType, Schema};
+    use vada_kb::{ContextKind, MappingDef};
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        let mut rm = Relation::empty(Schema::all_str("rightmove", &["price", "street", "postcode"]));
+        rm.push(tuple!["250000", "1 high st", "M1 1AA"]).unwrap();
+        rm.push(Tuple::new(vec![
+            vada_common::Value::Null,
+            vada_common::Value::str("2 park rd"),
+            vada_common::Value::str("M1 1AB"),
+        ]))
+        .unwrap();
+        kb.register_source(rm);
+        kb.register_target_schema(
+            Schema::new(
+                "property",
+                [
+                    ("street", AttrType::Str),
+                    ("postcode", AttrType::Str),
+                    ("price", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        kb
+    }
+
+    use vada_common::Tuple;
+
+    fn address_context(kb: &mut KnowledgeBase) {
+        let mut addr = Relation::empty(Schema::all_str("address", &["street", "city", "postcode"]));
+        for (s, c, p) in [
+            ("1 high st", "manchester", "M1 1AA"),
+            ("2 park rd", "manchester", "M1 1AB"),
+            ("3 kings ave", "manchester", "M1 1AC"),
+            ("4 mill ln", "manchester", "M1 1AD"),
+            ("5 queens dr", "edinburgh", "EH1 1AA"),
+            ("6 albert sq", "edinburgh", "EH1 1AB"),
+        ] {
+            addr.push(tuple![s, c, p]).unwrap();
+        }
+        kb.register_data_context(
+            addr,
+            ContextKind::Reference,
+            &[("street", "street"), ("postcode", "postcode")],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn cfd_learning_requires_capable_context() {
+        let mut kb = kb();
+        let mut t = CfdLearning::default();
+        assert!(!t.ready(&kb).unwrap());
+        address_context(&mut kb);
+        assert!(t.ready(&kb).unwrap());
+        let out = t.run(&mut kb).unwrap();
+        assert!(out.writes > 0, "{}", out.summary);
+        assert!(kb.cfds().any(|c| c.rhs.0 == "city"));
+    }
+
+    #[test]
+    fn example_context_does_not_license_cfds() {
+        let mut kb = kb();
+        let mut ex = Relation::empty(Schema::all_str("examples", &["street"]));
+        ex.push(tuple!["1 high st"]).unwrap();
+        kb.register_data_context(ex, ContextKind::Example, &[("street", "street")])
+            .unwrap();
+        let mut t = CfdLearning::default();
+        assert!(t.ready(&kb).unwrap(), "dependency is on any context");
+        let out = t.run(&mut kb).unwrap();
+        assert_eq!(out.writes, 0, "{}", out.summary);
+    }
+
+    #[test]
+    fn source_profiling_writes_completeness() {
+        let mut kb = kb();
+        let mut t = SourceProfiling;
+        assert!(t.ready(&kb).unwrap());
+        t.run(&mut kb).unwrap();
+        let price_fact = kb
+            .quality_facts()
+            .iter()
+            .find(|q| q.entity == "rightmove" && q.criterion == "completeness(price)")
+            .unwrap();
+        assert!((price_fact.value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_quality_measures_candidates() {
+        let mut kb = kb();
+        address_context(&mut kb);
+        kb.add_mapping(MappingDef {
+            id: "map0".into(),
+            target: "property".into(),
+            rules: "property(S, PC, P) :- rightmove(P, S, PC).".into(),
+            sources: vec!["rightmove".into()],
+            matches_used: vec![],
+        });
+        let mut t = MappingQuality::default();
+        assert!(t.ready(&kb).unwrap());
+        let out = t.run(&mut kb).unwrap();
+        assert!(out.writes >= 5, "{}", out.summary);
+        let completeness_price = kb
+            .quality_facts()
+            .iter()
+            .find(|q| q.entity == "map0" && q.criterion == "completeness(price)")
+            .unwrap();
+        assert!((completeness_price.value - 0.5).abs() < 1e-12);
+        let acc_street = kb
+            .quality_facts()
+            .iter()
+            .find(|q| q.entity == "map0" && q.criterion == "accuracy(street)")
+            .unwrap();
+        assert!(acc_street.value > 0.99, "streets are all in the reference");
+        // candidate materialisation cached
+        assert!(kb.relation("candidate_map0").is_ok());
+    }
+}

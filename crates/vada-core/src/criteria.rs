@@ -1,0 +1,94 @@
+//! Canonical quality-criterion naming shared between the quality
+//! transducer (which writes metric facts) and mapping selection (which
+//! weighs them under the user context).
+//!
+//! The paper writes scopes in two styles (`crimerank`, `property.type`,
+//! `property`); canonical form strips the target-relation prefix from
+//! attribute scopes and keeps the bare relation name for relation-level
+//! criteria, so `completeness(property.street)` and
+//! `completeness(street)` refer to the same criterion.
+
+use vada_common::Result;
+use vada_context::Criterion;
+use vada_kb::PairwiseStatement;
+
+/// Canonicalise one criterion against the target relation name.
+pub fn canonicalize(c: &Criterion, target: &str) -> Criterion {
+    if c.scope == target {
+        return c.clone();
+    }
+    let scope = match c.scope.strip_prefix(&format!("{target}.")) {
+        Some(attr) => attr.to_string(),
+        None => c.scope_attr().to_string(),
+    };
+    Criterion::new(c.metric.clone(), scope)
+}
+
+/// Canonicalise the scopes inside user-context statements.
+pub fn canonicalize_statements(
+    statements: &[PairwiseStatement],
+    target: &str,
+) -> Result<Vec<PairwiseStatement>> {
+    statements
+        .iter()
+        .map(|s| {
+            let more = canonicalize(&Criterion::parse(&s.more_important)?, target);
+            let less = canonicalize(&Criterion::parse(&s.less_important)?, target);
+            Ok(PairwiseStatement {
+                more_important: more.to_string(),
+                less_important: less.to_string(),
+                strength: s.strength.clone(),
+            })
+        })
+        .collect()
+}
+
+/// The criterion for completeness of a target attribute.
+pub fn completeness(attr: &str) -> Criterion {
+    Criterion::new("completeness", attr)
+}
+
+/// The criterion for accuracy of a target attribute.
+pub fn accuracy(attr: &str) -> Criterion {
+    Criterion::new("accuracy", attr)
+}
+
+/// The relation-level consistency criterion.
+pub fn consistency(target: &str) -> Criterion {
+    Criterion::new("consistency", target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_target_prefix() {
+        let c = Criterion::parse("completeness(property.street)").unwrap();
+        assert_eq!(canonicalize(&c, "property").to_string(), "completeness(street)");
+    }
+
+    #[test]
+    fn keeps_relation_scope() {
+        let c = Criterion::parse("consistency(property)").unwrap();
+        assert_eq!(canonicalize(&c, "property").to_string(), "consistency(property)");
+    }
+
+    #[test]
+    fn bare_attr_unchanged() {
+        let c = Criterion::parse("completeness(crimerank)").unwrap();
+        assert_eq!(canonicalize(&c, "property").to_string(), "completeness(crimerank)");
+    }
+
+    #[test]
+    fn statements_canonicalised() {
+        let stmts = vec![PairwiseStatement {
+            more_important: "consistency(property)".into(),
+            less_important: "completeness(property.bedrooms)".into(),
+            strength: "strongly".into(),
+        }];
+        let out = canonicalize_statements(&stmts, "property").unwrap();
+        assert_eq!(out[0].less_important, "completeness(bedrooms)");
+        assert_eq!(out[0].more_important, "consistency(property)");
+    }
+}

@@ -1,0 +1,148 @@
+//! Network transducers (paper §2.4): "it is the responsibility of a
+//! network transducer to select between the executable transducers".
+//!
+//! Two policies, matching the paper's examples:
+//!
+//! * [`GenericPolicy`] — "choosing transducers for one type of
+//!   functionality before another, such as data extraction before mapping,
+//!   and then using a priority scheme to make more local decisions": order
+//!   by [`Activity`](crate::transducer::Activity), then by registration order.
+//! * [`SpecificPolicy`] — "prefer instance level matchers to schema level
+//!   matchers": a name-priority list consulted before the generic order.
+
+use crate::transducer::Transducer;
+
+/// Chooses which eligible transducer runs next.
+pub trait SchedulingPolicy: std::fmt::Debug {
+    /// Pick one index out of `eligible` (indices into `transducers`).
+    /// `eligible` is non-empty.
+    fn choose(
+        &self,
+        eligible: &[usize],
+        transducers: &[Box<dyn Transducer>],
+    ) -> usize;
+
+    /// Policy name for the trace.
+    fn name(&self) -> &str;
+}
+
+/// Activity-ordered scheduling with registration order as tiebreak.
+#[derive(Debug, Default, Clone)]
+pub struct GenericPolicy;
+
+impl SchedulingPolicy for GenericPolicy {
+    fn choose(&self, eligible: &[usize], transducers: &[Box<dyn Transducer>]) -> usize {
+        *eligible
+            .iter()
+            .min_by_key(|&&i| (transducers[i].activity(), i))
+            .expect("eligible is non-empty")
+    }
+
+    fn name(&self) -> &str {
+        "generic"
+    }
+}
+
+/// A name-priority list overriding the generic order; unlisted transducers
+/// fall back to activity order *after* all listed ones.
+#[derive(Debug, Clone)]
+pub struct SpecificPolicy {
+    priorities: Vec<String>,
+}
+
+impl SpecificPolicy {
+    /// Build from a priority list, most preferred first.
+    pub fn new<S: Into<String>>(priorities: impl IntoIterator<Item = S>) -> SpecificPolicy {
+        SpecificPolicy { priorities: priorities.into_iter().map(Into::into).collect() }
+    }
+
+    /// The paper's example: prefer instance-level matchers to schema-level
+    /// matchers.
+    pub fn prefer_instance_matchers() -> SpecificPolicy {
+        SpecificPolicy::new(["instance_matching", "schema_matching"])
+    }
+
+    fn rank(&self, name: &str) -> usize {
+        self.priorities
+            .iter()
+            .position(|p| p == name)
+            .unwrap_or(self.priorities.len())
+    }
+}
+
+impl SchedulingPolicy for SpecificPolicy {
+    fn choose(&self, eligible: &[usize], transducers: &[Box<dyn Transducer>]) -> usize {
+        *eligible
+            .iter()
+            .min_by_key(|&&i| {
+                (
+                    self.rank(transducers[i].name()),
+                    transducers[i].activity(),
+                    i,
+                )
+            })
+            .expect("eligible is non-empty")
+    }
+
+    fn name(&self) -> &str {
+        "specific"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transducer::{Activity, RunOutcome};
+    use vada_common::Result;
+    use vada_kb::KnowledgeBase;
+
+    #[derive(Debug)]
+    struct Dummy {
+        name: &'static str,
+        activity: Activity,
+    }
+
+    impl Transducer for Dummy {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn activity(&self) -> Activity {
+            self.activity
+        }
+        fn input_dependency(&self) -> &str {
+            "relation(_, _, _)"
+        }
+        fn input_aspects(&self) -> &'static [&'static str] {
+            &["relations"]
+        }
+        fn run(&mut self, _kb: &mut KnowledgeBase) -> Result<RunOutcome> {
+            Ok(RunOutcome::noop("dummy"))
+        }
+    }
+
+    fn fleet() -> Vec<Box<dyn Transducer>> {
+        vec![
+            Box::new(Dummy { name: "mapping_generation", activity: Activity::Mapping }),
+            Box::new(Dummy { name: "schema_matching", activity: Activity::Matching }),
+            Box::new(Dummy { name: "instance_matching", activity: Activity::Matching }),
+        ]
+    }
+
+    #[test]
+    fn generic_prefers_earlier_activity_then_registration() {
+        let t = fleet();
+        let chosen = GenericPolicy.choose(&[0, 1, 2], &t);
+        assert_eq!(t[chosen].name(), "schema_matching"); // matching < mapping, index 1 < 2
+    }
+
+    #[test]
+    fn specific_prefers_listed_names() {
+        let t = fleet();
+        let p = SpecificPolicy::prefer_instance_matchers();
+        let chosen = p.choose(&[0, 1, 2], &t);
+        assert_eq!(t[chosen].name(), "instance_matching");
+        // unlisted-only eligibility falls back to activity order
+        let chosen = p.choose(&[0], &t);
+        assert_eq!(t[chosen].name(), "mapping_generation");
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`Wrangler`] facade: the end-user surface of the architecture,
+//! driving the four pay-as-you-go steps of the demonstration (paper §3).
+
+use vada_common::{Relation, Result, Schema};
+use vada_kb::{ContextKind, FeedbackRecord, KnowledgeBase, PairwiseStatement};
+
+use crate::network::SchedulingPolicy;
+use crate::orchestrator::{Orchestrator, OrchestratorConfig};
+use crate::registry::default_transducers;
+use crate::trace::Trace;
+use crate::transducer::Transducer;
+
+/// What one `run` did.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Transducer executions in this run.
+    pub executed: usize,
+    /// Knowledge-base version after the run.
+    pub kb_version: u64,
+    /// Per-transducer execution counts over the whole session.
+    pub trace_summary: String,
+}
+
+/// The end-user facade over the knowledge base and the orchestrator.
+///
+/// The intended call pattern follows the demo's steps:
+///
+/// 1. [`add_source`](Wrangler::add_source) +
+///    [`set_target`](Wrangler::set_target), then [`run`](Wrangler::run) —
+///    automatic bootstrapping;
+/// 2. [`add_data_context`](Wrangler::add_data_context), `run` — matching,
+///    CFD learning and repair are revisited with the new evidence;
+/// 3. [`add_feedback`](Wrangler::add_feedback), `run` — annotations turn
+///    into vetoes and match-score revisions;
+/// 4. [`set_user_context`](Wrangler::set_user_context), `run` — mapping
+///    selection re-optimises under the new weights.
+#[derive(Debug)]
+pub struct Wrangler {
+    kb: KnowledgeBase,
+    orchestrator: Orchestrator,
+}
+
+impl Default for Wrangler {
+    fn default() -> Self {
+        Wrangler::new()
+    }
+}
+
+impl Wrangler {
+    /// A wrangler with the default transducer fleet and generic policy.
+    pub fn new() -> Wrangler {
+        Wrangler {
+            kb: KnowledgeBase::new(),
+            orchestrator: Orchestrator::new(default_transducers()),
+        }
+    }
+
+    /// A wrangler with an explicit network-transducer policy.
+    pub fn with_policy(policy: Box<dyn SchedulingPolicy>) -> Wrangler {
+        Wrangler {
+            kb: KnowledgeBase::new(),
+            orchestrator: Orchestrator::with_policy(default_transducers(), policy),
+        }
+    }
+
+    /// A wrangler with a custom fleet (e.g. extended with user transducers).
+    pub fn with_transducers(transducers: Vec<Box<dyn Transducer>>) -> Wrangler {
+        Wrangler { kb: KnowledgeBase::new(), orchestrator: Orchestrator::new(transducers) }
+    }
+
+    /// Override orchestrator limits.
+    pub fn set_orchestrator_config(&mut self, config: OrchestratorConfig) {
+        self.orchestrator.set_config(config);
+    }
+
+    /// Register a source relation.
+    pub fn add_source(&mut self, rel: Relation) {
+        self.kb.log("user", "register_source", rel.name());
+        self.kb.register_source(rel);
+    }
+
+    /// Register the target schema.
+    pub fn set_target(&mut self, schema: Schema) {
+        self.kb.log("user", "register_target", &schema.name);
+        self.kb.register_target_schema(schema);
+    }
+
+    /// Associate a data-context relation with the target schema
+    /// (step 2 of the demo).
+    pub fn add_data_context(
+        &mut self,
+        rel: Relation,
+        kind: ContextKind,
+        bindings: &[(&str, &str)],
+    ) -> Result<()> {
+        self.kb.log("user", "register_data_context", rel.name());
+        self.kb.register_data_context(rel, kind, bindings)
+    }
+
+    /// Assert feedback annotations (step 3).
+    pub fn add_feedback(&mut self, records: impl IntoIterator<Item = FeedbackRecord>) {
+        let mut n = 0usize;
+        for r in records {
+            self.kb.add_feedback(r);
+            n += 1;
+        }
+        self.kb.log("user", "feedback", &n.to_string());
+    }
+
+    /// Set the user context (step 4).
+    pub fn set_user_context(&mut self, statements: Vec<PairwiseStatement>) {
+        self.kb.log("user", "user_context", &statements.len().to_string());
+        self.kb.set_user_context(statements);
+    }
+
+    /// Orchestrate to fixpoint with whatever information is currently
+    /// available.
+    pub fn run(&mut self) -> Result<RunReport> {
+        let executed = self.orchestrator.run_to_fixpoint(&mut self.kb)?;
+        let trace_summary = self
+            .orchestrator
+            .trace()
+            .executions_by_transducer()
+            .into_iter()
+            .map(|(name, n)| format!("{name}×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        Ok(RunReport { executed, kb_version: self.kb.version(), trace_summary })
+    }
+
+    /// The current wrangling result, if one has been materialised.
+    pub fn result(&self) -> Option<&Relation> {
+        let target = self.kb.target_schema()?;
+        self.kb.relation(&target.name).ok()
+    }
+
+    /// The knowledge base (read access).
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The knowledge base (mutable access, for advanced scenarios).
+    pub fn kb_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.kb
+    }
+
+    /// The orchestration trace.
+    pub fn trace(&self) -> &Trace {
+        self.orchestrator.trace()
+    }
+
+    /// The registered transducer fleet.
+    pub fn transducers(&self) -> &[Box<dyn Transducer>] {
+        self.orchestrator.transducers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, AttrType, Value};
+
+    fn sources() -> (Relation, Relation) {
+        let mut rm = Relation::empty(Schema::all_str(
+            "rightmove",
+            &["price", "street", "postcode", "bedrooms"],
+        ));
+        rm.push(tuple!["250000", "1 high st", "M1 1AA", "3"]).unwrap();
+        rm.push(tuple!["£300,000", "2 park rd", "M1 1AB", "18"]).unwrap();
+        rm.push(tuple!["410000", "3 kings ave", "EH1 1AA", "4"]).unwrap();
+        let mut dep = Relation::empty(Schema::all_str("deprivation", &["postcode", "crime"]));
+        dep.push(tuple!["M1", "500"]).unwrap();
+        (rm, dep)
+    }
+
+    fn target() -> Schema {
+        Schema::new(
+            "property",
+            [
+                ("street", AttrType::Str),
+                ("postcode", AttrType::Str),
+                ("bedrooms", AttrType::Int),
+                ("price", AttrType::Int),
+                ("crimerank", AttrType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bootstrap_produces_a_result() {
+        let mut w = Wrangler::new();
+        let (rm, dep) = sources();
+        w.add_source(rm);
+        w.add_source(dep);
+        w.set_target(target());
+        let report = w.run().unwrap();
+        assert!(report.executed >= 4, "{}", report.trace_summary);
+        let result = w.result().expect("bootstrap materialises a result");
+        assert_eq!(result.len(), 3);
+        // crimerank joined for M1 rows
+        let crime: Vec<&Value> = result.iter().map(|t| &t[4]).collect();
+        assert!(crime.iter().any(|v| **v == Value::Int(500)));
+        assert!(crime.iter().any(|v| v.is_null()));
+        // second run with no new information is a no-op
+        let again = w.run().unwrap();
+        assert_eq!(again.executed, 0);
+    }
+
+    #[test]
+    fn data_context_triggers_revisiting() {
+        let mut w = Wrangler::new();
+        let (rm, dep) = sources();
+        w.add_source(rm);
+        w.add_source(dep);
+        w.set_target(target());
+        w.run().unwrap();
+        let steps_before = w.trace().len();
+
+        let mut addr = Relation::empty(Schema::all_str(
+            "address",
+            &["street", "city", "postcode"],
+        ));
+        for (s, c, p) in [
+            ("1 high st", "manchester", "M1 1AA"),
+            ("2 park rd", "manchester", "M1 1AB"),
+            ("3 kings ave", "edinburgh", "EH1 1AA"),
+            ("4 mill ln", "manchester", "M1 1AC"),
+            ("5 queens dr", "edinburgh", "EH1 1AB"),
+        ] {
+            addr.push(tuple![s, c, p]).unwrap();
+        }
+        w.add_data_context(
+            addr,
+            ContextKind::Reference,
+            &[("street", "street"), ("postcode", "postcode")],
+        )
+        .unwrap();
+        let report = w.run().unwrap();
+        assert!(report.executed > 0);
+        // instance matching and cfd learning must have joined the party
+        let names: Vec<String> = w.trace().entries()[steps_before..]
+            .iter()
+            .map(|e| e.transducer.clone())
+            .collect();
+        assert!(names.contains(&"instance_matching".to_string()), "{names:?}");
+        assert!(names.contains(&"cfd_learning".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn user_context_changes_reselect() {
+        let mut w = Wrangler::new();
+        let (rm, dep) = sources();
+        w.add_source(rm);
+        w.add_source(dep);
+        w.set_target(target());
+        w.run().unwrap();
+        w.set_user_context(vec![PairwiseStatement {
+            more_important: "completeness(crimerank)".into(),
+            less_important: "completeness(bedrooms)".into(),
+            strength: "very strongly".into(),
+        }]);
+        let report = w.run().unwrap();
+        // selection must have re-run under the new weights
+        assert!(report.trace_summary.contains("mapping_selection"));
+    }
+}

@@ -1,0 +1,929 @@
+//! Fixpoint evaluation: stratified, semi-naive, with aggregates and a
+//! guarded skolem chase for existential rules.
+//!
+//! ## Algorithm
+//!
+//! 1. `stratify` (see [`crate::analysis`]) the program.
+//! 2. Load ground facts.
+//! 3. Per stratum (ascending): one *initial pass* evaluates every rule
+//!    against the current database; then **semi-naive iteration** re-fires
+//!    only rules with a recursive positive literal, once per occurrence of a
+//!    recursive predicate, with that occurrence restricted to the previous
+//!    iteration's delta.
+//! 4. Aggregate rules run in the initial pass only — stratification
+//!    guarantees their inputs live in strictly lower strata.
+//!
+//! Join orders are compiled per rule with a greedy ordering that places
+//! comparisons and negations as soon as their variables are bound, and hash
+//! indexes on the bound positions of each positive literal are built lazily
+//! per pass.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use vada_common::{Result, Tuple, VadaError, Value};
+
+use crate::analysis::stratify;
+use crate::ast::{CmpOp, HeadTerm, Literal, Program, Rule, Term};
+use crate::builtins::{apply_cmp, eval_expr, resolve, Binding};
+use crate::skolem;
+
+/// A deduplicated, insertion-ordered set of facts for one predicate.
+#[derive(Debug, Clone, Default)]
+pub struct FactSet {
+    tuples: Vec<Tuple>,
+    set: HashSet<Tuple>,
+}
+
+impl FactSet {
+    /// Insert a fact; returns `true` if it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if self.set.insert(t.clone()) {
+            self.tuples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Facts in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A fact database: predicate name → fact set.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    rels: HashMap<String, FactSet>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert a fact; returns `true` if new.
+    pub fn insert(&mut self, pred: &str, t: Tuple) -> bool {
+        self.rels.entry(pred.to_string()).or_default().insert(t)
+    }
+
+    /// Whether the fact is present.
+    pub fn contains(&self, pred: &str, t: &Tuple) -> bool {
+        self.rels.get(pred).is_some_and(|fs| fs.contains(t))
+    }
+
+    /// Facts for a predicate (empty slice if unknown).
+    pub fn facts(&self, pred: &str) -> &[Tuple] {
+        self.rels.get(pred).map(|fs| fs.tuples()).unwrap_or(&[])
+    }
+
+    /// The fact set for a predicate, if any.
+    pub fn fact_set(&self, pred: &str) -> Option<&FactSet> {
+        self.rels.get(pred)
+    }
+
+    /// Predicate names, sorted (deterministic iteration).
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.rels.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total number of facts across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.rels.values().map(|fs| fs.len()).sum()
+    }
+
+    /// Bulk-load all tuples of a [`vada_common::Relation`] under its name.
+    pub fn insert_relation(&mut self, rel: &vada_common::Relation) {
+        let fs = self.rels.entry(rel.name().to_string()).or_default();
+        for t in rel.iter() {
+            fs.insert(t.clone());
+        }
+    }
+
+    /// Merge another database into this one.
+    pub fn merge(&mut self, other: &Database) {
+        for (pred, fs) in &other.rels {
+            let dst = self.rels.entry(pred.clone()).or_default();
+            for t in fs.tuples() {
+                dst.insert(t.clone());
+            }
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-stratum iteration cap (defends against bugs; semi-naive
+    /// terminates on finite domains regardless).
+    pub max_iterations: usize,
+    /// Skolem nesting cap — the chase termination guard.
+    pub max_skolem_depth: usize,
+    /// Total derived-fact cap.
+    pub max_facts: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_iterations: 100_000,
+            max_skolem_depth: 12,
+            max_facts: 50_000_000,
+        }
+    }
+}
+
+/// The Datalog± evaluation engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    /// Evaluate `program` starting from `db` (extensional facts); returns
+    /// the database extended with all derived facts.
+    pub fn run(&self, program: &Program, mut db: Database) -> Result<Database> {
+        let strat = stratify(program)?;
+
+        // ground facts
+        for rule in &program.rules {
+            if rule.is_fact() {
+                let t: Tuple = rule
+                    .head_terms
+                    .iter()
+                    .map(|ht| match ht {
+                        HeadTerm::Term(Term::Const(v)) => v.clone(),
+                        _ => unreachable!("is_fact guarantees constant terms"),
+                    })
+                    .collect();
+                db.insert(&rule.head_pred, t);
+            }
+        }
+
+        for stratum in 0..strat.stratum_count {
+            let rule_idxs = &strat.strata_rules[stratum];
+            if rule_idxs.is_empty() {
+                continue;
+            }
+            let compiled: Vec<CompiledRule> = rule_idxs
+                .iter()
+                .map(|&ri| CompiledRule::compile(&program.rules[ri], ri))
+                .collect::<Result<_>>()?;
+            let recursive = strat.recursive_preds(program, stratum);
+
+            // initial pass: all rules, full database
+            let mut delta = Database::new();
+            for cr in &compiled {
+                let derived = self.eval_rule(cr, &db, None)?;
+                for (pred, t) in derived {
+                    if db.insert(&pred, t.clone()) {
+                        delta.insert(&pred, t);
+                    }
+                }
+            }
+            self.check_size(&db)?;
+
+            // semi-naive iteration
+            let mut iter = 0usize;
+            while delta.total_facts() > 0 {
+                iter += 1;
+                if iter > self.config.max_iterations {
+                    return Err(VadaError::Eval(format!(
+                        "stratum {stratum} exceeded {} iterations",
+                        self.config.max_iterations
+                    )));
+                }
+                let mut new_delta = Database::new();
+                for cr in &compiled {
+                    if cr.rule.has_aggregate() {
+                        continue;
+                    }
+                    // one pass per occurrence of a recursive predicate
+                    for (occ, lit_idx) in cr.positive_lit_indices.iter().enumerate() {
+                        let Literal::Pos(atom) = &cr.rule.body[*lit_idx] else {
+                            continue;
+                        };
+                        if !recursive.contains(&atom.pred) {
+                            continue;
+                        }
+                        if delta.facts(&atom.pred).is_empty() {
+                            continue;
+                        }
+                        let derived = self.eval_rule(cr, &db, Some((&delta, occ)))?;
+                        for (pred, t) in derived {
+                            if db.insert(&pred, t.clone()) {
+                                new_delta.insert(&pred, t);
+                            }
+                        }
+                    }
+                }
+                self.check_size(&db)?;
+                delta = new_delta;
+            }
+        }
+        Ok(db)
+    }
+
+    /// Evaluate a stand-alone query (from
+    /// [`parse_query`](crate::parser::parse_query)) against a fixed
+    /// database; returns the distinct head tuples.
+    pub fn eval_query(&self, query: &Rule, db: &Database) -> Result<Vec<Tuple>> {
+        let cr = CompiledRule::compile(query, usize::MAX)?;
+        let derived = self.eval_rule(&cr, db, None)?;
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for (_, t) in derived {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_size(&self, db: &Database) -> Result<()> {
+        if db.total_facts() > self.config.max_facts {
+            return Err(VadaError::Eval(format!(
+                "derived fact count exceeded the cap of {}",
+                self.config.max_facts
+            )));
+        }
+        Ok(())
+    }
+
+    /// Evaluate one rule; returns `(pred, tuple)` pairs (possibly with
+    /// duplicates — the caller dedups on insert).
+    fn eval_rule(
+        &self,
+        cr: &CompiledRule,
+        db: &Database,
+        delta: Option<(&Database, usize)>,
+    ) -> Result<Vec<(String, Tuple)>> {
+        let ctx = EvalCtx { db, delta, cache: RefCell::new(HashMap::new()) };
+        let mut binding: Binding = vec![None; cr.rule.var_count];
+        let mut results = Vec::new();
+
+        if cr.rule.has_aggregate() {
+            let mut rows: Vec<Binding> = Vec::new();
+            let mut seen: HashSet<Vec<Option<Value>>> = HashSet::new();
+            join(cr, &ctx, 0, &mut binding, &mut |b| {
+                if seen.insert(b.to_vec()) {
+                    rows.push(b.to_vec());
+                }
+                Ok(())
+            })?;
+            aggregate(cr, &rows, &mut results)?;
+        } else {
+            let cfg_depth = self.config.max_skolem_depth;
+            join(cr, &ctx, 0, &mut binding, &mut |b| {
+                let t = head_tuple(cr, b, cfg_depth)?;
+                results.push((cr.rule.head_pred.clone(), t));
+                Ok(())
+            })?;
+        }
+        Ok(results)
+    }
+}
+
+/// Build the head tuple for a satisfied binding, inventing skolems for
+/// existential variables.
+fn head_tuple(cr: &CompiledRule, binding: &Binding, max_depth: usize) -> Result<Tuple> {
+    // frontier: resolved non-existential head var/const values, in order
+    let mut frontier: Vec<Value> = Vec::new();
+    for ht in &cr.rule.head_terms {
+        if let HeadTerm::Term(t) = ht {
+            if let Some(v) = resolve(t, binding) {
+                frontier.push(v);
+            }
+        }
+    }
+    let mut skolems: HashMap<usize, Value> = HashMap::new();
+    let mut values = Vec::with_capacity(cr.rule.head_terms.len());
+    for ht in &cr.rule.head_terms {
+        match ht {
+            HeadTerm::Term(t) => match resolve(t, binding) {
+                Some(v) => values.push(v),
+                None => {
+                    let Term::Var(id, name) = t else {
+                        return Err(VadaError::Eval("unresolved constant".into()));
+                    };
+                    let v = match skolems.get(id) {
+                        Some(v) => v.clone(),
+                        None => {
+                            let v = skolem::make_skolem(cr.rule_idx, name, &frontier, max_depth)?;
+                            skolems.insert(*id, v.clone());
+                            v
+                        }
+                    };
+                    values.push(v);
+                }
+            },
+            HeadTerm::Agg(..) => {
+                return Err(VadaError::Eval("aggregate outside aggregate path".into()))
+            }
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Compute aggregate head tuples from deduplicated body bindings.
+fn aggregate(
+    cr: &CompiledRule,
+    rows: &[Binding],
+    out: &mut Vec<(String, Tuple)>,
+) -> Result<()> {
+    use crate::ast::AggFunc;
+    // group key: resolved plain head terms
+    let mut groups: HashMap<Vec<Value>, Vec<&Binding>> = HashMap::new();
+    for b in rows {
+        let mut key = Vec::new();
+        for ht in &cr.rule.head_terms {
+            if let HeadTerm::Term(t) = ht {
+                key.push(resolve(t, b).ok_or_else(|| {
+                    VadaError::Eval(format!(
+                        "group-by variable unbound in rule `{}`",
+                        cr.rule
+                    ))
+                })?);
+            }
+        }
+        groups.entry(key).or_default().push(b);
+    }
+    let mut keys: Vec<&Vec<Value>> = groups.keys().collect();
+    keys.sort();
+    for key in keys {
+        let members = &groups[key];
+        let mut values = Vec::with_capacity(cr.rule.head_terms.len());
+        let mut plain_iter = key.iter();
+        for ht in &cr.rule.head_terms {
+            match ht {
+                HeadTerm::Term(_) => values.push(plain_iter.next().unwrap().clone()),
+                HeadTerm::Agg(func, var, name) => {
+                    let inputs: Vec<&Value> = members
+                        .iter()
+                        .filter_map(|b| b[*var].as_ref())
+                        .filter(|v| !v.is_null())
+                        .collect();
+                    let v = match func {
+                        AggFunc::Count => Value::Int(inputs.len() as i64),
+                        AggFunc::Min => inputs.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+                        AggFunc::Max => inputs.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+                        AggFunc::Sum | AggFunc::Avg => {
+                            let mut sum = 0.0f64;
+                            let mut all_int = true;
+                            let mut n = 0usize;
+                            for v in &inputs {
+                                match v.numeric() {
+                                    Some(x) => {
+                                        sum += x;
+                                        n += 1;
+                                        all_int &= matches!(v, Value::Int(_));
+                                    }
+                                    None => {
+                                        return Err(VadaError::Eval(format!(
+                                            "non-numeric value in {func}({name})"
+                                        )))
+                                    }
+                                }
+                            }
+                            if n == 0 {
+                                Value::Null
+                            } else if *func == AggFunc::Avg {
+                                Value::Float(sum / n as f64)
+                            } else if all_int {
+                                Value::Int(sum as i64)
+                            } else {
+                                Value::Float(sum)
+                            }
+                        }
+                    };
+                    values.push(v);
+                }
+            }
+        }
+        out.push((cr.rule.head_pred.clone(), Tuple::new(values)));
+    }
+    Ok(())
+}
+
+/// A rule with a precomputed evaluation order and per-literal bound-position
+/// information.
+struct CompiledRule<'a> {
+    rule: &'a Rule,
+    rule_idx: usize,
+    /// Evaluation order: indices into `rule.body`.
+    order: Vec<usize>,
+    /// Bound positions of each positive literal *in evaluation order
+    /// position* (index aligned with `order`).
+    bound_positions: Vec<Vec<usize>>,
+    /// Indices (into `rule.body`) of positive literals in source order —
+    /// used for delta-occurrence numbering.
+    positive_lit_indices: Vec<usize>,
+}
+
+impl<'a> CompiledRule<'a> {
+    fn compile(rule: &'a Rule, rule_idx: usize) -> Result<CompiledRule<'a>> {
+        let body = &rule.body;
+        let mut placed = vec![false; body.len()];
+        let mut bound: BTreeSet<usize> = BTreeSet::new();
+        let mut order: Vec<usize> = Vec::with_capacity(body.len());
+        let mut bound_positions: Vec<Vec<usize>> = Vec::with_capacity(body.len());
+
+        let lit_vars = |lit: &Literal| -> BTreeSet<usize> {
+            let mut s = BTreeSet::new();
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => a.vars(&mut s),
+                Literal::Cmp(_, l, r) => {
+                    l.vars(&mut s);
+                    r.vars(&mut s);
+                }
+            }
+            s
+        };
+
+        while order.len() < body.len() {
+            let mut chosen: Option<usize> = None;
+            // 1. an `=` usable as a test or assignment
+            for (i, lit) in body.iter().enumerate() {
+                if placed[i] {
+                    continue;
+                }
+                if let Literal::Cmp(CmpOp::Eq, l, r) = lit {
+                    let mut lv = BTreeSet::new();
+                    let mut rv = BTreeSet::new();
+                    l.vars(&mut lv);
+                    r.vars(&mut rv);
+                    let l_ok = lv.iter().all(|v| bound.contains(v));
+                    let r_ok = rv.iter().all(|v| bound.contains(v));
+                    let assignable = (l_ok && r.as_var().is_some())
+                        || (r_ok && l.as_var().is_some())
+                        || (l_ok && r_ok);
+                    if assignable {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+            }
+            // 2. any other comparison with all vars bound
+            if chosen.is_none() {
+                for (i, lit) in body.iter().enumerate() {
+                    if placed[i] {
+                        continue;
+                    }
+                    if let Literal::Cmp(op, ..) = lit {
+                        if *op != CmpOp::Eq && lit_vars(lit).iter().all(|v| bound.contains(v)) {
+                            chosen = Some(i);
+                            break;
+                        }
+                    }
+                }
+            }
+            // 3. a negation with all vars bound
+            if chosen.is_none() {
+                for (i, lit) in body.iter().enumerate() {
+                    if placed[i] {
+                        continue;
+                    }
+                    if matches!(lit, Literal::Neg(_))
+                        && lit_vars(lit).iter().all(|v| bound.contains(v))
+                    {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+            }
+            // 4. the next positive literal in source order
+            if chosen.is_none() {
+                for (i, lit) in body.iter().enumerate() {
+                    if !placed[i] && matches!(lit, Literal::Pos(_)) {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+            }
+            let Some(i) = chosen else {
+                return Err(VadaError::Program(format!(
+                    "cannot find a safe evaluation order for rule `{rule}`"
+                )));
+            };
+            placed[i] = true;
+            // bound positions for positive literals: argument positions whose
+            // term is a constant or an already-bound variable
+            if let Literal::Pos(atom) = &body[i] {
+                let positions: Vec<usize> = atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v, _) => bound.contains(v),
+                    })
+                    .map(|(p, _)| p)
+                    .collect();
+                bound_positions.push(positions);
+            } else {
+                bound_positions.push(Vec::new());
+            }
+            for v in lit_vars(&body[i]) {
+                bound.insert(v);
+            }
+            order.push(i);
+        }
+
+        let positive_lit_indices: Vec<usize> = body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Literal::Pos(_)))
+            .map(|(i, _)| i)
+            .collect();
+
+        Ok(CompiledRule { rule, rule_idx, order, bound_positions, positive_lit_indices })
+    }
+
+    /// Occurrence number (among positive literals) of body literal `lit_idx`.
+    fn occurrence_of(&self, lit_idx: usize) -> Option<usize> {
+        self.positive_lit_indices.iter().position(|&i| i == lit_idx)
+    }
+}
+
+type IndexKey = (bool, String, Vec<usize>);
+
+struct EvalCtx<'a> {
+    db: &'a Database,
+    /// `(delta database, occurrence index forced to delta)`
+    delta: Option<(&'a Database, usize)>,
+    /// lazily built hash indexes: (is_delta, pred, cols) → key → row ids
+    cache: RefCell<HashMap<IndexKey, HashMap<Tuple, Vec<usize>>>>,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn source_for(&self, cr: &CompiledRule, lit_idx: usize) -> (&'a Database, bool) {
+        if let Some((delta, occ)) = self.delta {
+            if cr.occurrence_of(lit_idx) == Some(occ) {
+                return (delta, true);
+            }
+        }
+        (self.db, false)
+    }
+
+    /// Row ids of `pred` facts whose projection on `cols` equals `key`.
+    fn candidates(
+        &self,
+        source: &'a Database,
+        is_delta: bool,
+        pred: &str,
+        cols: &[usize],
+        key: &Tuple,
+    ) -> Vec<usize> {
+        if cols.is_empty() {
+            return (0..source.facts(pred).len()).collect();
+        }
+        let cache_key = (is_delta, pred.to_string(), cols.to_vec());
+        let mut cache = self.cache.borrow_mut();
+        let index = cache.entry(cache_key).or_insert_with(|| {
+            let mut idx: HashMap<Tuple, Vec<usize>> = HashMap::new();
+            for (row, t) in source.facts(pred).iter().enumerate() {
+                idx.entry(t.project(cols)).or_default().push(row);
+            }
+            idx
+        });
+        index.get(key).cloned().unwrap_or_default()
+    }
+}
+
+/// Recursive join over the compiled literal order. Calls `emit` for every
+/// satisfying binding.
+fn join(
+    cr: &CompiledRule,
+    ctx: &EvalCtx,
+    depth: usize,
+    binding: &mut Binding,
+    emit: &mut dyn FnMut(&Binding) -> Result<()>,
+) -> Result<()> {
+    if depth == cr.order.len() {
+        return emit(binding);
+    }
+    let lit_idx = cr.order[depth];
+    match &cr.rule.body[lit_idx] {
+        Literal::Pos(atom) => {
+            let (source, is_delta) = ctx.source_for(cr, lit_idx);
+            let cols = &cr.bound_positions[depth];
+            let key: Tuple = cols
+                .iter()
+                .map(|&p| resolve(&atom.terms[p], binding).expect("bound position must resolve"))
+                .collect();
+            let rows = ctx.candidates(source, is_delta, &atom.pred, cols, &key);
+            let facts = source.facts(&atom.pred);
+            for row in rows {
+                let fact = &facts[row];
+                if fact.arity() != atom.terms.len() {
+                    continue;
+                }
+                let mut trail: Vec<usize> = Vec::new();
+                let mut ok = true;
+                for (t, v) in atom.terms.iter().zip(fact.iter()) {
+                    match t {
+                        Term::Const(c) => {
+                            if c != v {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        Term::Var(id, _) => match &binding[*id] {
+                            Some(b) => {
+                                if b != v {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            None => {
+                                binding[*id] = Some(v.clone());
+                                trail.push(*id);
+                            }
+                        },
+                    }
+                }
+                if ok {
+                    join(cr, ctx, depth + 1, binding, emit)?;
+                }
+                for id in trail {
+                    binding[id] = None;
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(atom) => {
+            let t: Option<Tuple> = atom
+                .terms
+                .iter()
+                .map(|t| resolve(t, binding))
+                .collect();
+            let Some(t) = t else {
+                return Err(VadaError::Eval(format!(
+                    "unbound variable in negated atom `{atom}` of rule `{}`",
+                    cr.rule
+                )));
+            };
+            if !ctx.db.contains(&atom.pred, &t) {
+                join(cr, ctx, depth + 1, binding, emit)?;
+            }
+            Ok(())
+        }
+        Literal::Cmp(op, l, r) => {
+            let l_bound = expr_bound(l, binding);
+            let r_bound = expr_bound(r, binding);
+            match (l_bound, r_bound) {
+                (true, true) => {
+                    let lv = eval_expr(l, binding)?;
+                    let rv = eval_expr(r, binding)?;
+                    if apply_cmp(*op, &lv, &rv) {
+                        join(cr, ctx, depth + 1, binding, emit)?;
+                    }
+                    Ok(())
+                }
+                (true, false) if *op == CmpOp::Eq => {
+                    let Some(var) = r.as_var() else {
+                        return Err(VadaError::Eval(format!(
+                            "cannot invert expression `{r}` in rule `{}`",
+                            cr.rule
+                        )));
+                    };
+                    let lv = eval_expr(l, binding)?;
+                    binding[var] = Some(lv);
+                    join(cr, ctx, depth + 1, binding, emit)?;
+                    binding[var] = None;
+                    Ok(())
+                }
+                (false, true) if *op == CmpOp::Eq => {
+                    let Some(var) = l.as_var() else {
+                        return Err(VadaError::Eval(format!(
+                            "cannot invert expression `{l}` in rule `{}`",
+                            cr.rule
+                        )));
+                    };
+                    let rv = eval_expr(r, binding)?;
+                    binding[var] = Some(rv);
+                    join(cr, ctx, depth + 1, binding, emit)?;
+                    binding[var] = None;
+                    Ok(())
+                }
+                _ => Err(VadaError::Eval(format!(
+                    "comparison `{l} {op} {r}` has unbound variables in rule `{}`",
+                    cr.rule
+                ))),
+            }
+        }
+    }
+}
+
+fn expr_bound(e: &crate::ast::Expr, binding: &Binding) -> bool {
+    let mut vs = BTreeSet::new();
+    e.vars(&mut vs);
+    vs.iter().all(|v| binding[*v].is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+    use vada_common::tuple;
+
+    fn run(src: &str) -> Database {
+        Engine::default()
+            .run(&parse_program(src).unwrap(), Database::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn facts_loaded() {
+        let db = run(r#"p(1). p(2). p(1)."#);
+        assert_eq!(db.facts("p").len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let mut src = String::new();
+        for i in 0..50 {
+            src.push_str(&format!("edge({}, {}).\n", i, i + 1));
+        }
+        src.push_str("tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).");
+        let db = run(&src);
+        assert_eq!(db.facts("tc").len(), 50 * 51 / 2);
+    }
+
+    #[test]
+    fn negation_after_recursion() {
+        let db = run(r#"
+            node(1). node(2). node(3).
+            edge(1, 2).
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+            disconnected(X, Y) :- node(X), node(Y), X != Y, not reach(X, Y).
+        "#);
+        // pairs (x,y), x != y, not reachable: all except (1,2)
+        assert_eq!(db.facts("disconnected").len(), 5);
+    }
+
+    #[test]
+    fn arithmetic_assignment() {
+        let db = run("price(10). doubled(Y) :- price(X), Y = X * 2.");
+        assert_eq!(db.facts("doubled"), &[tuple![20]]);
+    }
+
+    #[test]
+    fn comparison_filters() {
+        let db = run("n(1). n(5). n(10). big(X) :- n(X), X >= 5.");
+        assert_eq!(db.facts("big").len(), 2);
+    }
+
+    #[test]
+    fn assignment_before_generator_is_reordered() {
+        let db = run("q(3). p(Y) :- Y = X + 1, q(X).");
+        assert_eq!(db.facts("p"), &[tuple![4]]);
+    }
+
+    #[test]
+    fn aggregates_group_correctly() {
+        let db = run(r#"
+            listing("aa1", 100). listing("aa1", 300). listing("bb2", 50).
+            stats(PC, count(P), sum(P), min(P), max(P), avg(P)) :- listing(PC, P).
+        "#);
+        let facts = db.facts("stats");
+        assert_eq!(facts.len(), 2);
+        let aa1 = facts.iter().find(|t| t[0] == Value::str("aa1")).unwrap();
+        assert_eq!(aa1.values()[1..].to_vec(), vec![
+            Value::Int(2),
+            Value::Int(400),
+            Value::Int(100),
+            Value::Int(300),
+            Value::Float(200.0),
+        ]);
+    }
+
+    #[test]
+    fn aggregate_feeding_rule_in_same_stratum() {
+        let db = run(r#"
+            item("a", 60). item("a", 50). item("b", 10).
+            total(G, sum(P)) :- item(G, P).
+            big(G) :- total(G, T), T > 100.
+        "#);
+        assert_eq!(db.facts("big"), &[tuple!["a"]]);
+    }
+
+    #[test]
+    fn existential_head_invents_one_value_per_frontier() {
+        let db = run(r#"
+            prop("p1"). prop("p2").
+            owner(X, Z) :- prop(X).
+        "#);
+        let facts = db.facts("owner");
+        assert_eq!(facts.len(), 2);
+        assert!(crate::skolem::is_skolem(&facts[0][1]));
+        assert_ne!(facts[0][1], facts[1][1]);
+        // deterministic: re-running produces identical skolems
+        let db2 = run(r#"
+            prop("p1"). prop("p2").
+            owner(X, Z) :- prop(X).
+        "#);
+        assert_eq!(db.facts("owner"), db2.facts("owner"));
+    }
+
+    #[test]
+    fn divergent_chase_guarded() {
+        // person(Z) feeds back into its own existential rule: not warded
+        let err = Engine::new(EngineConfig { max_skolem_depth: 4, ..Default::default() })
+            .run(
+                &parse_program(
+                    "person(\"ann\"). parent_of(X, Z) :- person(X). person(Z) :- parent_of(X, Z).",
+                )
+                .unwrap(),
+                Database::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("termination guard"), "{err}");
+    }
+
+    #[test]
+    fn query_evaluation() {
+        let db = run("m(\"a\", \"b\", 1). m(\"a\", \"c\", 2).");
+        let q = parse_query("m(S, T, N), N >= 2").unwrap();
+        let rows = Engine::default().eval_query(&q, &db).unwrap();
+        assert_eq!(rows, vec![tuple!["a", "c", 2]]);
+    }
+
+    #[test]
+    fn query_with_negation() {
+        let db = run("a(1). a(2). b(2).");
+        let q = parse_query("a(X), not b(X)").unwrap();
+        let rows = Engine::default().eval_query(&q, &db).unwrap();
+        assert_eq!(rows, vec![tuple![1]]);
+    }
+
+    #[test]
+    fn zero_ary_predicates() {
+        let db = run("go. done :- go.");
+        assert_eq!(db.facts("done").len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let db = run("e(1, 1). e(1, 2). self(X) :- e(X, X).");
+        assert_eq!(db.facts("self"), &[tuple![1]]);
+    }
+
+    #[test]
+    fn union_rules() {
+        let db = run(r#"
+            r1("a"). r2("b"). r2("a").
+            all(X) :- r1(X).
+            all(X) :- r2(X).
+        "#);
+        assert_eq!(db.facts("all").len(), 2);
+    }
+
+    #[test]
+    fn string_concat_in_rules() {
+        let db = run(r#"name("ann"). greeting(G) :- name(N), G = "hi " + N."#);
+        assert_eq!(db.facts("greeting"), &[tuple!["hi ann"]]);
+    }
+
+    #[test]
+    fn same_generation_nonlinear_recursion() {
+        let db = run(r#"
+            par("a", "x"). par("b", "x"). par("c", "y"). par("d", "y").
+            par("x", "r"). par("y", "r"). par("r", "top").
+            sg(X, X) :- par(X, _).
+            sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+        "#);
+        // a,b same generation; c,d same generation; a,c same generation (both
+        // grandchildren of r)
+        let has = |x: &str, y: &str| db.contains("sg", &tuple![x, y]);
+        assert!(has("a", "b"));
+        assert!(has("a", "c"));
+        assert!(has("x", "y"));
+        assert!(!has("a", "x"));
+    }
+}

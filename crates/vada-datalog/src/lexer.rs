@@ -1,0 +1,436 @@
+//! Tokeniser for the Vadalog-style surface syntax.
+
+use std::fmt;
+
+use vada_common::{Result, VadaError};
+
+/// A lexical token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier starting with a lower-case letter: predicate name or
+    /// symbolic constant.
+    Ident(String),
+    /// Identifier starting with an upper-case letter or `_`: a variable.
+    Variable(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal (escapes processed).
+    Str(String),
+    /// `:-`
+    Implies,
+    /// `?-`
+    Query,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `not`
+    Not,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%%` is not a token; `mod` keyword maps here.
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Variable(s) => write!(f, "variable `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Implies => write!(f, "`:-`"),
+            TokenKind::Query => write!(f, "`?-`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Not => write!(f, "`not`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`mod`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenise a source string. `%` starts a line comment.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            tokens.push(Token { kind: $kind, line: $l, col: $c })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '%' => {
+                // line comment
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        col = 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::LParen, tl, tc);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::RParen, tl, tc);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Comma, tl, tc);
+            }
+            '+' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Plus, tl, tc);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Star, tl, tc);
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Slash, tl, tc);
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Eq, tl, tc);
+            }
+            '!' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Ne, tl, tc);
+                } else {
+                    return Err(VadaError::Parse(format!("{tl}:{tc}: lone `!`")));
+                }
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Le, tl, tc);
+                } else {
+                    push!(TokenKind::Lt, tl, tc);
+                }
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Ge, tl, tc);
+                } else {
+                    push!(TokenKind::Gt, tl, tc);
+                }
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Implies, tl, tc);
+                } else {
+                    return Err(VadaError::Parse(format!("{tl}:{tc}: lone `:`")));
+                }
+            }
+            '?' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    col += 1;
+                    push!(TokenKind::Query, tl, tc);
+                } else {
+                    return Err(VadaError::Parse(format!("{tl}:{tc}: lone `?`")));
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    col += 1;
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('n') => {
+                                s.push('\n');
+                                col += 1;
+                            }
+                            Some('t') => {
+                                s.push('\t');
+                                col += 1;
+                            }
+                            Some('"') => {
+                                s.push('"');
+                                col += 1;
+                            }
+                            Some('\\') => {
+                                s.push('\\');
+                                col += 1;
+                            }
+                            other => {
+                                return Err(VadaError::Parse(format!(
+                                    "{line}:{col}: bad escape {other:?}"
+                                )))
+                            }
+                        },
+                        '\n' => {
+                            return Err(VadaError::Parse(format!(
+                                "{tl}:{tc}: unterminated string"
+                            )))
+                        }
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(VadaError::Parse(format!("{tl}:{tc}: unterminated string")));
+                }
+                push!(TokenKind::Str(s), tl, tc);
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // float? needs digit after the dot to disambiguate `1.` (end
+                // of fact) from `1.5`.
+                let mut is_float = false;
+                if chars.peek() == Some(&'.') {
+                    let mut clone = chars.clone();
+                    clone.next();
+                    if clone.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        is_float = true;
+                        s.push('.');
+                        chars.next();
+                        col += 1;
+                        while let Some(&c) = chars.peek() {
+                            if c.is_ascii_digit() {
+                                s.push(c);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if is_float {
+                    let f: f64 = s
+                        .parse()
+                        .map_err(|_| VadaError::Parse(format!("{tl}:{tc}: bad float `{s}`")))?;
+                    push!(TokenKind::Float(f), tl, tc);
+                } else {
+                    let i: i64 = s
+                        .parse()
+                        .map_err(|_| VadaError::Parse(format!("{tl}:{tc}: bad int `{s}`")))?;
+                    push!(TokenKind::Int(i), tl, tc);
+                }
+            }
+            '-' => {
+                // could be a negative number literal or minus operator; the
+                // parser disambiguates, we emit Minus.
+                chars.next();
+                col += 1;
+                push!(TokenKind::Minus, tl, tc);
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                push!(TokenKind::Dot, tl, tc);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if s == "not" {
+                    TokenKind::Not
+                } else if s == "mod" {
+                    TokenKind::Percent
+                } else if s.starts_with(|c: char| c.is_uppercase() || c == '_') {
+                    TokenKind::Variable(s)
+                } else {
+                    TokenKind::Ident(s)
+                };
+                push!(kind, tl, tc);
+            }
+            other => {
+                return Err(VadaError::Parse(format!(
+                    "{tl}:{tc}: unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_rule() {
+        let k = kinds("tc(X, Z) :- tc(X, Y), edge(Y, Z).");
+        assert_eq!(k[0], TokenKind::Ident("tc".into()));
+        assert_eq!(k[1], TokenKind::LParen);
+        assert_eq!(k[2], TokenKind::Variable("X".into()));
+        assert!(k.contains(&TokenKind::Implies));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_literals() {
+        let k = kinds(r#"p(1, 2.5, "hi\n", true)."#);
+        assert!(k.contains(&TokenKind::Int(1)));
+        assert!(k.contains(&TokenKind::Float(2.5)));
+        assert!(k.contains(&TokenKind::Str("hi\n".into())));
+        // `true` lexes as an identifier; the parser maps it to a bool const
+        assert!(k.contains(&TokenKind::Ident("true".into())));
+    }
+
+    #[test]
+    fn distinguishes_float_dot_from_period() {
+        let k = kinds("p(1).");
+        assert!(k.contains(&TokenKind::Int(1)));
+        assert!(k.contains(&TokenKind::Dot));
+        let k = kinds("p(1.5).");
+        assert!(k.contains(&TokenKind::Float(1.5)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("% hello\np(1). % trailing\n");
+        assert_eq!(k.len(), 6); // p ( 1 ) . eof
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("X <= Y, X != Z, X >= W, X < V, X > U");
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Ne));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::Lt));
+        assert!(k.contains(&TokenKind::Gt));
+    }
+
+    #[test]
+    fn underscore_is_variable() {
+        let k = kinds("p(_, _X)");
+        assert_eq!(k[2], TokenKind::Variable("_".into()));
+        assert_eq!(k[4], TokenKind::Variable("_X".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = lex("p(@)").unwrap_err();
+        assert!(err.to_string().contains("1:3"));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("p(\"abc).").is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Rendering helpers for fact databases (used by the demo harness and the
+//! orchestration trace).
+
+use crate::engine::Database;
+
+/// Render the facts of `pred` as one line per fact, sorted, e.g.
+/// `tc(1, 2)`.
+pub fn facts_to_lines(db: &Database, pred: &str) -> Vec<String> {
+    let mut lines: Vec<String> = db
+        .facts(pred)
+        .iter()
+        .map(|t| {
+            let args: Vec<String> = t
+                .iter()
+                .map(|v| match v {
+                    vada_common::Value::Str(s) => format!("{s:?}"),
+                    other => other.to_string(),
+                })
+                .collect();
+            format!("{pred}({})", args.join(", "))
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// Summarise a database as `pred: count` lines, sorted by predicate.
+pub fn summary(db: &Database) -> String {
+    let mut out = String::new();
+    for pred in db.predicates() {
+        out.push_str(&format!("{pred}: {}\n", db.facts(pred).len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::tuple;
+
+    #[test]
+    fn renders_sorted_facts() {
+        let mut db = Database::new();
+        db.insert("p", tuple![2, "b"]);
+        db.insert("p", tuple![1, "a"]);
+        let lines = facts_to_lines(&db, "p");
+        assert_eq!(lines, vec![r#"p(1, "a")"#, r#"p(2, "b")"#]);
+    }
+
+    #[test]
+    fn summary_lists_counts() {
+        let mut db = Database::new();
+        db.insert("b", tuple![1]);
+        db.insert("a", tuple![1]);
+        db.insert("a", tuple![2]);
+        assert_eq!(summary(&db), "a: 2\nb: 1\n");
+    }
+}

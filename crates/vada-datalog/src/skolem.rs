@@ -1,0 +1,120 @@
+//! Skolem terms for existential rule heads (the Datalog± part).
+//!
+//! A head variable that never occurs in the body is existential: the rule
+//! asserts that *some* value exists. We invent it as a deterministic skolem
+//! constant derived from the rule, the variable, and the frontier binding
+//! (the universally quantified head variables). Determinism makes the chase
+//! idempotent — re-deriving the same frontier binding re-creates the *same*
+//! constant, so the fixpoint terminates whenever the skolem chase does.
+//!
+//! Skolems created from bindings that already contain skolems get a higher
+//! *depth*; a configurable depth cap aborts divergent (non-warded) programs
+//! with a clear error instead of running forever. Vadalog guarantees
+//! termination syntactically through wardedness; the cap is our dynamic
+//! approximation of that guarantee.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use vada_common::{Result, VadaError, Value};
+
+/// Prefix identifying skolem constants in the value domain.
+pub const SKOLEM_PREFIX: &str = "_:sk";
+
+/// Whether a value is a skolem constant.
+pub fn is_skolem(v: &Value) -> bool {
+    matches!(v, Value::Str(s) if s.starts_with(SKOLEM_PREFIX))
+}
+
+/// The nesting depth of a value: 0 for ordinary values, `d` for a skolem
+/// created from a frontier of maximum depth `d - 1`.
+pub fn depth(v: &Value) -> usize {
+    match v {
+        Value::Str(s) if s.starts_with(SKOLEM_PREFIX) => {
+            // format: _:sk:<depth>:<tag>:<hash>
+            s.split(':')
+                .nth(2)
+                .and_then(|d| d.parse().ok())
+                .unwrap_or(1)
+        }
+        _ => 0,
+    }
+}
+
+/// Create the skolem constant for existential variable `var_name` of rule
+/// `rule_idx` under the given frontier binding.
+///
+/// Fails with [`VadaError::Eval`] when the new constant would exceed
+/// `max_depth` — the chase termination guard.
+pub fn make_skolem(
+    rule_idx: usize,
+    var_name: &str,
+    frontier: &[Value],
+    max_depth: usize,
+) -> Result<Value> {
+    let d = frontier.iter().map(depth).max().unwrap_or(0) + 1;
+    if d > max_depth {
+        return Err(VadaError::Eval(format!(
+            "chase termination guard: skolem depth {d} exceeds the maximum {max_depth} \
+             (rule {rule_idx}, existential variable {var_name}); the program is likely \
+             not warded — existential values feed back into their own generating rule"
+        )));
+    }
+    let mut h = DefaultHasher::new();
+    for v in frontier {
+        v.hash(&mut h);
+    }
+    let hash = h.finish();
+    Ok(Value::str(format!(
+        "{SKOLEM_PREFIX}:{d}:r{rule_idx}_{var_name}:{hash:016x}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skolems_are_deterministic() {
+        let f = [Value::Int(1), Value::str("a")];
+        let a = make_skolem(3, "Z", &f, 8).unwrap();
+        let b = make_skolem(3, "Z", &f, 8).unwrap();
+        assert_eq!(a, b);
+        assert!(is_skolem(&a));
+    }
+
+    #[test]
+    fn different_frontiers_differ() {
+        let a = make_skolem(3, "Z", &[Value::Int(1)], 8).unwrap();
+        let b = make_skolem(3, "Z", &[Value::Int(2)], 8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_rules_or_vars_differ() {
+        let f = [Value::Int(1)];
+        let a = make_skolem(1, "Z", &f, 8).unwrap();
+        let b = make_skolem(2, "Z", &f, 8).unwrap();
+        let c = make_skolem(1, "W", &f, 8).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn depth_increments_through_nesting() {
+        let s1 = make_skolem(0, "Z", &[Value::Int(7)], 8).unwrap();
+        assert_eq!(depth(&s1), 1);
+        let s2 = make_skolem(0, "Z", std::slice::from_ref(&s1), 8).unwrap();
+        assert_eq!(depth(&s2), 2);
+        assert_eq!(depth(&Value::Int(3)), 0);
+    }
+
+    #[test]
+    fn guard_trips_at_cap() {
+        let mut v = Value::Int(0);
+        for _ in 0..3 {
+            v = make_skolem(0, "Z", &[v.clone()], 3).unwrap();
+        }
+        assert!(make_skolem(0, "Z", &[v], 3).is_err());
+    }
+}

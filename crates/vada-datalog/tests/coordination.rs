@@ -1,0 +1,85 @@
+//! The third role Vadalog plays in the paper (§2): *coordinating the
+//! orchestration*. This test expresses the network-transducer readiness
+//! logic itself as a Datalog program over dependency facts and checks it
+//! derives the same eligible set the Rust orchestrator computes.
+
+use vada_common::tuple;
+use vada_datalog::{parse_program, Database, Engine};
+
+/// Orchestration state as facts, readiness as rules.
+const COORDINATION: &str = r#"
+    % a transducer is blocked if some input it needs is missing
+    blocked(T) :- needs(T, I), not available(I).
+    % eligible = declared, not blocked, and not already up to date
+    eligible(T) :- transducer(T), not blocked(T), not up_to_date(T).
+    % activity priority: pick matching before mapping before quality
+    priority(T, P) :- transducer(T), activity(T, A), activity_rank(A, P).
+    best_rank(min(P)) :- eligible(T), priority(T, P).
+    chosen(T) :- eligible(T), priority(T, P), best_rank(P).
+"#;
+
+fn base_db() -> Database {
+    let mut db = Database::new();
+    for (t, a) in [
+        ("schema_matching", "matching"),
+        ("instance_matching", "matching"),
+        ("mapping_generation", "mapping"),
+        ("mapping_quality", "quality"),
+    ] {
+        db.insert("transducer", tuple![t]);
+        db.insert("activity", tuple![t, a]);
+    }
+    for (a, r) in [("matching", 1), ("mapping", 2), ("quality", 3)] {
+        db.insert("activity_rank", tuple![a, r]);
+    }
+    db.insert("needs", tuple!["schema_matching", "source_schema"]);
+    db.insert("needs", tuple!["schema_matching", "target_schema"]);
+    db.insert("needs", tuple!["instance_matching", "context_instances"]);
+    db.insert("needs", tuple!["mapping_generation", "matches"]);
+    db.insert("needs", tuple!["mapping_quality", "mappings"]);
+    db
+}
+
+fn eligible(db: &Database) -> Vec<String> {
+    db.facts("eligible")
+        .iter()
+        .map(|t| t[0].to_string())
+        .collect()
+}
+
+#[test]
+fn readiness_derived_from_dependency_facts() {
+    let program = parse_program(COORDINATION).unwrap();
+    let mut db = base_db();
+    db.insert("available", tuple!["source_schema"]);
+    db.insert("available", tuple!["target_schema"]);
+    let out = Engine::default().run(&program, db).unwrap();
+    // only schema matching has everything it needs
+    assert_eq!(eligible(&out), vec!["schema_matching"]);
+    assert_eq!(out.facts("chosen").len(), 1);
+}
+
+#[test]
+fn new_facts_unlock_more_transducers() {
+    let program = parse_program(COORDINATION).unwrap();
+    let mut db = base_db();
+    for i in ["source_schema", "target_schema", "context_instances", "matches"] {
+        db.insert("available", tuple![i]);
+    }
+    db.insert("up_to_date", tuple!["schema_matching"]);
+    let out = Engine::default().run(&program, db).unwrap();
+    let mut e = eligible(&out);
+    e.sort();
+    assert_eq!(e, vec!["instance_matching", "mapping_generation"]);
+    // the priority scheme picks the matcher first (lower activity rank)
+    assert_eq!(out.facts("chosen").len(), 1);
+    assert_eq!(out.facts("chosen")[0], tuple!["instance_matching"]);
+}
+
+#[test]
+fn nothing_eligible_reports_empty() {
+    let program = parse_program(COORDINATION).unwrap();
+    let out = Engine::default().run(&program, base_db()).unwrap();
+    assert!(eligible(&out).is_empty());
+    assert!(out.facts("chosen").is_empty());
+}

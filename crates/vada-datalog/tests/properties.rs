@@ -1,0 +1,137 @@
+//! Property-based tests for the Datalog engine: the fixpoint must agree
+//! with an independently computed reference closure, positive programs must
+//! be monotone in their input, and evaluation must be deterministic.
+
+use proptest::prelude::*;
+
+use vada_common::{tuple, Tuple};
+use vada_datalog::{parse_program, Database, Engine};
+
+fn edges_db(edges: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    for &(a, b) in edges {
+        db.insert("edge", tuple![a as i64, b as i64]);
+    }
+    db
+}
+
+const TC_PROGRAM: &str = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).";
+
+/// Reference transitive closure via iterated composition over pair sets.
+fn reference_tc(edges: &[(u8, u8)]) -> std::collections::BTreeSet<(u8, u8)> {
+    let mut tc: std::collections::BTreeSet<(u8, u8)> = edges.iter().copied().collect();
+    loop {
+        let mut added = Vec::new();
+        for &(a, b) in &tc {
+            for &(c, d) in edges {
+                if b == c && !tc.contains(&(a, d)) {
+                    added.push((a, d));
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        tc.extend(added);
+    }
+    tc
+}
+
+proptest! {
+    #[test]
+    fn seminaive_matches_reference_closure(
+        edges in proptest::collection::vec((0u8..12, 0u8..12), 0..40)
+    ) {
+        let program = parse_program(TC_PROGRAM).unwrap();
+        let db = Engine::default().run(&program, edges_db(&edges)).unwrap();
+        let got: std::collections::BTreeSet<(u8, u8)> = db
+            .facts("tc")
+            .iter()
+            .map(|t| (t[0].as_int().unwrap() as u8, t[1].as_int().unwrap() as u8))
+            .collect();
+        prop_assert_eq!(got, reference_tc(&edges));
+    }
+
+    #[test]
+    fn positive_programs_are_monotone(
+        edges in proptest::collection::vec((0u8..10, 0u8..10), 0..30),
+        extra in proptest::collection::vec((0u8..10, 0u8..10), 0..10)
+    ) {
+        let program = parse_program(TC_PROGRAM).unwrap();
+        let small = Engine::default().run(&program, edges_db(&edges)).unwrap();
+        let mut all = edges.clone();
+        all.extend(&extra);
+        let large = Engine::default().run(&program, edges_db(&all)).unwrap();
+        for t in small.facts("tc") {
+            prop_assert!(large.contains("tc", t), "lost fact {t} after adding inputs");
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(
+        edges in proptest::collection::vec((0u8..10, 0u8..10), 0..30)
+    ) {
+        let src = format!(
+            "{TC_PROGRAM}\n\
+             deg(X, count(Y)) :- edge(X, Y).\n\
+             invented(X, Z) :- deg(X, N), N >= 2."
+        );
+        let program = parse_program(&src).unwrap();
+        let a = Engine::default().run(&program, edges_db(&edges)).unwrap();
+        let b = Engine::default().run(&program, edges_db(&edges)).unwrap();
+        for pred in a.predicates() {
+            let fa: Vec<&Tuple> = a.facts(pred).iter().collect();
+            let fb: Vec<&Tuple> = b.facts(pred).iter().collect();
+            prop_assert_eq!(fa, fb, "nondeterministic facts for {}", pred);
+        }
+    }
+
+    #[test]
+    fn negation_complements_positive(
+        edges in proptest::collection::vec((0u8..8, 0u8..8), 0..20)
+    ) {
+        // every (x, y) node pair is in exactly one of reach / noreach
+        let src = "
+            node(X) :- edge(X, _).
+            node(Y) :- edge(_, Y).
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).
+            noreach(X, Y) :- node(X), node(Y), not reach(X, Y).
+        ";
+        let program = parse_program(src).unwrap();
+        let db = Engine::default().run(&program, edges_db(&edges)).unwrap();
+        let nodes: Vec<i64> = db.facts("node").iter().map(|t| t[0].as_int().unwrap()).collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                let pair = tuple![x, y];
+                let in_reach = db.contains("reach", &pair);
+                let in_noreach = db.contains("noreach", &pair);
+                prop_assert!(in_reach ^ in_noreach,
+                    "pair ({x},{y}) reach={in_reach} noreach={in_noreach}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_match_manual_grouping(
+        pairs in proptest::collection::vec((0u8..6, 0i64..100), 1..40)
+    ) {
+        let mut db = Database::new();
+        for &(g, v) in &pairs {
+            db.insert("item", tuple![g as i64, v]);
+        }
+        let program = parse_program("cnt(G, count(V)) :- item(G, V).").unwrap();
+        let out = Engine::default().run(&program, db.clone()).unwrap();
+        // manual set-semantics grouping
+        let mut groups: std::collections::BTreeMap<i64, std::collections::BTreeSet<i64>> =
+            Default::default();
+        for t in db.facts("item") {
+            groups.entry(t[0].as_int().unwrap()).or_default().insert(t[1].as_int().unwrap());
+        }
+        prop_assert_eq!(out.facts("cnt").len(), groups.len());
+        for t in out.facts("cnt") {
+            let g = t[0].as_int().unwrap();
+            prop_assert_eq!(t[1].as_int().unwrap() as usize, groups[&g].len());
+        }
+    }
+}

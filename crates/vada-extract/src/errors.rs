@@ -1,0 +1,155 @@
+//! Defect models for the extraction simulator.
+//!
+//! Web-extraction output is dirty in characteristic ways; each knob below
+//! injects one defect class the VADA components must cope with:
+//!
+//! * `missing_rate` — extraction simply failed for a field (completeness).
+//! * `typo_rate` — character-level noise in strings (matching, repair).
+//! * `bedroom_area_rate` — the paper's §2.3 example: "automatic web data
+//!   extraction may be using the area of the master bedroom as the number
+//!   of bedrooms" (feedback).
+//! * `price_format_rate` — `£250,000` instead of `250000` (type coercion).
+//! * `wrong_type_rate` — property type mislabelled (accuracy).
+
+use rand::Rng;
+
+/// Per-source defect probabilities. All in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Probability a field is extracted as empty.
+    pub missing_rate: f64,
+    /// Probability a string field gets a typo.
+    pub typo_rate: f64,
+    /// Probability the bedroom count is replaced by a room area in m².
+    pub bedroom_area_rate: f64,
+    /// Probability the price is rendered as `£1,234,567`.
+    pub price_format_rate: f64,
+    /// Probability the property type is mislabelled.
+    pub wrong_type_rate: f64,
+}
+
+impl ErrorModel {
+    /// A clean source (no defects) — useful as a baseline.
+    pub const CLEAN: ErrorModel = ErrorModel {
+        missing_rate: 0.0,
+        typo_rate: 0.0,
+        bedroom_area_rate: 0.0,
+        price_format_rate: 0.0,
+        wrong_type_rate: 0.0,
+    };
+
+    /// Defaults roughly matching messy real-world extraction.
+    pub fn realistic() -> ErrorModel {
+        ErrorModel {
+            missing_rate: 0.08,
+            typo_rate: 0.05,
+            bedroom_area_rate: 0.10,
+            price_format_rate: 0.15,
+            wrong_type_rate: 0.05,
+        }
+    }
+
+    /// Scale every rate by `factor` (clamped to `[0, 1]`).
+    pub fn scaled(&self, factor: f64) -> ErrorModel {
+        let c = |r: f64| (r * factor).clamp(0.0, 1.0);
+        ErrorModel {
+            missing_rate: c(self.missing_rate),
+            typo_rate: c(self.typo_rate),
+            bedroom_area_rate: c(self.bedroom_area_rate),
+            price_format_rate: c(self.price_format_rate),
+            wrong_type_rate: c(self.wrong_type_rate),
+        }
+    }
+}
+
+/// Inject a single random typo (substitution, deletion or transposition).
+pub fn typo(rng: &mut impl Rng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_string();
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => {
+            // substitution with a nearby letter
+            out[pos] = (b'a' + rng.gen_range(0..26u8)) as char;
+        }
+        1 => {
+            out.remove(pos);
+        }
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else {
+                out[pos] = (b'a' + rng.gen_range(0..26u8)) as char;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Render a price with currency symbol and thousands separators.
+pub fn format_price_pretty(price: i64) -> String {
+    let digits = price.abs().to_string();
+    let mut grouped = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        let rem = digits.len() - i;
+        grouped.push(c);
+        if rem > 1 && (rem - 1).is_multiple_of(3) {
+            grouped.push(',');
+        }
+    }
+    format!("£{grouped}")
+}
+
+/// Parse a price that may carry currency formatting back to an integer.
+/// (The wrangling pipeline's format-transformation step uses this.)
+pub fn parse_price(raw: &str) -> Option<i64> {
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .filter(|c| c.is_ascii_digit() || *c == '-')
+        .collect();
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_changes_string() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if typo(&mut rng, "high street") != "high street" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40); // transpositions of equal chars may no-op
+        assert_eq!(typo(&mut rng, ""), "");
+    }
+
+    #[test]
+    fn price_formatting_round_trip() {
+        assert_eq!(format_price_pretty(250_000), "£250,000");
+        assert_eq!(format_price_pretty(1_234_567), "£1,234,567");
+        assert_eq!(format_price_pretty(999), "£999");
+        assert_eq!(parse_price("£250,000"), Some(250_000));
+        assert_eq!(parse_price(" 42 "), Some(42));
+        assert_eq!(parse_price("n/a"), None);
+    }
+
+    #[test]
+    fn scaling_clamps() {
+        let m = ErrorModel::realistic().scaled(100.0);
+        assert!(m.missing_rate <= 1.0);
+        let z = ErrorModel::realistic().scaled(0.0);
+        assert_eq!(z, ErrorModel::CLEAN);
+    }
+}

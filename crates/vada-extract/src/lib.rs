@@ -1,0 +1,35 @@
+//! # vada-extract
+//!
+//! The extraction substrate of the reproduction. The paper's demonstration
+//! consumes (i) property listings extracted from deep-web estate-agent
+//! sites by DIADEM and (ii) UK open-government data. Neither is available
+//! offline, so this crate builds the closest synthetic equivalent
+//! (DESIGN.md §2):
+//!
+//! * a **ground-truth universe** of properties with UK-shaped addresses and
+//!   postcodes ([`universe`], [`postcodes`]);
+//! * an **extraction simulator** that derives source relations
+//!   (`rightmove`, `onthemarket`) from the universe through configurable
+//!   defect models — missing values, typos, the paper's "area of the master
+//!   bedroom reported as the number of bedrooms" error, price format drift,
+//!   and per-source attribute naming ([`sources`], [`errors`]);
+//! * **open-government data**: a deprivation table (postcode → crime rank)
+//!   with configurable coverage, and a complete address list usable as
+//!   reference data ([`sources`]);
+//! * a **feedback oracle** that plays the data scientist: it aligns result
+//!   tuples back to the ground truth and produces correct/incorrect
+//!   annotations under a budget, which lets the experiments sweep feedback
+//!   volume ([`oracle`]).
+//!
+//! All generation is deterministic in the seed.
+
+pub mod errors;
+pub mod oracle;
+pub mod postcodes;
+pub mod sources;
+pub mod universe;
+
+pub use errors::ErrorModel;
+pub use oracle::{score_result, Oracle, ResultQuality};
+pub use sources::{Scenario, ScenarioConfig};
+pub use universe::{GroundProperty, Universe, UniverseConfig};

@@ -1,0 +1,380 @@
+//! Ground-truth alignment, result scoring, and the feedback oracle that
+//! simulates the data scientist of the demonstration (paper §3 step 3).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use vada_common::text::normalize;
+use vada_common::{Relation, Value};
+use vada_kb::{FeedbackRecord, FeedbackTarget, Verdict};
+
+use crate::universe::{GroundProperty, Universe};
+
+/// Cell-level quality of a result relation against the ground truth.
+#[derive(Debug, Clone)]
+pub struct ResultQuality {
+    /// Result rows.
+    pub rows: usize,
+    /// Rows that could be aligned to a ground-truth property.
+    pub aligned: usize,
+    /// Distinct ground-truth properties covered.
+    pub properties_covered: usize,
+    /// Per-attribute accuracy over aligned rows (correct / non-null).
+    pub attr_accuracy: BTreeMap<String, f64>,
+    /// Per-attribute completeness (non-null / rows).
+    pub attr_completeness: BTreeMap<String, f64>,
+    /// Cell precision: correct cells / non-null cells, over all rows.
+    pub precision: f64,
+    /// Cell recall: correct cells of the best row per property /
+    /// (universe size × attribute count).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// The expected value of a target attribute for a ground-truth property
+/// (`None` when the ground truth itself has no value — never the case in
+/// our universe).
+fn expected(u: &Universe, p: &GroundProperty, attr: &str) -> Option<Value> {
+    match attr {
+        "type" => Some(Value::str(&p.ptype)),
+        "description" => Some(Value::str(&p.description)),
+        "street" => Some(Value::str(&p.street)),
+        "postcode" => Some(Value::str(&p.postcode)),
+        "bedrooms" => Some(Value::Int(p.bedrooms)),
+        "price" => Some(Value::Int(p.price)),
+        "crimerank" => u.crime_rank(&p.postcode).map(Value::Int),
+        _ => None,
+    }
+}
+
+/// Whether a result cell matches the expected value (strings compare on
+/// their normal form; numbers numerically, including numeric strings).
+fn cell_correct(got: &Value, want: &Value) -> bool {
+    if got == want {
+        return true;
+    }
+    match (got, want) {
+        (Value::Str(a), Value::Str(b)) => normalize(a) == normalize(b),
+        (Value::Str(a), Value::Int(b)) => a.trim().parse::<i64>() == Ok(*b),
+        (Value::Int(a), Value::Str(b)) => b.trim().parse::<i64>() == Ok(*a),
+        _ => false,
+    }
+}
+
+/// Align one result row to the universe via its street/postcode cells.
+fn align_row<'u>(u: &'u Universe, rel: &Relation, row: usize) -> Option<&'u GroundProperty> {
+    let schema = rel.schema();
+    let street = schema
+        .index_of("street")
+        .and_then(|i| rel.tuples()[row][i].as_str().map(|s| s.to_string()))
+        .unwrap_or_default();
+    let postcode = schema
+        .index_of("postcode")
+        .and_then(|i| rel.tuples()[row][i].as_str().map(|s| s.to_string()))?;
+    u.align(&street, &postcode)
+}
+
+/// Score a result relation cell-by-cell against the ground truth.
+pub fn score_result(u: &Universe, result: &Relation) -> ResultQuality {
+    let attrs: Vec<String> = result
+        .schema()
+        .attr_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut correct_cells = 0usize;
+    let mut non_null_cells = 0usize;
+    let mut attr_correct: BTreeMap<String, usize> = BTreeMap::new();
+    let mut attr_non_null: BTreeMap<String, usize> = BTreeMap::new();
+    let mut aligned_rows = 0usize;
+    // best (max correct cells) row per property
+    let mut best_per_property: BTreeMap<usize, usize> = BTreeMap::new();
+
+    for (row, t) in result.iter().enumerate() {
+        let ground = align_row(u, result, row);
+        if let Some(p) = ground {
+            aligned_rows += 1;
+            let mut row_correct = 0usize;
+            for (i, attr) in attrs.iter().enumerate() {
+                let got = &t[i];
+                if !got.is_null() {
+                    non_null_cells += 1;
+                    *attr_non_null.entry(attr.clone()).or_default() += 1;
+                    if let Some(want) = expected(u, p, attr) {
+                        if cell_correct(got, &want) {
+                            correct_cells += 1;
+                            row_correct += 1;
+                            *attr_correct.entry(attr.clone()).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            let entry = best_per_property.entry(p.id).or_insert(0);
+            *entry = (*entry).max(row_correct);
+        } else {
+            // unalignable rows: their non-null cells count against precision
+            for (i, _) in attrs.iter().enumerate() {
+                if !t[i].is_null() {
+                    non_null_cells += 1;
+                }
+            }
+        }
+    }
+
+    let precision = if non_null_cells == 0 {
+        0.0
+    } else {
+        correct_cells as f64 / non_null_cells as f64
+    };
+    let ideal_cells = u.properties.len() * attrs.len();
+    let recall_cells: usize = best_per_property.values().sum();
+    let recall = if ideal_cells == 0 {
+        0.0
+    } else {
+        recall_cells as f64 / ideal_cells as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+
+    let mut attr_accuracy = BTreeMap::new();
+    let mut attr_completeness = BTreeMap::new();
+    for attr in &attrs {
+        let nn = attr_non_null.get(attr).copied().unwrap_or(0);
+        let c = attr_correct.get(attr).copied().unwrap_or(0);
+        attr_accuracy.insert(
+            attr.clone(),
+            if nn == 0 { 0.0 } else { c as f64 / nn as f64 },
+        );
+        attr_completeness.insert(
+            attr.clone(),
+            if result.is_empty() { 0.0 } else { nn as f64 / result.len() as f64 },
+        );
+    }
+
+    ResultQuality {
+        rows: result.len(),
+        aligned: aligned_rows,
+        properties_covered: best_per_property.len(),
+        attr_accuracy,
+        attr_completeness,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// The feedback oracle: annotates result cells under a budget, playing the
+/// data scientist who flags values as correct or incorrect through the UI.
+#[derive(Debug)]
+pub struct Oracle<'u> {
+    universe: &'u Universe,
+    next_id: usize,
+}
+
+impl<'u> Oracle<'u> {
+    /// An oracle over the given universe.
+    pub fn new(universe: &'u Universe) -> Oracle<'u> {
+        Oracle { universe, next_id: 0 }
+    }
+
+    /// Annotate up to `budget` cells of `result`, chosen uniformly at
+    /// random (seeded). Aligned rows get attribute-level verdicts; rows
+    /// that cannot be aligned to any ground property get one tuple-level
+    /// `Incorrect`.
+    pub fn annotate(&mut self, result: &Relation, budget: usize, seed: u64) -> Vec<FeedbackRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attrs: Vec<String> = result
+            .schema()
+            .attr_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // candidate annotations: (row, Some(attr)) or (row, None) for tuple level
+        let mut candidates: Vec<(usize, Option<usize>)> = Vec::new();
+        for row in 0..result.len() {
+            if align_row(self.universe, result, row).is_some() {
+                for (i, _) in attrs.iter().enumerate() {
+                    // a user can only judge a *value*; empty cells are a
+                    // completeness problem, not annotatable as incorrect
+                    if !result.tuples()[row][i].is_null() {
+                        candidates.push((row, Some(i)));
+                    }
+                }
+            } else {
+                candidates.push((row, None));
+            }
+        }
+        candidates.shuffle(&mut rng);
+        candidates.truncate(budget);
+
+        let mut out = Vec::with_capacity(candidates.len());
+        for (row, attr_idx) in candidates {
+            let id = format!("f{}", self.next_id);
+            self.next_id += 1;
+            match attr_idx {
+                None => out.push(FeedbackRecord {
+                    id,
+                    target: FeedbackTarget::Tuple {
+                        relation: result.name().to_string(),
+                        row,
+                    },
+                    verdict: Verdict::Incorrect,
+                }),
+                Some(i) => {
+                    let p = align_row(self.universe, result, row)
+                        .expect("candidate rows are aligned");
+                    let got = &result.tuples()[row][i];
+                    let want = expected(self.universe, p, &attrs[i]);
+                    let verdict = match (&want, got) {
+                        (Some(w), g) if !g.is_null() && cell_correct(g, w) => Verdict::Correct,
+                        _ => Verdict::Incorrect,
+                    };
+                    out.push(FeedbackRecord {
+                        id,
+                        target: FeedbackTarget::Attribute {
+                            relation: result.name().to_string(),
+                            row,
+                            attr: attrs[i].clone(),
+                        },
+                        verdict,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{target_schema, Scenario, ScenarioConfig};
+    use crate::universe::UniverseConfig;
+    use vada_common::Tuple;
+
+    /// Build a perfect result straight from the ground truth.
+    fn perfect_result(u: &Universe) -> Relation {
+        let mut rel = Relation::empty(target_schema());
+        for p in &u.properties {
+            rel.push(Tuple::new(vec![
+                Value::str(&p.ptype),
+                Value::str(&p.description),
+                Value::str(&p.street),
+                Value::str(&p.postcode),
+                Value::Int(p.bedrooms),
+                Value::Int(p.price),
+                u.crime_rank(&p.postcode).map(Value::Int).unwrap_or(Value::Null),
+            ]))
+            .unwrap();
+        }
+        rel
+    }
+
+    fn small_universe() -> Universe {
+        Universe::generate(UniverseConfig { properties: 60, seed: 5 })
+    }
+
+    #[test]
+    fn perfect_result_scores_one() {
+        let u = small_universe();
+        let q = score_result(&u, &perfect_result(&u));
+        assert_eq!(q.aligned, q.rows);
+        assert!(q.precision > 0.999, "precision {}", q.precision);
+        assert!(q.recall > 0.999, "recall {}", q.recall);
+        assert!(q.f1 > 0.999);
+    }
+
+    #[test]
+    fn corrupted_cells_lower_precision() {
+        let u = small_universe();
+        let mut rel = perfect_result(&u);
+        // wreck the bedrooms column of every row
+        let idx = rel.schema().index_of("bedrooms").unwrap();
+        for row in 0..rel.len() {
+            let t = rel.tuples()[row].with_value(idx, Value::Int(99));
+            rel.replace(row, t).unwrap();
+        }
+        let q = score_result(&u, &rel);
+        assert!(q.precision < 0.9);
+        assert!(q.attr_accuracy["bedrooms"] < 0.01);
+        assert!(q.attr_accuracy["price"] > 0.99);
+    }
+
+    #[test]
+    fn missing_rows_lower_recall() {
+        let u = small_universe();
+        let mut rel = perfect_result(&u);
+        rel.retain({
+            let mut i = 0;
+            move |_| {
+                i += 1;
+                i % 2 == 0
+            }
+        });
+        let q = score_result(&u, &rel);
+        assert!(q.recall < 0.6);
+        assert!(q.precision > 0.99);
+    }
+
+    #[test]
+    fn oracle_verdicts_match_ground_truth() {
+        let u = small_universe();
+        let mut rel = perfect_result(&u);
+        let idx = rel.schema().index_of("price").unwrap();
+        let bad = rel.tuples()[0].with_value(idx, Value::Int(1));
+        rel.replace(0, bad).unwrap();
+        let mut oracle = Oracle::new(&u);
+        let fb = oracle.annotate(&rel, 10_000, 1);
+        // every cell annotated; find the bad one
+        let bad_price = fb.iter().find(|f| {
+            matches!(&f.target, FeedbackTarget::Attribute { row: 0, attr, .. } if attr == "price")
+        });
+        assert_eq!(bad_price.unwrap().verdict, Verdict::Incorrect);
+        let good = fb.iter().find(|f| {
+            matches!(&f.target, FeedbackTarget::Attribute { row: 1, attr, .. } if attr == "price")
+        });
+        assert_eq!(good.unwrap().verdict, Verdict::Correct);
+    }
+
+    #[test]
+    fn oracle_respects_budget_and_is_seeded() {
+        let u = small_universe();
+        let rel = perfect_result(&u);
+        let a = Oracle::new(&u).annotate(&rel, 5, 3);
+        let b = Oracle::new(&u).annotate(&rel, 5, 3);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b);
+        let c = Oracle::new(&u).annotate(&rel, 5, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scenario_sources_score_below_perfect() {
+        // sanity: a raw (dirty) source projected into the target shape
+        // scores clearly below the clean ground truth
+        let s = Scenario::generate(ScenarioConfig::default());
+        let mut rel = Relation::empty(target_schema());
+        for t in s.rightmove.iter() {
+            rel.push(Tuple::new(vec![
+                t[4].clone(),
+                t[5].clone(),
+                t[1].clone(),
+                t[2].clone(),
+                t[3].clone(),
+                t[0].clone(),
+                Value::Null,
+            ]))
+            .unwrap();
+        }
+        let q = score_result(&s.universe, &rel);
+        assert!(q.precision < 0.98);
+        assert!(q.recall < 0.8); // crimerank missing + sampling
+    }
+}

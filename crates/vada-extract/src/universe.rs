@@ -1,0 +1,207 @@
+//! The ground-truth universe: properties, addresses, and crime statistics
+//! that the synthetic sources are derived from and that the oracle and
+//! experiment scoring align against.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vada_common::text::normalize;
+
+use crate::postcodes::{self, City, CITIES};
+
+/// Property types used in the scenario.
+pub const PROPERTY_TYPES: &[&str] = &["detached", "semi-detached", "terraced", "flat"];
+
+const STREET_STEMS: &[&str] = &[
+    "high", "church", "station", "park", "victoria", "mill", "london", "green", "spring",
+    "queens", "kings", "albert", "grove", "north", "south", "west", "east", "oak", "elm",
+    "cedar",
+];
+const STREET_SUFFIXES: &[&str] = &["street", "road", "lane", "avenue", "close", "drive"];
+
+/// One ground-truth property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundProperty {
+    /// Stable id (index into the universe).
+    pub id: usize,
+    /// Street address, e.g. `12 high street`.
+    pub street: String,
+    /// City name.
+    pub city: String,
+    /// Full postcode.
+    pub postcode: String,
+    /// True number of bedrooms.
+    pub bedrooms: i64,
+    /// True asking price in GBP.
+    pub price: i64,
+    /// Property type (one of [`PROPERTY_TYPES`]).
+    pub ptype: String,
+    /// Listing description.
+    pub description: String,
+}
+
+/// Universe generation parameters.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Number of ground-truth properties.
+    pub properties: usize,
+    /// RNG seed — everything is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig { properties: 200, seed: 42 }
+    }
+}
+
+/// The ground-truth world.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// All properties.
+    pub properties: Vec<GroundProperty>,
+    /// Crime rank per postcode district (lower = more deprived), as in the
+    /// English indices of deprivation.
+    pub crime_by_district: BTreeMap<String, i64>,
+    /// Config it was generated from.
+    pub config: UniverseConfig,
+    /// Alignment index: `(normalised street, postcode)` → property id.
+    index: BTreeMap<(String, String), usize>,
+}
+
+impl Universe {
+    /// Generate a universe.
+    pub fn generate(config: UniverseConfig) -> Universe {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut properties = Vec::with_capacity(config.properties);
+        let mut index = BTreeMap::new();
+        let mut crime_by_district = BTreeMap::new();
+
+        let mut i = 0usize;
+        while properties.len() < config.properties {
+            let city: &City = &CITIES[rng.gen_range(0..CITIES.len())];
+            let postcode = postcodes::generate(&mut rng, city);
+            let number = rng.gen_range(1..200);
+            let street = format!(
+                "{} {} {}",
+                number,
+                STREET_STEMS[rng.gen_range(0..STREET_STEMS.len())],
+                STREET_SUFFIXES[rng.gen_range(0..STREET_SUFFIXES.len())],
+            );
+            let key = (normalize(&street), postcode.clone());
+            if index.contains_key(&key) {
+                continue; // addresses must be unique for alignment
+            }
+            let bedrooms = rng.gen_range(1..=6i64);
+            let ptype = PROPERTY_TYPES[rng.gen_range(0..PROPERTY_TYPES.len())].to_string();
+            let type_factor = match ptype.as_str() {
+                "detached" => 1.5,
+                "semi-detached" => 1.15,
+                "terraced" => 0.95,
+                _ => 0.8,
+            };
+            let base = 90_000.0 + 55_000.0 * bedrooms as f64;
+            let noise = rng.gen_range(0.85..1.15);
+            let price = (base * city.price_level * type_factor * noise / 500.0).round() as i64 * 500;
+            let description = format!(
+                "a {bedrooms} bedroom {ptype} property on {street}, {city_name}",
+                city_name = city.name
+            );
+            crime_by_district
+                .entry(postcodes::district(&postcode).to_string())
+                .or_insert_with(|| rng.gen_range(1..=10_000i64));
+            index.insert(key, i);
+            properties.push(GroundProperty {
+                id: i,
+                street,
+                city: city.name.to_string(),
+                postcode,
+                bedrooms,
+                price,
+                ptype,
+                description,
+            });
+            i += 1;
+        }
+        Universe { properties, crime_by_district, config, index }
+    }
+
+    /// Align an address to a ground-truth property. Lookup is by
+    /// `(normalised street, postcode)`; if the street does not match
+    /// exactly (e.g. it was corrupted by the extraction simulator), falls
+    /// back to the unique property in the same postcode, if any.
+    pub fn align(&self, street: &str, postcode: &str) -> Option<&GroundProperty> {
+        if let Some(&id) = self.index.get(&(normalize(street), postcode.to_string())) {
+            return Some(&self.properties[id]);
+        }
+        let mut in_postcode = self.properties.iter().filter(|p| p.postcode == postcode);
+        match (in_postcode.next(), in_postcode.next()) {
+            (Some(p), None) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The crime rank of a full postcode (via its district).
+    pub fn crime_rank(&self, postcode: &str) -> Option<i64> {
+        self.crime_by_district
+            .get(postcodes::district(postcode))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Universe::generate(UniverseConfig::default());
+        let b = Universe::generate(UniverseConfig::default());
+        assert_eq!(a.properties, b.properties);
+        assert_eq!(a.crime_by_district, b.crime_by_district);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Universe::generate(UniverseConfig { seed: 1, ..Default::default() });
+        let b = Universe::generate(UniverseConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.properties, b.properties);
+    }
+
+    #[test]
+    fn properties_have_valid_postcodes_and_prices() {
+        let u = Universe::generate(UniverseConfig::default());
+        assert_eq!(u.properties.len(), 200);
+        for p in &u.properties {
+            assert!(crate::postcodes::is_valid(&p.postcode), "{}", p.postcode);
+            assert!(p.price > 50_000 && p.price < 2_000_000, "price {}", p.price);
+            assert!((1..=6).contains(&p.bedrooms));
+            assert!(PROPERTY_TYPES.contains(&p.ptype.as_str()));
+            assert!(u.crime_rank(&p.postcode).is_some());
+        }
+    }
+
+    #[test]
+    fn align_exact_and_fallback() {
+        let u = Universe::generate(UniverseConfig::default());
+        let p = &u.properties[0];
+        assert_eq!(u.align(&p.street, &p.postcode).unwrap().id, p.id);
+        // corrupted street still aligns when the postcode is unique
+        let same_pc = u.properties.iter().filter(|q| q.postcode == p.postcode).count();
+        if same_pc == 1 {
+            assert_eq!(u.align("GARBAGE", &p.postcode).unwrap().id, p.id);
+        }
+        assert!(u.align(&p.street, "ZZ1 1AA").is_none());
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let u = Universe::generate(UniverseConfig { properties: 500, seed: 7 });
+        let mut seen = std::collections::HashSet::new();
+        for p in &u.properties {
+            assert!(seen.insert((normalize(&p.street), p.postcode.clone())));
+        }
+    }
+}

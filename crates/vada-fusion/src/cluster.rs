@@ -1,0 +1,160 @@
+//! Union-find clustering of above-threshold record pairs within blocks.
+
+use vada_common::{Relation, Result};
+
+use crate::blocking::block_by_keys;
+use crate::similarity::{record_similarity, FieldSpec};
+
+/// Disjoint-set forest with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Extract clusters (each sorted, clusters ordered by smallest member).
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+/// Clustering configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Blocking key attributes.
+    pub block_keys: Vec<String>,
+    /// Field comparison spec.
+    pub fields: Vec<FieldSpec>,
+    /// Pair-similarity threshold for a duplicate edge.
+    pub threshold: f64,
+}
+
+/// Detect duplicate clusters in a relation: blocking, pairwise similarity
+/// within blocks, union of above-threshold pairs. Returns clusters of row
+/// indices (singletons included).
+pub fn cluster_relation(cfg: &ClusterConfig, rel: &Relation) -> Result<Vec<Vec<usize>>> {
+    let keys: Vec<&str> = cfg.block_keys.iter().map(|s| s.as_str()).collect();
+    let blocks = block_by_keys(rel, &keys)?;
+    let mut uf = UnionFind::new(rel.len());
+    for block in &blocks {
+        for (i, &a) in block.iter().enumerate() {
+            for &b in &block[i + 1..] {
+                let sim = record_similarity(&cfg.fields, &rel.tuples()[a], &rel.tuples()[b])?;
+                if sim >= cfg.threshold {
+                    uf.union(a, b);
+                }
+            }
+        }
+    }
+    Ok(uf.clusters())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::FieldKind;
+    use vada_common::{tuple, Schema};
+
+    #[test]
+    fn union_find_invariants() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        let clusters = uf.clusters();
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters.len(), 4);
+    }
+
+    #[test]
+    fn clustering_finds_near_duplicates_in_blocks() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["street", "price", "postcode"]),
+            vec![
+                tuple!["12 high st", "250000", "M1 1AA"],
+                tuple!["12 High St.", "250500", "M1 1AA"],
+                tuple!["99 park rd", "400000", "M1 1AA"],
+                tuple!["12 high st", "250000", "EH1 1AA"], // other block
+            ],
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            block_keys: vec!["postcode".into()],
+            fields: vec![
+                FieldSpec { col: 0, weight: 2.0, kind: FieldKind::Text },
+                FieldSpec { col: 1, weight: 1.0, kind: FieldKind::Numeric },
+            ],
+            threshold: 0.9,
+        };
+        let clusters = cluster_relation(&cfg, &rel).unwrap();
+        // {0,1}, {2}, {3}
+        assert_eq!(clusters.len(), 3);
+        assert!(clusters.iter().any(|c| c == &vec![0, 1]));
+    }
+
+    #[test]
+    fn no_duplicates_yields_singletons() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["street", "postcode"]),
+            vec![tuple!["a st", "M1 1AA"], tuple!["b rd", "EH1 1AA"]],
+        )
+        .unwrap();
+        let cfg = ClusterConfig {
+            block_keys: vec!["postcode".into()],
+            fields: vec![FieldSpec { col: 0, weight: 1.0, kind: FieldKind::Text }],
+            threshold: 0.9,
+        };
+        let clusters = cluster_relation(&cfg, &rel).unwrap();
+        assert_eq!(clusters.len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Survivorship: collapsing duplicate clusters into single tuples.
+
+use std::collections::HashMap;
+
+use vada_common::{Relation, Result, Tuple, Value};
+
+/// Survivorship rule applied per cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Survivorship {
+    /// Keep the single most complete row (fewest nulls; ties: first row).
+    MostComplete,
+    /// Per attribute: the most frequent non-null value (ties: value of the
+    /// earliest contributing row).
+    Majority,
+    /// Per attribute: the non-null value from the most trusted row
+    /// (`trust[row]`, higher wins; ties: earliest row).
+    TrustWeighted,
+}
+
+/// What fusion did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FusionReport {
+    /// Input rows.
+    pub input_rows: usize,
+    /// Output rows (clusters).
+    pub output_rows: usize,
+    /// Clusters with more than one member.
+    pub merged_clusters: usize,
+}
+
+impl FusionReport {
+    /// Rows removed by fusion.
+    pub fn duplicates_removed(&self) -> usize {
+        self.input_rows - self.output_rows
+    }
+}
+
+/// Fuse `rel`'s duplicate `clusters` into one tuple each.
+///
+/// `trust` supplies per-row trust scores for
+/// [`Survivorship::TrustWeighted`] (defaults to uniform when `None`).
+pub fn fuse_clusters(
+    rel: &Relation,
+    clusters: &[Vec<usize>],
+    rule: Survivorship,
+    trust: Option<&[f64]>,
+) -> Result<(Relation, FusionReport)> {
+    let arity = rel.schema().arity();
+    let mut out = Relation::empty(rel.schema().clone());
+    let mut merged = 0usize;
+    for cluster in clusters {
+        if cluster.len() > 1 {
+            merged += 1;
+        }
+        let tuple = match rule {
+            Survivorship::MostComplete => {
+                let &best = cluster
+                    .iter()
+                    .min_by_key(|&&r| (rel.tuples()[r].null_count(), r))
+                    .expect("clusters are non-empty");
+                rel.tuples()[best].clone()
+            }
+            Survivorship::Majority => {
+                let mut values = Vec::with_capacity(arity);
+                for col in 0..arity {
+                    let mut counts: HashMap<&Value, (usize, usize)> = HashMap::new();
+                    for &r in cluster {
+                        let v = &rel.tuples()[r][col];
+                        if v.is_null() {
+                            continue;
+                        }
+                        let e = counts.entry(v).or_insert((0, r));
+                        e.0 += 1;
+                        e.1 = e.1.min(r);
+                    }
+                    let winner = counts
+                        .iter()
+                        .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
+                        .map(|(v, _)| (*v).clone())
+                        .unwrap_or(Value::Null);
+                    values.push(winner);
+                }
+                Tuple::new(values)
+            }
+            Survivorship::TrustWeighted => {
+                let uniform = vec![1.0; rel.len()];
+                let trust = trust.unwrap_or(&uniform);
+                let mut values = Vec::with_capacity(arity);
+                for col in 0..arity {
+                    let winner = cluster
+                        .iter()
+                        .filter(|&&r| !rel.tuples()[r][col].is_null())
+                        .max_by(|&&a, &&b| {
+                            trust[a].total_cmp(&trust[b]).then(b.cmp(&a))
+                        })
+                        .map(|&r| rel.tuples()[r][col].clone())
+                        .unwrap_or(Value::Null);
+                    values.push(winner);
+                }
+                Tuple::new(values)
+            }
+        };
+        out.push(tuple)?;
+    }
+    let report = FusionReport {
+        input_rows: rel.len(),
+        output_rows: out.len(),
+        merged_clusters: merged,
+    };
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, Schema};
+
+    fn rel() -> Relation {
+        Relation::from_tuples(
+            Schema::all_str("r", &["street", "price", "beds"]),
+            vec![
+                // cluster {0,1,2}: same property three ways
+                Tuple::new(vec![Value::str("12 high st"), Value::str("250000"), Value::Null]),
+                tuple!["12 high st", "250000", "3"],
+                tuple!["12 hgih st", "250000", "3"],
+                // cluster {3}
+                tuple!["9 park rd", "400000", "2"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn clusters() -> Vec<Vec<usize>> {
+        vec![vec![0, 1, 2], vec![3]]
+    }
+
+    #[test]
+    fn most_complete_picks_fullest_row() {
+        let (fused, report) =
+            fuse_clusters(&rel(), &clusters(), Survivorship::MostComplete, None).unwrap();
+        assert_eq!(fused.len(), 2);
+        assert_eq!(report.duplicates_removed(), 2);
+        assert_eq!(report.merged_clusters, 1);
+        // row 1 is complete and earliest among complete rows
+        assert_eq!(fused.tuples()[0], rel().tuples()[1]);
+    }
+
+    #[test]
+    fn majority_votes_per_attribute() {
+        let (fused, _) = fuse_clusters(&rel(), &clusters(), Survivorship::Majority, None).unwrap();
+        let t = &fused.tuples()[0];
+        assert_eq!(t[0], Value::str("12 high st")); // 2-vs-1 over the typo
+        assert_eq!(t[2], Value::str("3")); // nulls don't vote
+    }
+
+    #[test]
+    fn trust_weighted_prefers_trusted_source() {
+        let trust = vec![0.1, 0.2, 0.9, 0.5];
+        let (fused, _) =
+            fuse_clusters(&rel(), &clusters(), Survivorship::TrustWeighted, Some(&trust)).unwrap();
+        // the typo'd row is most trusted: its street wins
+        assert_eq!(fused.tuples()[0][0], Value::str("12 hgih st"));
+    }
+
+    #[test]
+    fn singleton_clusters_pass_through() {
+        let (fused, _) = fuse_clusters(&rel(), &clusters(), Survivorship::Majority, None).unwrap();
+        assert_eq!(fused.tuples()[1], rel().tuples()[3]);
+    }
+
+    #[test]
+    fn all_null_column_stays_null() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["a"]),
+            vec![
+                Tuple::new(vec![Value::Null]),
+                Tuple::new(vec![Value::Null]),
+            ],
+        )
+        .unwrap();
+        let (fused, _) =
+            fuse_clusters(&rel, &[vec![0, 1]], Survivorship::Majority, None).unwrap();
+        assert!(fused.tuples()[0][0].is_null());
+    }
+}

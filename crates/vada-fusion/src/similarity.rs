@@ -1,0 +1,134 @@
+//! Weighted record similarity over typed fields.
+
+use vada_common::text::{jaro_winkler, normalize};
+use vada_common::{Result, Tuple, Value};
+
+/// How a field is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Jaro-Winkler over the normal forms.
+    Text,
+    /// `1 − |a − b| / max(|a|, |b|)` for numeric values (numeric strings
+    /// are parsed).
+    Numeric,
+    /// 1 when equal (normal forms), else 0.
+    Exact,
+}
+
+/// One compared field with its weight.
+#[derive(Debug, Clone)]
+pub struct FieldSpec {
+    /// Column index in the tuples being compared.
+    pub col: usize,
+    /// Relative weight.
+    pub weight: f64,
+    /// Comparison kind.
+    pub kind: FieldKind,
+}
+
+fn numeric_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Str(s) => s.trim().parse().ok(),
+        _ => None,
+    }
+}
+
+fn field_similarity(kind: FieldKind, a: &Value, b: &Value) -> Option<f64> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    match kind {
+        FieldKind::Exact => Some(f64::from(normalize(&a.to_string()) == normalize(&b.to_string()))),
+        FieldKind::Text => Some(jaro_winkler(&normalize(&a.to_string()), &normalize(&b.to_string()))),
+        FieldKind::Numeric => {
+            let (x, y) = (numeric_of(a)?, numeric_of(b)?);
+            let denom = x.abs().max(y.abs());
+            if denom == 0.0 {
+                Some(1.0)
+            } else {
+                Some((1.0 - (x - y).abs() / denom).max(0.0))
+            }
+        }
+    }
+}
+
+/// Weighted similarity of two tuples over the given fields; comparisons
+/// where either side is null are skipped (weights renormalised). Returns 0
+/// when no field is comparable.
+pub fn record_similarity(spec: &[FieldSpec], a: &Tuple, b: &Tuple) -> Result<f64> {
+    let mut total_weight = 0.0;
+    let mut acc = 0.0;
+    for f in spec {
+        let (va, vb) = (&a[f.col], &b[f.col]);
+        if let Some(sim) = field_similarity(f.kind, va, vb) {
+            acc += f.weight * sim;
+            total_weight += f.weight;
+        }
+    }
+    Ok(if total_weight == 0.0 { 0.0 } else { acc / total_weight })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::tuple;
+
+    fn spec() -> Vec<FieldSpec> {
+        vec![
+            FieldSpec { col: 0, weight: 2.0, kind: FieldKind::Text },
+            FieldSpec { col: 1, weight: 1.0, kind: FieldKind::Numeric },
+            FieldSpec { col: 2, weight: 1.0, kind: FieldKind::Exact },
+        ]
+    }
+
+    #[test]
+    fn identical_records_score_one() {
+        let t = tuple!["12 high st", "250000", "M1 1AA"];
+        assert!((record_similarity(&spec(), &t, &t).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_duplicates_score_high() {
+        let a = tuple!["12 high st", "250000", "M1 1AA"];
+        let b = tuple!["12 High St.", "251000", "M1 1AA"];
+        let s = record_similarity(&spec(), &a, &b).unwrap();
+        assert!(s > 0.95, "{s}");
+    }
+
+    #[test]
+    fn different_records_score_low() {
+        let a = tuple!["12 high st", "250000", "M1 1AA"];
+        let b = tuple!["99 park rd", "780000", "EH1 1AA"];
+        let s = record_similarity(&spec(), &a, &b).unwrap();
+        assert!(s < 0.6, "{s}");
+    }
+
+    #[test]
+    fn nulls_skip_fields_and_renormalise() {
+        let a = tuple!["12 high st", "250000", "M1 1AA"];
+        let b = vada_common::Tuple::new(vec![
+            Value::str("12 high st"),
+            Value::Null,
+            Value::str("M1 1AA"),
+        ]);
+        let s = record_similarity(&spec(), &a, &b).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_null_pairs_score_zero() {
+        let a = vada_common::Tuple::new(vec![Value::Null, Value::Null, Value::Null]);
+        assert_eq!(record_similarity(&spec(), &a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn numeric_similarity_is_relative() {
+        let spec = vec![FieldSpec { col: 0, weight: 1.0, kind: FieldKind::Numeric }];
+        let s_close = record_similarity(&spec, &tuple![100], &tuple![110]).unwrap();
+        let s_far = record_similarity(&spec, &tuple![100], &tuple![200]).unwrap();
+        assert!(s_close > s_far);
+        assert_eq!(record_similarity(&spec, &tuple![0], &tuple![0]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for fusion: union-find invariants, blocking
+//! partition laws, and survivorship conservation.
+
+use proptest::prelude::*;
+
+use vada_common::{Relation, Schema, Tuple, Value};
+use vada_fusion::{block_by_keys, fuse_clusters, Survivorship, UnionFind};
+
+proptest! {
+    #[test]
+    fn union_find_equivalence_relation(
+        n in 2usize..40,
+        unions in proptest::collection::vec((0usize..40, 0usize..40), 0..60)
+    ) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in unions {
+            if a < n && b < n {
+                uf.union(a, b);
+                // reflexive + symmetric by construction
+                prop_assert!(uf.connected(a, b));
+                prop_assert!(uf.connected(b, a));
+            }
+        }
+        // clusters partition 0..n
+        let clusters = uf.clusters();
+        let mut all: Vec<usize> = clusters.concat();
+        all.sort();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // transitivity: members of one cluster are pairwise connected
+        for cluster in &clusters {
+            for w in cluster.windows(2) {
+                prop_assert!(uf.connected(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_partitions_rows(keys in proptest::collection::vec("[a-c]{1,2}", 1..30)) {
+        let schema = Schema::all_str("r", &["k"]);
+        let mut rel = Relation::empty(schema);
+        for k in &keys {
+            rel.push(Tuple::new(vec![Value::str(k)])).unwrap();
+        }
+        let blocks = block_by_keys(&rel, &["k"]).unwrap();
+        let mut all: Vec<usize> = blocks.concat();
+        all.sort();
+        prop_assert_eq!(all, (0..keys.len()).collect::<Vec<_>>());
+        // rows sharing a key share a block
+        for block in &blocks {
+            let vals: std::collections::HashSet<&str> =
+                block.iter().map(|&r| keys[r].as_str()).collect();
+            prop_assert_eq!(vals.len(), 1, "mixed keys in one block");
+        }
+    }
+
+    #[test]
+    fn fusion_conserves_clusters(
+        rows in proptest::collection::vec(("[a-b]{1}", proptest::option::of(0i64..5)), 1..20)
+    ) {
+        let schema = Schema::all_str("r", &["k", "v"]);
+        let mut rel = Relation::empty(schema);
+        for (k, v) in &rows {
+            rel.push(Tuple::new(vec![
+                Value::str(k),
+                v.map(Value::Int).unwrap_or(Value::Null),
+            ])).unwrap();
+        }
+        let blocks = block_by_keys(&rel, &["k"]).unwrap();
+        for rule in [Survivorship::MostComplete, Survivorship::Majority, Survivorship::TrustWeighted] {
+            let (fused, report) = fuse_clusters(&rel, &blocks, rule, None).unwrap();
+            prop_assert_eq!(fused.len(), blocks.len());
+            prop_assert_eq!(report.input_rows, rel.len());
+            prop_assert_eq!(report.duplicates_removed(), rel.len() - blocks.len());
+            // every surviving value existed in the cluster (no invention)
+            for (cluster, out) in blocks.iter().zip(fused.iter()) {
+                for (col, value) in out.iter().enumerate() {
+                    if !value.is_null() {
+                        prop_assert!(
+                            cluster.iter().any(|&r| &rel.tuples()[r][col] == value),
+                            "fusion invented {value:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The extensional-data catalog: named relations plus their role in the
+//! wrangling process.
+
+use std::collections::BTreeMap;
+
+use vada_common::{Relation, Result, VadaError};
+
+/// The role a relation plays in the wrangling process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationKind {
+    /// A data source (e.g. produced by web extraction).
+    Source,
+    /// A data-context relation (reference, master or example data).
+    Context,
+    /// A materialised wrangling result in the target schema.
+    Result,
+    /// Anything else (intermediate products).
+    Intermediate,
+}
+
+impl RelationKind {
+    /// Stable lower-case tag used in Datalog facts.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RelationKind::Source => "source",
+            RelationKind::Context => "context",
+            RelationKind::Result => "result",
+            RelationKind::Intermediate => "intermediate",
+        }
+    }
+}
+
+/// Named relations with roles. Iteration order is deterministic (sorted by
+/// name) so orchestration traces are reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, (RelationKind, Relation)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation under its schema name.
+    pub fn put(&mut self, kind: RelationKind, rel: Relation) {
+        self.relations.insert(rel.name().to_string(), (kind, rel));
+    }
+
+    /// The relation named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name).map(|(_, r)| r)
+    }
+
+    /// Mutable access to the relation named `name`.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name).map(|(_, r)| r)
+    }
+
+    /// The relation named `name`, or a schema error.
+    pub fn require(&self, name: &str) -> Result<&Relation> {
+        self.get(name)
+            .ok_or_else(|| VadaError::Kb(format!("unknown relation `{name}`")))
+    }
+
+    /// The kind of the relation named `name`.
+    pub fn kind(&self, name: &str) -> Option<RelationKind> {
+        self.relations.get(name).map(|(k, _)| *k)
+    }
+
+    /// Names of relations of the given kind, sorted.
+    pub fn names_of_kind(&self, kind: RelationKind) -> Vec<&str> {
+        self.relations
+            .iter()
+            .filter(|(_, (k, _))| *k == kind)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// All `(name, kind)` pairs, sorted by name.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, RelationKind, &Relation)> {
+        self.relations
+            .iter()
+            .map(|(n, (k, r))| (n.as_str(), *k, r))
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Remove a relation; returns it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name).map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{Schema, tuple};
+
+    fn rel(name: &str) -> Relation {
+        let mut r = Relation::empty(Schema::all_str(name, &["a"]));
+        r.push(tuple!["x"]).unwrap();
+        r
+    }
+
+    #[test]
+    fn put_get_kind() {
+        let mut c = Catalog::new();
+        c.put(RelationKind::Source, rel("rightmove"));
+        c.put(RelationKind::Context, rel("address"));
+        assert!(c.contains("rightmove"));
+        assert_eq!(c.kind("address"), Some(RelationKind::Context));
+        assert_eq!(c.names_of_kind(RelationKind::Source), vec!["rightmove"]);
+        assert!(c.require("missing").is_err());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut c = Catalog::new();
+        c.put(RelationKind::Source, rel("s"));
+        let mut bigger = rel("s");
+        bigger.push(tuple!["y"]).unwrap();
+        c.put(RelationKind::Source, bigger);
+        assert_eq!(c.get("s").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn entries_sorted_by_name() {
+        let mut c = Catalog::new();
+        c.put(RelationKind::Source, rel("zz"));
+        c.put(RelationKind::Source, rel("aa"));
+        let names: Vec<&str> = c.entries().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

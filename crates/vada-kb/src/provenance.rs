@@ -1,0 +1,61 @@
+//! A lightweight provenance log: who wrote what into the knowledge base,
+//! in what order. The demo's "browsable trace information" (paper §3) is
+//! assembled from this log plus the orchestrator's execution trace.
+
+/// One provenance entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceEntry {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The acting component (transducer name, `user`, `system`).
+    pub actor: String,
+    /// What happened, e.g. `add_match`, `register_source`.
+    pub action: String,
+    /// Free-form detail, e.g. the id of the record written.
+    pub detail: String,
+}
+
+/// Append-only provenance log.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    entries: Vec<ProvenanceEntry>,
+}
+
+impl ProvenanceLog {
+    /// Append an entry.
+    pub fn log(&mut self, actor: impl Into<String>, action: impl Into<String>, detail: impl Into<String>) {
+        let seq = self.entries.len() as u64;
+        self.entries.push(ProvenanceEntry {
+            seq,
+            actor: actor.into(),
+            action: action.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[ProvenanceEntry] {
+        &self.entries
+    }
+
+    /// Entries by a given actor.
+    pub fn by_actor<'a>(&'a self, actor: &'a str) -> impl Iterator<Item = &'a ProvenanceEntry> {
+        self.entries.iter().filter(move |e| e.actor == actor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_is_ordered_and_filterable() {
+        let mut log = ProvenanceLog::default();
+        log.log("schema_matcher", "add_match", "m0");
+        log.log("user", "feedback", "f0");
+        log.log("schema_matcher", "add_match", "m1");
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.entries()[2].seq, 2);
+        assert_eq!(log.by_actor("schema_matcher").count(), 2);
+    }
+}

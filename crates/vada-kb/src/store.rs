@@ -1,0 +1,710 @@
+//! The [`KnowledgeBase`] facade: typed state plus the Datalog fact view.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
+use vada_datalog::engine::{Database, Engine};
+use vada_datalog::parser::parse_query;
+
+use crate::catalog::{Catalog, RelationKind};
+use crate::meta::{
+    CellVeto, CfdRule, ContextKind, FeedbackRecord, FeedbackTarget, MappingDef, MatchDef,
+    PairwiseStatement, QualityFact, Verdict,
+};
+use crate::provenance::ProvenanceLog;
+
+/// The VADA knowledge base. See the crate docs for the model.
+#[derive(Debug, Default)]
+pub struct KnowledgeBase {
+    catalog: Catalog,
+    target_schema: Option<Schema>,
+    matches: BTreeMap<String, MatchDef>,
+    mappings: BTreeMap<String, MappingDef>,
+    cfds: BTreeMap<String, CfdRule>,
+    feedback: Vec<FeedbackRecord>,
+    vetoes: Vec<CellVeto>,
+    quality: Vec<QualityFact>,
+    user_context: Vec<PairwiseStatement>,
+    context_kinds: BTreeMap<String, ContextKind>,
+    /// `(context relation, context attribute, target attribute)`
+    context_bindings: Vec<(String, String, String)>,
+    selected_mapping: Option<String>,
+    /// Raw staged documents awaiting extraction: name → CSV text.
+    staged: BTreeMap<String, String>,
+    version: u64,
+    aspect_versions: BTreeMap<&'static str, u64>,
+    provenance: ProvenanceLog,
+    /// cached dependency view: `(kb version it was built at, database)`
+    dep_cache: Mutex<Option<(u64, Database)>>,
+}
+
+impl Clone for KnowledgeBase {
+    fn clone(&self) -> Self {
+        KnowledgeBase {
+            catalog: self.catalog.clone(),
+            target_schema: self.target_schema.clone(),
+            matches: self.matches.clone(),
+            mappings: self.mappings.clone(),
+            cfds: self.cfds.clone(),
+            feedback: self.feedback.clone(),
+            vetoes: self.vetoes.clone(),
+            quality: self.quality.clone(),
+            user_context: self.user_context.clone(),
+            context_kinds: self.context_kinds.clone(),
+            context_bindings: self.context_bindings.clone(),
+            selected_mapping: self.selected_mapping.clone(),
+            staged: self.staged.clone(),
+            version: self.version,
+            aspect_versions: self.aspect_versions.clone(),
+            provenance: self.provenance.clone(),
+            dep_cache: Mutex::new(None),
+        }
+    }
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base.
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    fn touch(&mut self, aspect: &'static str) {
+        self.version += 1;
+        self.aspect_versions.insert(aspect, self.version);
+    }
+
+    /// Global version counter; bumps on every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The version at which `aspect` last changed (0 if never). Aspects:
+    /// `relations`, `target`, `matches`, `mappings`, `cfds`, `feedback`,
+    /// `quality`, `user_context`, `data_context`, `selection`, `result`.
+    pub fn aspect_version(&self, aspect: &str) -> u64 {
+        self.aspect_versions.get(aspect).copied().unwrap_or(0)
+    }
+
+    /// The provenance log.
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.provenance
+    }
+
+    /// Append a provenance entry.
+    pub fn log(&mut self, actor: &str, action: &str, detail: &str) {
+        self.provenance.log(actor, action, detail);
+    }
+
+    // ------------------------------------------------------------------
+    // extensional data
+    // ------------------------------------------------------------------
+
+    /// Register a source relation (web-extraction output).
+    pub fn register_source(&mut self, rel: Relation) {
+        self.catalog.put(RelationKind::Source, rel);
+        self.touch("relations");
+    }
+
+    /// Register the target schema the user wants populated (paper Fig 2(b)).
+    pub fn register_target_schema(&mut self, schema: Schema) {
+        self.target_schema = Some(schema);
+        self.touch("target");
+    }
+
+    /// The registered target schema.
+    pub fn target_schema(&self) -> Option<&Schema> {
+        self.target_schema.as_ref()
+    }
+
+    /// Associate a data-context relation with the target schema
+    /// (paper §2.2): `bindings` maps context attributes to target
+    /// attributes.
+    pub fn register_data_context(
+        &mut self,
+        rel: Relation,
+        kind: ContextKind,
+        bindings: &[(&str, &str)],
+    ) -> Result<()> {
+        for (ctx_attr, _) in bindings {
+            rel.schema().require(ctx_attr)?;
+        }
+        let name = rel.name().to_string();
+        self.catalog.put(RelationKind::Context, rel);
+        self.context_kinds.insert(name.clone(), kind);
+        for (ctx_attr, tgt_attr) in bindings {
+            self.context_bindings
+                .push((name.clone(), ctx_attr.to_string(), tgt_attr.to_string()));
+        }
+        self.touch("data_context");
+        self.touch("relations");
+        Ok(())
+    }
+
+    /// Stage a raw document (CSV text) for the extraction transducer to
+    /// ingest; mirrors web-extraction output landing in the knowledge base
+    /// before it becomes a source relation.
+    pub fn stage_document(&mut self, name: impl Into<String>, text: impl Into<String>) {
+        self.staged.insert(name.into(), text.into());
+        self.touch("staged");
+    }
+
+    /// Staged documents, sorted by name.
+    pub fn staged_documents(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.staged.iter().map(|(n, t)| (n.as_str(), t.as_str()))
+    }
+
+    /// Remove a staged document once ingested.
+    pub fn unstage_document(&mut self, name: &str) -> Option<String> {
+        let doc = self.staged.remove(name);
+        if doc.is_some() {
+            self.touch("staged");
+        }
+        doc
+    }
+
+    /// Store a materialised result relation (the wrangled target data).
+    pub fn put_result(&mut self, rel: Relation) {
+        self.catalog.put(RelationKind::Result, rel);
+        self.touch("result");
+    }
+
+    /// Store an intermediate relation. Intermediates bump their own aspect
+    /// (`intermediates`), not `relations`, so they never re-trigger the
+    /// schema-level transducers.
+    pub fn put_intermediate(&mut self, rel: Relation) {
+        self.catalog.put(RelationKind::Intermediate, rel);
+        self.touch("intermediates");
+    }
+
+    /// Drop an intermediate relation (e.g. consumed duplicate clusters).
+    pub fn remove_intermediate(&mut self, name: &str) {
+        if self.catalog.kind(name) == Some(RelationKind::Intermediate) {
+            self.catalog.remove(name);
+            self.touch("intermediates");
+        }
+    }
+
+    /// The extensional catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Relation lookup across the whole catalog.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.catalog.require(name)
+    }
+
+    /// Source relation names, sorted.
+    pub fn source_names(&self) -> Vec<String> {
+        self.catalog
+            .names_of_kind(RelationKind::Source)
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Context relation names with their kinds, sorted.
+    pub fn context_relations(&self) -> Vec<(String, ContextKind)> {
+        self.context_kinds
+            .iter()
+            .map(|(n, k)| (n.clone(), *k))
+            .collect()
+    }
+
+    /// The `(context relation, context attr, target attr)` bindings.
+    pub fn context_bindings(&self) -> &[(String, String, String)] {
+        &self.context_bindings
+    }
+
+    // ------------------------------------------------------------------
+    // matches
+    // ------------------------------------------------------------------
+
+    /// Add (or replace) a match.
+    pub fn add_match(&mut self, m: MatchDef) {
+        self.matches.insert(m.id.clone(), m);
+        self.touch("matches");
+    }
+
+    /// All matches, sorted by id.
+    pub fn matches(&self) -> impl Iterator<Item = &MatchDef> {
+        self.matches.values()
+    }
+
+    /// The match with the given id.
+    pub fn get_match(&self, id: &str) -> Option<&MatchDef> {
+        self.matches.get(id)
+    }
+
+    /// Revise a match score (feedback propagation, paper §2.3).
+    pub fn set_match_score(&mut self, id: &str, score: f64) -> Result<()> {
+        let m = self
+            .matches
+            .get_mut(id)
+            .ok_or_else(|| VadaError::Kb(format!("unknown match `{id}`")))?;
+        m.score = score;
+        self.touch("matches");
+        Ok(())
+    }
+
+    /// Remove all matches (e.g. before re-matching with new evidence).
+    pub fn clear_matches(&mut self) {
+        self.matches.clear();
+        self.touch("matches");
+    }
+
+    // ------------------------------------------------------------------
+    // mappings
+    // ------------------------------------------------------------------
+
+    /// Add (or replace) a candidate mapping.
+    pub fn add_mapping(&mut self, m: MappingDef) {
+        self.mappings.insert(m.id.clone(), m);
+        self.touch("mappings");
+    }
+
+    /// All candidate mappings, sorted by id.
+    pub fn mappings(&self) -> impl Iterator<Item = &MappingDef> {
+        self.mappings.values()
+    }
+
+    /// The mapping with the given id.
+    pub fn get_mapping(&self, id: &str) -> Option<&MappingDef> {
+        self.mappings.get(id)
+    }
+
+    /// Remove all candidate mappings.
+    pub fn clear_mappings(&mut self) {
+        self.mappings.clear();
+        self.selected_mapping = None;
+        self.touch("mappings");
+    }
+
+    /// Mark a mapping as the selected one.
+    pub fn select_mapping(&mut self, id: &str) -> Result<()> {
+        if !self.mappings.contains_key(id) {
+            return Err(VadaError::Kb(format!("unknown mapping `{id}`")));
+        }
+        self.selected_mapping = Some(id.to_string());
+        self.touch("selection");
+        Ok(())
+    }
+
+    /// The currently selected mapping id.
+    pub fn selected_mapping(&self) -> Option<&str> {
+        self.selected_mapping.as_deref()
+    }
+
+    // ------------------------------------------------------------------
+    // CFDs, quality, feedback, user context
+    // ------------------------------------------------------------------
+
+    /// Add a learned CFD.
+    pub fn add_cfd(&mut self, cfd: CfdRule) {
+        self.cfds.insert(cfd.id.clone(), cfd);
+        self.touch("cfds");
+    }
+
+    /// All CFDs, sorted by id.
+    pub fn cfds(&self) -> impl Iterator<Item = &CfdRule> {
+        self.cfds.values()
+    }
+
+    /// Remove all CFDs.
+    pub fn clear_cfds(&mut self) {
+        self.cfds.clear();
+        self.touch("cfds");
+    }
+
+    /// Record a quality metric value.
+    pub fn add_quality(&mut self, q: QualityFact) {
+        self.quality.push(q);
+        self.touch("quality");
+    }
+
+    /// All quality facts.
+    pub fn quality_facts(&self) -> &[QualityFact] {
+        &self.quality
+    }
+
+    /// Remove quality facts for an entity kind (before recomputation).
+    pub fn clear_quality(&mut self, entity_kind: &str) {
+        self.quality.retain(|q| q.entity_kind != entity_kind);
+        self.touch("quality");
+    }
+
+    /// Assert a feedback annotation (paper §2.3).
+    pub fn add_feedback(&mut self, f: FeedbackRecord) {
+        self.feedback.push(f);
+        self.touch("feedback");
+    }
+
+    /// All feedback annotations.
+    pub fn feedback(&self) -> &[FeedbackRecord] {
+        &self.feedback
+    }
+
+    /// Record a durable cell/row veto derived from feedback.
+    pub fn add_veto(&mut self, veto: CellVeto) {
+        self.vetoes.push(veto);
+        self.touch("feedback");
+    }
+
+    /// All recorded vetoes.
+    pub fn vetoes(&self) -> &[CellVeto] {
+        &self.vetoes
+    }
+
+    /// Replace the user context with the given pairwise statements
+    /// (paper Fig 2(d)).
+    pub fn set_user_context(&mut self, statements: Vec<PairwiseStatement>) {
+        self.user_context = statements;
+        self.touch("user_context");
+    }
+
+    /// The current user-context statements.
+    pub fn user_context(&self) -> &[PairwiseStatement] {
+        &self.user_context
+    }
+
+    // ------------------------------------------------------------------
+    // the Datalog view & dependency queries
+    // ------------------------------------------------------------------
+
+    /// Evaluate a conjunctive dependency query (e.g. a transducer input
+    /// dependency from paper Table 1) against the knowledge-base fact view.
+    /// Returns the distinct bindings of the query's variables.
+    pub fn query(&self, query_src: &str) -> Result<Vec<Tuple>> {
+        let q = parse_query(query_src)?;
+        let mut cache = self.dep_cache.lock();
+        if cache.as_ref().map(|(v, _)| *v) != Some(self.version) {
+            *cache = Some((self.version, self.build_dependency_db()));
+        }
+        let (_, db) = cache.as_ref().expect("populated above");
+        Engine::default().eval_query(&q, db)
+    }
+
+    /// Whether a dependency query has at least one answer.
+    pub fn query_satisfied(&self, query_src: &str) -> Result<bool> {
+        Ok(!self.query(query_src)?.is_empty())
+    }
+
+    /// Build the Datalog fact view of the current knowledge-base state.
+    ///
+    /// Predicates exposed (arity in parentheses):
+    /// `relation(name, kind, rows)`, `attr(rel, attr, pos, type)`,
+    /// `target_relation(name)`, `target_attr(rel, attr, pos, type)`,
+    /// `has_instances(rel)`, `match(id, src_rel, src_attr, tgt_attr, score,
+    /// matcher)`, `mapping(id, target)`, `selected_mapping(id)`,
+    /// `cfd(id, rel, rhs_attr, support)`, `cfd_available(rel)`,
+    /// `quality(entity_kind, entity, metric, criterion, value)`,
+    /// `feedback(id, kind, rel, row, attr, verdict)`,
+    /// `user_context(more, less, strength)`, `data_context(rel, kind)`,
+    /// `context_binding(ctx_rel, ctx_attr, tgt_attr)`,
+    /// `result_available(rel)`, `staged_document(name)`.
+    pub fn build_dependency_db(&self) -> Database {
+        let mut db = Database::new();
+        for (name, kind, rel) in self.catalog.entries() {
+            db.insert(
+                "relation",
+                Tuple::new(vec![
+                    Value::str(name),
+                    Value::str(kind.tag()),
+                    Value::Int(rel.len() as i64),
+                ]),
+            );
+            for (pos, a) in rel.schema().attributes().iter().enumerate() {
+                db.insert(
+                    "attr",
+                    Tuple::new(vec![
+                        Value::str(name),
+                        Value::str(&a.name),
+                        Value::Int(pos as i64),
+                        Value::str(a.ty.name()),
+                    ]),
+                );
+            }
+            if !rel.is_empty() {
+                db.insert("has_instances", Tuple::new(vec![Value::str(name)]));
+            }
+            if kind == RelationKind::Result {
+                db.insert("result_available", Tuple::new(vec![Value::str(name)]));
+            }
+        }
+        if let Some(schema) = &self.target_schema {
+            db.insert(
+                "target_relation",
+                Tuple::new(vec![Value::str(&schema.name)]),
+            );
+            for (pos, a) in schema.attributes().iter().enumerate() {
+                db.insert(
+                    "target_attr",
+                    Tuple::new(vec![
+                        Value::str(&schema.name),
+                        Value::str(&a.name),
+                        Value::Int(pos as i64),
+                        Value::str(a.ty.name()),
+                    ]),
+                );
+            }
+        }
+        for m in self.matches.values() {
+            db.insert(
+                "match",
+                Tuple::new(vec![
+                    Value::str(&m.id),
+                    Value::str(&m.src_rel),
+                    Value::str(&m.src_attr),
+                    Value::str(&m.tgt_attr),
+                    Value::Float(m.score),
+                    Value::str(&m.matcher),
+                ]),
+            );
+        }
+        for m in self.mappings.values() {
+            db.insert(
+                "mapping",
+                Tuple::new(vec![Value::str(&m.id), Value::str(&m.target)]),
+            );
+        }
+        if let Some(id) = &self.selected_mapping {
+            db.insert("selected_mapping", Tuple::new(vec![Value::str(id)]));
+        }
+        for c in self.cfds.values() {
+            db.insert(
+                "cfd",
+                Tuple::new(vec![
+                    Value::str(&c.id),
+                    Value::str(&c.relation),
+                    Value::str(&c.rhs.0),
+                    Value::Int(c.support as i64),
+                ]),
+            );
+            db.insert("cfd_available", Tuple::new(vec![Value::str(&c.relation)]));
+        }
+        for q in &self.quality {
+            db.insert(
+                "quality",
+                Tuple::new(vec![
+                    Value::str(&q.entity_kind),
+                    Value::str(&q.entity),
+                    Value::str(&q.metric),
+                    Value::str(&q.criterion),
+                    Value::Float(q.value),
+                ]),
+            );
+        }
+        for f in &self.feedback {
+            let (kind, rel, row, attr) = match &f.target {
+                FeedbackTarget::Tuple { relation, row } => {
+                    ("tuple", relation.clone(), *row, String::new())
+                }
+                FeedbackTarget::Attribute { relation, row, attr } => {
+                    ("attribute", relation.clone(), *row, attr.clone())
+                }
+            };
+            db.insert(
+                "feedback",
+                Tuple::new(vec![
+                    Value::str(&f.id),
+                    Value::str(kind),
+                    Value::str(rel),
+                    Value::Int(row as i64),
+                    Value::str(attr),
+                    Value::str(f.verdict.tag()),
+                ]),
+            );
+        }
+        for s in &self.user_context {
+            db.insert(
+                "user_context",
+                Tuple::new(vec![
+                    Value::str(&s.more_important),
+                    Value::str(&s.less_important),
+                    Value::str(&s.strength),
+                ]),
+            );
+        }
+        for (rel, kind) in &self.context_kinds {
+            db.insert(
+                "data_context",
+                Tuple::new(vec![Value::str(rel), Value::str(kind.tag())]),
+            );
+        }
+        for name in self.staged.keys() {
+            db.insert("staged_document", Tuple::new(vec![Value::str(name)]));
+        }
+        for (rel, ctx_attr, tgt_attr) in &self.context_bindings {
+            db.insert(
+                "context_binding",
+                Tuple::new(vec![
+                    Value::str(rel),
+                    Value::str(ctx_attr),
+                    Value::str(tgt_attr),
+                ]),
+            );
+        }
+        db
+    }
+
+    /// Feedback annotations as convenient `(target, verdict)` pairs for a
+    /// result relation.
+    pub fn feedback_for(&self, relation: &str) -> Vec<(&FeedbackTarget, Verdict)> {
+        self.feedback
+            .iter()
+            .filter(|f| match &f.target {
+                FeedbackTarget::Tuple { relation: r, .. }
+                | FeedbackTarget::Attribute { relation: r, .. } => r == relation,
+            })
+            .map(|f| (&f.target, f.verdict))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, AttrType};
+
+    fn kb_with_scenario() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        let mut rightmove = Relation::empty(Schema::all_str(
+            "rightmove",
+            &["price", "street", "postcode"],
+        ));
+        rightmove.push(tuple!["250000", "12 High St", "M13 9PL"]).unwrap();
+        kb.register_source(rightmove);
+        kb.register_target_schema(
+            Schema::new(
+                "property",
+                [
+                    ("street", AttrType::Str),
+                    ("postcode", AttrType::Str),
+                    ("price", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        kb
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let mut kb = KnowledgeBase::new();
+        let v0 = kb.version();
+        kb.register_target_schema(Schema::all_str("t", &["a"]));
+        assert!(kb.version() > v0);
+        assert_eq!(kb.aspect_version("target"), kb.version());
+        assert_eq!(kb.aspect_version("matches"), 0);
+    }
+
+    #[test]
+    fn dependency_query_over_schemas() {
+        let kb = kb_with_scenario();
+        // schema matching's input dependency: source and target schemas exist
+        let rows = kb
+            .query("attr(R, A, _, _), relation(R, \"source\", _), target_attr(T, B, _, _)")
+            .unwrap();
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn instance_matching_dependency_needs_instances() {
+        let mut kb = kb_with_scenario();
+        assert!(kb
+            .query_satisfied("relation(R, \"source\", _), has_instances(R)")
+            .unwrap());
+        // context instances are absent until registered
+        assert!(!kb
+            .query_satisfied("data_context(R, \"reference\"), has_instances(R)")
+            .unwrap());
+        let mut addr = Relation::empty(Schema::all_str("address", &["street", "postcode"]));
+        addr.push(tuple!["12 High St", "M13 9PL"]).unwrap();
+        kb.register_data_context(addr, ContextKind::Reference, &[("street", "street")])
+            .unwrap();
+        assert!(kb
+            .query_satisfied("data_context(R, \"reference\"), has_instances(R)")
+            .unwrap());
+    }
+
+    #[test]
+    fn match_lifecycle() {
+        let mut kb = kb_with_scenario();
+        kb.add_match(MatchDef {
+            id: "m0".into(),
+            src_rel: "rightmove".into(),
+            src_attr: "price".into(),
+            tgt_attr: "price".into(),
+            score: 0.9,
+            matcher: "schema".into(),
+        });
+        assert!(kb.query_satisfied("match(_, _, _, \"price\", S, _), S >= 0.5").unwrap());
+        kb.set_match_score("m0", 0.2).unwrap();
+        assert!(!kb.query_satisfied("match(_, _, _, \"price\", S, _), S >= 0.5").unwrap());
+        assert!(kb.set_match_score("nope", 0.1).is_err());
+    }
+
+    #[test]
+    fn mapping_selection_requires_existing() {
+        let mut kb = kb_with_scenario();
+        assert!(kb.select_mapping("nope").is_err());
+        kb.add_mapping(MappingDef {
+            id: "map0".into(),
+            target: "property".into(),
+            rules: "property(S, P, C) :- rightmove(S, P, C).".into(),
+            sources: vec!["rightmove".into()],
+            matches_used: vec![],
+        });
+        kb.select_mapping("map0").unwrap();
+        assert_eq!(kb.selected_mapping(), Some("map0"));
+        assert!(kb.query_satisfied("selected_mapping(\"map0\")").unwrap());
+    }
+
+    #[test]
+    fn feedback_facts_exposed() {
+        let mut kb = kb_with_scenario();
+        kb.add_feedback(FeedbackRecord {
+            id: "f0".into(),
+            target: FeedbackTarget::Attribute {
+                relation: "property".into(),
+                row: 3,
+                attr: "bedrooms".into(),
+            },
+            verdict: Verdict::Incorrect,
+        });
+        let rows = kb
+            .query("feedback(F, \"attribute\", \"property\", Row, \"bedrooms\", \"incorrect\")")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(kb.feedback_for("property").len(), 1);
+        assert_eq!(kb.feedback_for("other").len(), 0);
+    }
+
+    #[test]
+    fn query_cache_invalidated_by_mutation() {
+        let mut kb = kb_with_scenario();
+        assert!(!kb.query_satisfied("cfd_available(_)").unwrap());
+        kb.add_cfd(CfdRule {
+            id: "c0".into(),
+            relation: "address".into(),
+            lhs: vec![("postcode".into(), None)],
+            rhs: ("city".into(), None),
+            support: 5,
+        });
+        assert!(kb.query_satisfied("cfd_available(\"address\")").unwrap());
+    }
+
+    #[test]
+    fn user_context_facts() {
+        let mut kb = kb_with_scenario();
+        kb.set_user_context(vec![PairwiseStatement {
+            more_important: "completeness(crimerank)".into(),
+            less_important: "accuracy(type)".into(),
+            strength: "very strongly".into(),
+        }]);
+        assert!(kb
+            .query_satisfied("user_context(_, _, \"very strongly\")")
+            .unwrap());
+    }
+}

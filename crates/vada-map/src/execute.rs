@@ -1,0 +1,255 @@
+//! Mapping execution: run the Vadalog program against the source
+//! relations and coerce the answers into the typed target schema.
+
+use vada_common::{AttrType, Relation, Result, Schema, Tuple, VadaError, Value};
+use vada_datalog::engine::{Database, Engine, EngineConfig};
+use vada_datalog::parse_program;
+use vada_kb::{KnowledgeBase, MappingDef};
+
+/// Execution configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecuteConfig {
+    /// Engine limits.
+    pub engine: EngineConfig,
+}
+
+/// Extract the outward code (district) of a postcode-shaped string.
+fn district_of(postcode: &str) -> Option<&str> {
+    let outward = postcode.split_whitespace().next()?;
+    let has_alpha = outward.chars().any(|c| c.is_ascii_alphabetic());
+    let has_digit = outward.chars().any(|c| c.is_ascii_digit());
+    (has_alpha && has_digit).then_some(outward)
+}
+
+/// Normalise a raw extracted value into the target attribute type.
+/// Currency symbols and thousands separators are stripped for numeric
+/// targets; unparseable values become null (the defect stays visible as
+/// missing data rather than corrupt data).
+pub fn coerce_value(v: &Value, ty: AttrType) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    match ty {
+        AttrType::Str => Value::str(v.to_string()),
+        AttrType::Int | AttrType::Float => {
+            let direct = v.coerce(ty);
+            if let Ok(x) = direct {
+                return x;
+            }
+            if let Value::Str(s) = v {
+                let cleaned: String = s
+                    .chars()
+                    .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                    .collect();
+                if !cleaned.is_empty() {
+                    if let Ok(parsed) = Value::parse_as(&cleaned, ty) {
+                        return parsed;
+                    }
+                    // ints rendered with decimals, e.g. "250000.0"
+                    if ty == AttrType::Int {
+                        if let Ok(f) = cleaned.parse::<f64>() {
+                            if f.fract() == 0.0 {
+                                return Value::Int(f as i64);
+                            }
+                        }
+                    }
+                }
+            }
+            Value::Null
+        }
+        AttrType::Bool => v.coerce(AttrType::Bool).unwrap_or(Value::Null),
+    }
+}
+
+/// Build the execution database: the mapping's source relations plus
+/// `postcode_district(full, district)` helper facts derived from every
+/// postcode-shaped value in those relations.
+fn build_input_db(mapping: &MappingDef, kb: &KnowledgeBase) -> Result<Database> {
+    let mut db = Database::new();
+    for source in &mapping.sources {
+        let rel = kb.relation(source)?;
+        db.insert_relation(rel);
+        for t in rel.iter() {
+            for v in t.iter() {
+                if let Value::Str(s) = v {
+                    if let Some(d) = district_of(s) {
+                        if s.contains(' ') {
+                            db.insert(
+                                "postcode_district",
+                                Tuple::new(vec![Value::str(s.as_ref()), Value::str(d)]),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// Execute a mapping and return the result in the target schema.
+pub fn execute_mapping(
+    cfg: &ExecuteConfig,
+    mapping: &MappingDef,
+    kb: &KnowledgeBase,
+) -> Result<Relation> {
+    let target: &Schema = kb
+        .target_schema()
+        .ok_or_else(|| VadaError::Kb("no target schema registered".into()))?;
+    if target.name != mapping.target {
+        return Err(VadaError::Kb(format!(
+            "mapping `{}` targets `{}` but the registered target is `{}`",
+            mapping.id, mapping.target, target.name
+        )));
+    }
+    let program = parse_program(&mapping.rules)?;
+    let input = build_input_db(mapping, kb)?;
+    let output = Engine::new(cfg.engine.clone()).run(&program, input)?;
+
+    let mut rel = Relation::empty(target.clone());
+    for t in output.facts(&target.name) {
+        if t.arity() != target.arity() {
+            return Err(VadaError::Eval(format!(
+                "mapping `{}` produced arity {} for target arity {}",
+                mapping.id,
+                t.arity(),
+                target.arity()
+            )));
+        }
+        let coerced: Vec<Value> = t
+            .iter()
+            .zip(target.attributes())
+            .map(|(v, a)| coerce_value(v, a.ty))
+            .collect();
+        rel.push(Tuple::new(coerced))?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::tuple;
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        let mut rm = Relation::empty(Schema::all_str(
+            "rightmove",
+            &["price", "street", "postcode"],
+        ));
+        rm.push(tuple!["£250,000", "12 high st", "M1 1AA"]).unwrap();
+        rm.push(tuple!["300000", "9 park rd", "EH1 1AA"]).unwrap();
+        rm.push(Tuple::new(vec![Value::str("bad price"), Value::str("1 mill ln"), Value::Null]))
+            .unwrap();
+        kb.register_source(rm);
+        let mut dep = Relation::empty(Schema::all_str("deprivation", &["postcode", "crime"]));
+        dep.push(tuple!["M1", "500"]).unwrap();
+        kb.register_source(dep);
+        kb.register_target_schema(
+            Schema::new(
+                "property",
+                [
+                    ("street", AttrType::Str),
+                    ("postcode", AttrType::Str),
+                    ("price", AttrType::Int),
+                    ("crimerank", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        kb
+    }
+
+    fn mapping(rules: &str, sources: &[&str]) -> MappingDef {
+        MappingDef {
+            id: "m".into(),
+            target: "property".into(),
+            rules: rules.into(),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+            matches_used: vec![],
+        }
+    }
+
+    #[test]
+    fn projection_mapping_coerces_types() {
+        let m = mapping(
+            "property(S, PC, P, null) :- rightmove(P, S, PC).",
+            &["rightmove"],
+        );
+        let rel = execute_mapping(&ExecuteConfig::default(), &m, &kb()).unwrap();
+        assert_eq!(rel.len(), 3);
+        let by_street = |s: &str| {
+            rel.iter()
+                .find(|t| t[0] == Value::str(s))
+                .cloned()
+                .unwrap()
+        };
+        // pretty price parsed
+        assert_eq!(by_street("12 high st")[2], Value::Int(250_000));
+        // plain price parsed
+        assert_eq!(by_street("9 park rd")[2], Value::Int(300_000));
+        // unparseable price → null, not garbage
+        assert!(by_street("1 mill ln")[2].is_null());
+    }
+
+    #[test]
+    fn left_outer_district_join() {
+        let rules = r#"
+            property(S, PC, P, C) :- rightmove(P, S, PC), postcode_district(PC, D), deprivation(D, C).
+            property(S, PC, P, null) :- rightmove(P, S, PC), not has_crime(PC).
+            has_crime(PC) :- postcode_district(PC, D), deprivation(D, _).
+        "#;
+        let m = mapping(rules, &["rightmove", "deprivation"]);
+        let rel = execute_mapping(&ExecuteConfig::default(), &m, &kb()).unwrap();
+        let crime_of = |s: &str| {
+            rel.iter()
+                .find(|t| t[0] == Value::str(s))
+                .map(|t| t[3].clone())
+                .unwrap()
+        };
+        // M1 1AA matches deprivation M1
+        assert_eq!(crime_of("12 high st"), Value::Int(500));
+        // EH1 1AA has no deprivation row: kept with null crimerank
+        assert!(crime_of("9 park rd").is_null());
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn wrong_target_rejected() {
+        let m = MappingDef {
+            id: "m".into(),
+            target: "other".into(),
+            rules: "other(X) :- rightmove(X, _, _).".into(),
+            sources: vec!["rightmove".into()],
+            matches_used: vec![],
+        };
+        assert!(execute_mapping(&ExecuteConfig::default(), &m, &kb()).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let m = mapping("property(S) :- rightmove(_, S, _).", &["rightmove"]);
+        assert!(execute_mapping(&ExecuteConfig::default(), &m, &kb()).is_err());
+    }
+
+    #[test]
+    fn coerce_value_cases() {
+        assert_eq!(coerce_value(&Value::str("£1,250"), AttrType::Int), Value::Int(1250));
+        assert_eq!(coerce_value(&Value::str("3"), AttrType::Int), Value::Int(3));
+        assert_eq!(coerce_value(&Value::str("x"), AttrType::Int), Value::Null);
+        assert_eq!(coerce_value(&Value::Null, AttrType::Int), Value::Null);
+        assert_eq!(coerce_value(&Value::Int(5), AttrType::Str), Value::str("5"));
+        assert_eq!(
+            coerce_value(&Value::str("2.5"), AttrType::Float),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn district_of_shapes() {
+        assert_eq!(district_of("M13 9PL"), Some("M13"));
+        assert_eq!(district_of("EH8 9AB"), Some("EH8"));
+        assert_eq!(district_of("hello world"), None);
+        assert_eq!(district_of(""), None);
+    }
+}

@@ -1,0 +1,445 @@
+//! Candidate mapping generation from matches.
+//!
+//! Sources are classified as **primary** (their matches cover enough of
+//! the target schema to stand alone — the listing sources) or
+//! **augmenting** (they share a join key with the target and contribute
+//! extra attributes — the deprivation table). Candidates are the cross
+//! product of {each primary, the union of all primaries} × {without /
+//! with all augmenting joins}; joins are left-outer so augmentation never
+//! loses rows.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use vada_common::idgen::IdGen;
+use vada_common::{Result, Schema, VadaError};
+use vada_kb::{KnowledgeBase, MappingDef, MatchDef};
+
+static MAPPING_IDS: IdGen = IdGen::new("map");
+
+/// Generation configuration.
+#[derive(Debug, Clone)]
+pub struct MapGenConfig {
+    /// Minimum match score to use a correspondence in a mapping.
+    pub match_threshold: f64,
+    /// A source whose matches cover at least this many target attributes
+    /// is primary.
+    pub primary_min_attrs: usize,
+    /// Join augmenting sources through the postcode→district
+    /// transformation (the scenario's deprivation table is district-keyed).
+    pub district_join: bool,
+    /// The target attribute acting as join key for augmentation.
+    pub join_key: String,
+}
+
+impl Default for MapGenConfig {
+    fn default() -> Self {
+        MapGenConfig {
+            match_threshold: 0.5,
+            primary_min_attrs: 3,
+            district_join: true,
+            join_key: "postcode".into(),
+        }
+    }
+}
+
+/// The best match per (source, target attribute) above the threshold.
+fn best_matches(
+    kb: &KnowledgeBase,
+    threshold: f64,
+) -> BTreeMap<String, BTreeMap<String, MatchDef>> {
+    let mut out: BTreeMap<String, BTreeMap<String, MatchDef>> = BTreeMap::new();
+    for m in kb.matches() {
+        if m.score < threshold {
+            continue;
+        }
+        let per_source = out.entry(m.src_rel.clone()).or_default();
+        match per_source.get(&m.tgt_attr) {
+            Some(prev) if prev.score >= m.score => {}
+            _ => {
+                per_source.insert(m.tgt_attr.clone(), m.clone());
+            }
+        }
+    }
+    out
+}
+
+struct SourceRole<'a> {
+    name: String,
+    schema: &'a Schema,
+    /// target attr → match
+    matches: BTreeMap<String, MatchDef>,
+}
+
+/// Emit the body atom for a source with fresh variables `prefix0..n`;
+/// returns `(atom text, target attr → variable name)`.
+fn source_atom(role: &SourceRole, prefix: &str) -> (String, BTreeMap<String, String>) {
+    let vars: Vec<String> = (0..role.schema.arity()).map(|i| format!("{prefix}{i}")).collect();
+    let atom = format!("{}({})", role.name, vars.join(", "));
+    let mut var_of_target = BTreeMap::new();
+    for (tgt, m) in &role.matches {
+        if let Some(idx) = role.schema.index_of(&m.src_attr) {
+            var_of_target.insert(tgt.clone(), vars[idx].clone());
+        }
+    }
+    (atom, var_of_target)
+}
+
+/// Build the rules for one primary source, optionally augmented.
+fn rules_for_primary(
+    cfg: &MapGenConfig,
+    target: &Schema,
+    primary: &SourceRole,
+    augmenting: &[&SourceRole],
+) -> Result<String> {
+    let (p_atom, p_vars) = source_atom(primary, "S");
+    let mut rules = String::new();
+
+    if augmenting.is_empty() {
+        let head_args: Vec<String> = target
+            .attr_names()
+            .iter()
+            .map(|a| p_vars.get(*a).cloned().unwrap_or_else(|| "null".into()))
+            .collect();
+        writeln!(rules, "{}({}) :- {}.", target.name, head_args.join(", "), p_atom)
+            .expect("string write");
+        return Ok(rules);
+    }
+
+    // with augmentation: a matched rule plus a null-padded complement rule
+    // per augmenting source (left outer join). We support one augmenting
+    // source per join for clarity; several augmentations compose by
+    // sequential application in candidate enumeration.
+    let aug = augmenting[0];
+    let Some(key_var) = p_vars.get(&cfg.join_key) else {
+        return Err(VadaError::Other(format!(
+            "primary source `{}` has no match for join key `{}`",
+            primary.name, cfg.join_key
+        )));
+    };
+    let (a_atom, a_vars) = source_atom(aug, "A");
+    let Some(a_key_var) = a_vars.get(&cfg.join_key) else {
+        return Err(VadaError::Other(format!(
+            "augmenting source `{}` has no match for join key `{}`",
+            aug.name, cfg.join_key
+        )));
+    };
+
+    // join condition: either direct key equality or via district facts
+    let join_cond = if cfg.district_join {
+        format!("postcode_district({key_var}, {a_key_var})")
+    } else {
+        format!("{a_key_var} = {key_var}")
+    };
+
+    let head_args_joined: Vec<String> = target
+        .attr_names()
+        .iter()
+        .map(|a| {
+            p_vars
+                .get(*a)
+                .or_else(|| a_vars.get(*a))
+                .cloned()
+                .unwrap_or_else(|| "null".into())
+        })
+        .collect();
+    writeln!(
+        rules,
+        "{}({}) :- {}, {}, {}.",
+        target.name,
+        head_args_joined.join(", "),
+        p_atom,
+        join_cond,
+        a_atom
+    )
+    .expect("string write");
+
+    // complement: rows with no augmentation partner keep nulls
+    let has_pred = format!("aux_has_{}_{}", aug.name, primary.name);
+    let head_args_plain: Vec<String> = target
+        .attr_names()
+        .iter()
+        .map(|a| p_vars.get(*a).cloned().unwrap_or_else(|| "null".into()))
+        .collect();
+    writeln!(
+        rules,
+        "{}({}) :- {}, not {}({}).",
+        target.name,
+        head_args_plain.join(", "),
+        p_atom,
+        has_pred,
+        key_var
+    )
+    .expect("string write");
+    if cfg.district_join {
+        writeln!(
+            rules,
+            "{has_pred}(PC) :- postcode_district(PC, D), {}.",
+            replace_var(&a_atom, a_key_var, "D")
+        )
+        .expect("string write");
+    } else {
+        writeln!(
+            rules,
+            "{has_pred}({a_key_var}) :- {a_atom}.",
+        )
+        .expect("string write");
+    }
+    Ok(rules)
+}
+
+/// Replace a variable name inside a rendered atom (used to re-key the
+/// augmenting atom in the helper rule).
+fn replace_var(atom: &str, from: &str, to: &str) -> String {
+    // variables are comma/paren delimited; do a token-boundary replace
+    let mut out = String::with_capacity(atom.len());
+    let mut token = String::new();
+    for c in atom.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            token.push(c);
+        } else {
+            if token == from {
+                out.push_str(to);
+            } else {
+                out.push_str(&token);
+            }
+            token.clear();
+            out.push(c);
+        }
+    }
+    if token == from {
+        out.push_str(to);
+    } else {
+        out.push_str(&token);
+    }
+    out
+}
+
+/// Generate candidate mappings from the knowledge base's matches.
+pub fn generate_candidates(cfg: &MapGenConfig, kb: &KnowledgeBase) -> Result<Vec<MappingDef>> {
+    let target = kb
+        .target_schema()
+        .ok_or_else(|| VadaError::Kb("no target schema registered".into()))?
+        .clone();
+    let by_source = best_matches(kb, cfg.match_threshold);
+
+    let mut primaries: Vec<SourceRole> = Vec::new();
+    let mut augmenting: Vec<SourceRole> = Vec::new();
+    for (source, matches) in by_source {
+        let Ok(rel) = kb.relation(&source) else { continue };
+        let role = SourceRole { name: source.clone(), schema: rel.schema(), matches };
+        // classify on *distinct source attributes* covered: a two-column
+        // table can never stand alone for a wide target, even if one of
+        // its columns spuriously matches several target attributes
+        let distinct_src: std::collections::HashSet<&str> =
+            role.matches.values().map(|m| m.src_attr.as_str()).collect();
+        if distinct_src.len() >= cfg.primary_min_attrs {
+            primaries.push(role);
+        } else if role.matches.contains_key(&cfg.join_key) && role.matches.len() >= 2 {
+            augmenting.push(role);
+        }
+    }
+    if primaries.is_empty() {
+        return Err(VadaError::Other(
+            "no primary source: matches cover too little of the target schema".into(),
+        ));
+    }
+
+    // candidate shapes: each primary alone, plus the union of all primaries
+    let mut shapes: Vec<Vec<&SourceRole>> = primaries.iter().map(|p| vec![p]).collect();
+    if primaries.len() > 1 {
+        shapes.push(primaries.iter().collect());
+    }
+
+    let aug_options: Vec<Vec<&SourceRole>> = if augmenting.is_empty() {
+        vec![vec![]]
+    } else {
+        vec![vec![], augmenting.iter().collect()]
+    };
+
+    let mut out = Vec::new();
+    for shape in &shapes {
+        for augs in &aug_options {
+            let mut rules = String::new();
+            let mut matches_used = Vec::new();
+            let mut sources = Vec::new();
+            let mut ok = true;
+            for p in shape {
+                match rules_for_primary(cfg, &target, p, augs) {
+                    Ok(r) => rules.push_str(&r),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+                sources.push(p.name.clone());
+                matches_used.extend(p.matches.values().map(|m| m.id.clone()));
+            }
+            if !ok {
+                continue;
+            }
+            for a in augs {
+                sources.push(a.name.clone());
+                matches_used.extend(a.matches.values().map(|m| m.id.clone()));
+            }
+            matches_used.sort();
+            matches_used.dedup();
+            out.push(MappingDef {
+                id: MAPPING_IDS.next_id(),
+                target: target.name.clone(),
+                rules,
+                sources,
+                matches_used,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, AttrType, Relation};
+    use vada_kb::MatchDef;
+
+    fn kb_with_matches() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        let mut rm = Relation::empty(Schema::all_str(
+            "rightmove",
+            &["price", "street", "postcode", "bedrooms", "type", "description"],
+        ));
+        rm.push(tuple!["250000", "12 high st", "M1 1AA", "3", "flat", "desc"]).unwrap();
+        kb.register_source(rm);
+        let mut dep = Relation::empty(Schema::all_str("deprivation", &["postcode", "crime"]));
+        dep.push(tuple!["M1", "500"]).unwrap();
+        kb.register_source(dep);
+        kb.register_target_schema(
+            Schema::new(
+                "property",
+                [
+                    ("type", AttrType::Str),
+                    ("street", AttrType::Str),
+                    ("postcode", AttrType::Str),
+                    ("price", AttrType::Int),
+                    ("crimerank", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut add = |id: &str, rel: &str, src: &str, tgt: &str, score: f64| {
+            kb.add_match(MatchDef {
+                id: id.into(),
+                src_rel: rel.into(),
+                src_attr: src.into(),
+                tgt_attr: tgt.into(),
+                score,
+                matcher: "schema".into(),
+            });
+        };
+        add("m0", "rightmove", "type", "type", 1.0);
+        add("m1", "rightmove", "street", "street", 1.0);
+        add("m2", "rightmove", "postcode", "postcode", 1.0);
+        add("m3", "rightmove", "price", "price", 1.0);
+        add("m4", "deprivation", "postcode", "postcode", 0.9);
+        add("m5", "deprivation", "crime", "crimerank", 0.9);
+        kb
+    }
+
+    #[test]
+    fn generates_plain_and_augmented_candidates() {
+        let kb = kb_with_matches();
+        let cands = generate_candidates(&MapGenConfig::default(), &kb).unwrap();
+        // one primary × {no aug, aug}
+        assert_eq!(cands.len(), 2);
+        let plain = &cands[0];
+        assert_eq!(plain.sources, vec!["rightmove"]);
+        assert!(plain.rules.contains("property("));
+        assert!(plain.rules.contains("null"));
+        let aug = &cands[1];
+        assert!(aug.sources.contains(&"deprivation".to_string()));
+        assert!(aug.rules.contains("postcode_district"));
+        assert!(aug.rules.contains("not aux_has_deprivation_rightmove"));
+    }
+
+    #[test]
+    fn generated_rules_parse() {
+        let kb = kb_with_matches();
+        for cand in generate_candidates(&MapGenConfig::default(), &kb).unwrap() {
+            vada_datalog::parse_program(&cand.rules)
+                .unwrap_or_else(|e| panic!("rules do not parse: {e}\n{}", cand.rules));
+        }
+    }
+
+    #[test]
+    fn low_scores_are_ignored() {
+        let mut kb = kb_with_matches();
+        kb.add_match(MatchDef {
+            id: "bad".into(),
+            src_rel: "rightmove".into(),
+            src_attr: "description".into(),
+            tgt_attr: "crimerank".into(),
+            score: 0.1,
+            matcher: "schema".into(),
+        });
+        let cands = generate_candidates(&MapGenConfig::default(), &kb).unwrap();
+        assert!(!cands[0].matches_used.contains(&"bad".to_string()));
+    }
+
+    #[test]
+    fn no_primary_errors() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_target_schema(Schema::all_str("t", &["a", "b", "c", "d"]));
+        let mut s = Relation::empty(Schema::all_str("s", &["x"]));
+        s.push(tuple!["v"]).unwrap();
+        kb.register_source(s);
+        kb.add_match(MatchDef {
+            id: "m".into(),
+            src_rel: "s".into(),
+            src_attr: "x".into(),
+            tgt_attr: "a".into(),
+            score: 0.9,
+            matcher: "schema".into(),
+        });
+        assert!(generate_candidates(&MapGenConfig::default(), &kb).is_err());
+    }
+
+    #[test]
+    fn replace_var_respects_token_boundaries() {
+        assert_eq!(replace_var("d(A0, A01)", "A0", "D"), "d(D, A01)");
+        assert_eq!(replace_var("d(A0)", "A0", "D"), "d(D)");
+    }
+
+    #[test]
+    fn union_candidate_when_two_primaries() {
+        let mut kb = kb_with_matches();
+        let mut otm = Relation::empty(Schema::all_str(
+            "onthemarket",
+            &["asking_price", "street_name", "post_code"],
+        ));
+        otm.push(tuple!["300000", "9 park rd", "EH1 1AA"]).unwrap();
+        kb.register_source(otm);
+        for (id, src, tgt) in [
+            ("o0", "asking_price", "price"),
+            ("o1", "street_name", "street"),
+            ("o2", "post_code", "postcode"),
+        ] {
+            kb.add_match(MatchDef {
+                id: id.into(),
+                src_rel: "onthemarket".into(),
+                src_attr: src.into(),
+                tgt_attr: tgt.into(),
+                score: 0.9,
+                matcher: "schema".into(),
+            });
+        }
+        let cands = generate_candidates(&MapGenConfig::default(), &kb).unwrap();
+        // {rm, otm, rm∪otm} × {plain, aug}
+        assert_eq!(cands.len(), 6);
+        let union = cands
+            .iter()
+            .find(|c| c.sources.contains(&"rightmove".into()) && c.sources.contains(&"onthemarket".into()))
+            .unwrap();
+        // union rules contain two rules for the target head
+        assert!(union.rules.matches("property(").count() >= 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Mapping selection: weighted utility over quality metrics, with AHP
+//! weights from the user context (paper §3 step 4: "pairwise comparisons
+//! are used to derive weights that inform the selection of mappings based
+//! on multi-dimensional optimization").
+
+use std::collections::HashMap;
+
+use vada_context::{Criterion, UserContext};
+
+/// A candidate mapping with its per-criterion quality scores.
+#[derive(Debug, Clone)]
+pub struct MappingScore {
+    /// Mapping id.
+    pub mapping_id: String,
+    /// Criterion (as `metric(scope)` strings) → score in `[0, 1]`.
+    pub scores: HashMap<String, f64>,
+}
+
+impl MappingScore {
+    /// Build from criterion/score pairs.
+    pub fn new(mapping_id: impl Into<String>, scores: &[(&str, f64)]) -> MappingScore {
+        MappingScore {
+            mapping_id: mapping_id.into(),
+            scores: scores.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+}
+
+/// Rank candidates by weighted utility under the user context, best first.
+/// Ties break on mapping id for determinism. Returns `(id, utility)`.
+pub fn rank_mappings(
+    candidates: &[MappingScore],
+    ctx: &UserContext,
+) -> Vec<(String, f64)> {
+    let mut ranked: Vec<(String, f64)> = candidates
+        .iter()
+        .map(|c| {
+            let u = ctx.utility(|criterion: &Criterion| {
+                c.scores.get(&criterion.to_string()).copied()
+            });
+            (c.mapping_id.clone(), u)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_context::UserContext;
+    use vada_kb::PairwiseStatement;
+
+    fn crime_heavy_context() -> UserContext {
+        UserContext::derive(
+            &[PairwiseStatement {
+                more_important: "completeness(crimerank)".into(),
+                less_important: "completeness(bedrooms)".into(),
+                strength: "very strongly".into(),
+            }],
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn context_drives_the_winner() {
+        // candidate A: great crimerank completeness, poor bedrooms
+        // candidate B: the reverse
+        let cands = vec![
+            MappingScore::new(
+                "mapA",
+                &[("completeness(crimerank)", 0.9), ("completeness(bedrooms)", 0.2)],
+            ),
+            MappingScore::new(
+                "mapB",
+                &[("completeness(crimerank)", 0.2), ("completeness(bedrooms)", 0.9)],
+            ),
+        ];
+        let crime_ranked = rank_mappings(&cands, &crime_heavy_context());
+        assert_eq!(crime_ranked[0].0, "mapA");
+
+        // flip the context: bedrooms now dominate (paper §2.2's size analysis)
+        let size_ctx = UserContext::derive(
+            &[PairwiseStatement {
+                more_important: "completeness(bedrooms)".into(),
+                less_important: "completeness(crimerank)".into(),
+                strength: "very strongly".into(),
+            }],
+            &[],
+        )
+        .unwrap();
+        let size_ranked = rank_mappings(&cands, &size_ctx);
+        assert_eq!(size_ranked[0].0, "mapB");
+    }
+
+    #[test]
+    fn missing_scores_count_as_zero() {
+        let cands = vec![
+            MappingScore::new("full", &[("completeness(crimerank)", 0.5), ("completeness(bedrooms)", 0.5)]),
+            MappingScore::new("partial", &[("completeness(crimerank)", 0.5)]),
+        ];
+        let ranked = rank_mappings(&cands, &crime_heavy_context());
+        assert_eq!(ranked[0].0, "full");
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let cands = vec![
+            MappingScore::new("b", &[("completeness(crimerank)", 0.5)]),
+            MappingScore::new("a", &[("completeness(crimerank)", 0.5)]),
+        ];
+        let ranked = rank_mappings(&cands, &crime_heavy_context());
+        assert_eq!(ranked[0].0, "a");
+    }
+
+    #[test]
+    fn utilities_bounded_by_weights() {
+        let cands = vec![MappingScore::new(
+            "m",
+            &[("completeness(crimerank)", 1.0), ("completeness(bedrooms)", 1.0)],
+        )];
+        let ranked = rank_mappings(&cands, &crime_heavy_context());
+        assert!(ranked[0].1 <= 1.0 + 1e-9);
+        assert!(ranked[0].1 > 0.99);
+    }
+}

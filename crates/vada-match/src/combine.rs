@@ -1,0 +1,146 @@
+//! Combining schema-level and instance-level match evidence.
+
+use std::collections::HashMap;
+
+use crate::correspondence::{dedup_best, Correspondence};
+
+/// How the two evidence streams are merged.
+#[derive(Debug, Clone)]
+pub struct CombineConfig {
+    /// Weight of instance evidence when both matchers scored a pair.
+    pub instance_weight: f64,
+    /// A pair seen by only one matcher keeps `solo_damping` × its score —
+    /// corroboration is worth more than a single witness.
+    pub solo_damping: f64,
+    /// Drop combined scores below this.
+    pub threshold: f64,
+}
+
+impl Default for CombineConfig {
+    fn default() -> Self {
+        CombineConfig { instance_weight: 0.6, solo_damping: 0.9, threshold: 0.35 }
+    }
+}
+
+/// Merge schema and instance correspondences into combined ones.
+pub fn combine(
+    cfg: &CombineConfig,
+    schema: &[Correspondence],
+    instance: &[Correspondence],
+) -> Vec<Correspondence> {
+    let schema = dedup_best(schema.to_vec());
+    let instance = dedup_best(instance.to_vec());
+    type PairKey = (String, String, String);
+    let mut by_pair: HashMap<PairKey, (Option<f64>, Option<f64>)> = HashMap::new();
+    for c in &schema {
+        by_pair.entry(c.pair_key()).or_default().0 = Some(c.score);
+    }
+    for c in &instance {
+        by_pair.entry(c.pair_key()).or_default().1 = Some(c.score);
+    }
+    let mut out = Vec::new();
+    let mut keys: Vec<_> = by_pair.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let (s, i) = by_pair[&key];
+        let (score, evidence) = match (s, i) {
+            (Some(s), Some(i)) => (
+                (1.0 - cfg.instance_weight) * s + cfg.instance_weight * i,
+                format!("schema {s:.2} + instance {i:.2}"),
+            ),
+            (Some(s), None) => (s * cfg.solo_damping, format!("schema only {s:.2}")),
+            (None, Some(i)) => (i * cfg.solo_damping, format!("instance only {i:.2}")),
+            (None, None) => unreachable!("pair came from one of the lists"),
+        };
+        if score >= cfg.threshold {
+            out.push(Correspondence {
+                src_rel: key.0,
+                src_attr: key.1,
+                tgt_attr: key.2,
+                score,
+                matcher: "combined".into(),
+                evidence,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(matcher: &str, src_attr: &str, tgt: &str, score: f64) -> Correspondence {
+        Correspondence {
+            src_rel: "s".into(),
+            src_attr: src_attr.into(),
+            tgt_attr: tgt.into(),
+            score,
+            matcher: matcher.into(),
+            evidence: String::new(),
+        }
+    }
+
+    #[test]
+    fn corroborated_pairs_score_weighted_average() {
+        let out = combine(
+            &CombineConfig::default(),
+            &[c("schema", "price", "price", 1.0)],
+            &[c("instance", "price", "price", 0.5)],
+        );
+        assert_eq!(out.len(), 1);
+        // 0.4*1.0 + 0.6*0.5 = 0.7
+        assert!((out[0].score - 0.7).abs() < 1e-9);
+        assert_eq!(out[0].matcher, "combined");
+    }
+
+    #[test]
+    fn solo_pairs_are_damped() {
+        let out = combine(
+            &CombineConfig::default(),
+            &[c("schema", "price", "price", 1.0)],
+            &[],
+        );
+        assert!((out[0].score - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corroboration_beats_contradiction() {
+        // a wrong schema match (name collision) vs a right one corroborated
+        // by instances: instance evidence should win the ranking
+        let out = combine(
+            &CombineConfig::default(),
+            &[
+                c("schema", "crime", "crimerank", 0.9),
+                c("schema", "crime", "price", 0.55),
+            ],
+            &[c("instance", "crime", "crimerank", 0.8)],
+        );
+        let best = out
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .unwrap();
+        assert_eq!(best.tgt_attr, "crimerank");
+    }
+
+    #[test]
+    fn threshold_prunes() {
+        let out = combine(
+            &CombineConfig::default(),
+            &[c("schema", "a", "b", 0.36)],
+            &[],
+        );
+        assert!(out.is_empty()); // 0.36 * 0.9 < 0.35
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let a = combine(
+            &CombineConfig::default(),
+            &[c("schema", "b", "y", 0.8), c("schema", "a", "x", 0.8)],
+            &[],
+        );
+        assert_eq!(a[0].src_attr, "a");
+        assert_eq!(a[1].src_attr, "b");
+    }
+}

@@ -1,0 +1,83 @@
+//! Attribute correspondences — the output of matchers.
+
+use std::fmt;
+
+/// A scored correspondence between a source attribute and a target
+/// attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correspondence {
+    /// Source relation name.
+    pub src_rel: String,
+    /// Source attribute name.
+    pub src_attr: String,
+    /// Target attribute name.
+    pub tgt_attr: String,
+    /// Confidence in `[0, 1]`.
+    pub score: f64,
+    /// Which matcher produced it (`schema`, `instance`, `combined`).
+    pub matcher: String,
+    /// Human-readable evidence summary for the trace.
+    pub evidence: String,
+}
+
+impl Correspondence {
+    /// Key identifying the attribute pair regardless of score.
+    pub fn pair_key(&self) -> (String, String, String) {
+        (
+            self.src_rel.clone(),
+            self.src_attr.clone(),
+            self.tgt_attr.clone(),
+        )
+    }
+}
+
+impl fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} ~ {} ({:.2}, {})",
+            self.src_rel, self.src_attr, self.tgt_attr, self.score, self.matcher
+        )
+    }
+}
+
+/// Keep only the best-scoring correspondence per (source attribute, target
+/// attribute) pair.
+pub fn dedup_best(mut all: Vec<Correspondence>) -> Vec<Correspondence> {
+    all.sort_by(|a, b| {
+        a.pair_key()
+            .cmp(&b.pair_key())
+            .then(b.score.total_cmp(&a.score))
+    });
+    all.dedup_by_key(|c| c.pair_key());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(src_attr: &str, tgt: &str, score: f64) -> Correspondence {
+        Correspondence {
+            src_rel: "s".into(),
+            src_attr: src_attr.into(),
+            tgt_attr: tgt.into(),
+            score,
+            matcher: "schema".into(),
+            evidence: String::new(),
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_best() {
+        let out = dedup_best(vec![c("a", "x", 0.3), c("a", "x", 0.9), c("b", "x", 0.5)]);
+        assert_eq!(out.len(), 2);
+        let a = out.iter().find(|c| c.src_attr == "a").unwrap();
+        assert_eq!(a.score, 0.9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(c("price", "price", 0.915).to_string(), "s.price ~ price (0.92, schema)");
+    }
+}

@@ -1,0 +1,253 @@
+//! Instance-based matching: correspondences from *data*, not names.
+//!
+//! Target-side instances come from the data context (paper §2.2): a
+//! reference relation bound to target attributes supplies the value
+//! population each source column is compared against. Two evidence kinds:
+//!
+//! * **value overlap** — Jaccard of the normalised string sets (sampled);
+//! * **numeric profile** — when both columns are numeric-ish, similarity of
+//!   their ranges and means.
+//!
+//! Input dependency (paper Table 1, "Instance Matching"): source *and*
+//! target instances must be available.
+
+use std::collections::HashSet;
+
+use vada_common::text::normalize;
+use vada_common::{Relation, Value};
+
+use crate::correspondence::Correspondence;
+
+/// A target attribute with instance values obtained from the data context.
+#[derive(Debug, Clone)]
+pub struct ContextColumn {
+    /// Target attribute the values describe.
+    pub tgt_attr: String,
+    /// Values drawn from the context relation.
+    pub values: Vec<Value>,
+}
+
+impl ContextColumn {
+    /// Build from a context relation column bound to a target attribute.
+    pub fn from_relation(rel: &Relation, ctx_attr: &str, tgt_attr: &str) -> ContextColumn {
+        let idx = rel.schema().index_of(ctx_attr);
+        let values = match idx {
+            Some(i) => rel
+                .iter()
+                .map(|t| t[i].clone())
+                .filter(|v| !v.is_null())
+                .collect(),
+            None => Vec::new(),
+        };
+        ContextColumn { tgt_attr: tgt_attr.to_string(), values }
+    }
+}
+
+/// Configuration for the instance matcher.
+#[derive(Debug, Clone)]
+pub struct InstanceMatchConfig {
+    /// Minimum score to report.
+    pub threshold: f64,
+    /// Sample cap per column (keeps matching subquadratic on big sources).
+    pub sample: usize,
+    /// Weight of value overlap vs numeric profile when both apply.
+    pub overlap_weight: f64,
+}
+
+impl Default for InstanceMatchConfig {
+    fn default() -> Self {
+        InstanceMatchConfig { threshold: 0.3, sample: 500, overlap_weight: 0.7 }
+    }
+}
+
+/// Basic numeric profile of a column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NumericProfile {
+    numeric_fraction: f64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+fn profile(values: &[Value], sample: usize) -> NumericProfile {
+    let mut nums = Vec::new();
+    let mut total = 0usize;
+    for v in values.iter().take(sample) {
+        total += 1;
+        let parsed = match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+            _ => None,
+        };
+        if let Some(x) = parsed {
+            nums.push(x);
+        }
+    }
+    if nums.is_empty() || total == 0 {
+        return NumericProfile { numeric_fraction: 0.0, mean: 0.0, min: 0.0, max: 0.0 };
+    }
+    let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+    let min = nums.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    NumericProfile { numeric_fraction: nums.len() as f64 / total as f64, mean, min, max }
+}
+
+/// Range-overlap similarity of two numeric profiles.
+fn profile_similarity(a: &NumericProfile, b: &NumericProfile) -> f64 {
+    if a.numeric_fraction < 0.5 || b.numeric_fraction < 0.5 {
+        return 0.0;
+    }
+    let lo = a.min.max(b.min);
+    let hi = a.max.min(b.max);
+    let overlap = (hi - lo).max(0.0);
+    let span = (a.max.max(b.max) - a.min.min(b.min)).max(1e-9);
+    let range_sim = overlap / span;
+    let mean_scale = a.mean.abs().max(b.mean.abs()).max(1e-9);
+    let mean_sim = 1.0 - ((a.mean - b.mean).abs() / mean_scale).min(1.0);
+    0.5 * range_sim + 0.5 * mean_sim
+}
+
+fn value_set(values: &[Value], sample: usize) -> HashSet<String> {
+    values
+        .iter()
+        .take(sample)
+        .filter(|v| !v.is_null())
+        .map(|v| normalize(&v.to_string()))
+        .collect()
+}
+
+/// Match source columns against context-supplied target instances.
+pub fn instance_match(
+    cfg: &InstanceMatchConfig,
+    src: &Relation,
+    context: &[ContextColumn],
+) -> Vec<Correspondence> {
+    let mut out = Vec::new();
+    for (i, sa) in src.schema().attributes().iter().enumerate() {
+        let src_values: Vec<Value> = src
+            .iter()
+            .map(|t| t[i].clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        if src_values.is_empty() {
+            continue;
+        }
+        let src_set = value_set(&src_values, cfg.sample);
+        let src_profile = profile(&src_values, cfg.sample);
+        for ctx in context {
+            if ctx.values.is_empty() {
+                continue;
+            }
+            let ctx_set = value_set(&ctx.values, cfg.sample);
+            let inter = src_set.intersection(&ctx_set).count();
+            let union = src_set.len() + ctx_set.len() - inter;
+            let overlap = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            let ctx_profile = profile(&ctx.values, cfg.sample);
+            let prof = profile_similarity(&src_profile, &ctx_profile);
+            let score = if prof > 0.0 {
+                cfg.overlap_weight * overlap + (1.0 - cfg.overlap_weight) * prof
+            } else {
+                overlap
+            };
+            if score >= cfg.threshold {
+                out.push(Correspondence {
+                    src_rel: src.name().to_string(),
+                    src_attr: sa.name.clone(),
+                    tgt_attr: ctx.tgt_attr.clone(),
+                    score,
+                    matcher: "instance".into(),
+                    evidence: format!(
+                        "value overlap {overlap:.2}, profile {prof:.2} over {} src / {} ctx values",
+                        src_set.len(),
+                        ctx_set.len()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{Schema, Tuple};
+
+    fn rel(name: &str, attrs: &[&str], rows: Vec<Vec<&str>>) -> Relation {
+        let mut r = Relation::empty(Schema::all_str(name, attrs));
+        for row in rows {
+            r.push(Tuple::new(row.into_iter().map(Value::str).collect::<Vec<_>>()))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn value_overlap_finds_postcode_column() {
+        let src = rel(
+            "s",
+            &["colA", "colB"],
+            vec![
+                vec!["M13 9PL", "red"],
+                vec!["EH8 9AB", "blue"],
+                vec!["OX1 3QD", "red"],
+            ],
+        );
+        let ctx = vec![ContextColumn {
+            tgt_attr: "postcode".into(),
+            values: vec![
+                Value::str("M13 9PL"),
+                Value::str("EH8 9AB"),
+                Value::str("LS1 1AA"),
+            ],
+        }];
+        let corrs = instance_match(&InstanceMatchConfig::default(), &src, &ctx);
+        assert_eq!(corrs.len(), 1);
+        assert_eq!(corrs[0].src_attr, "colA");
+        assert_eq!(corrs[0].tgt_attr, "postcode");
+        assert!(corrs[0].score >= 0.3);
+    }
+
+    #[test]
+    fn numeric_profile_matches_number_columns() {
+        let src = rel(
+            "s",
+            &["mystery"],
+            vec![vec!["1"], vec!["3"], vec!["5"], vec!["2"], vec!["4"]],
+        );
+        let ctx = vec![ContextColumn {
+            tgt_attr: "bedrooms".into(),
+            values: (1..=6).map(|i: i64| Value::str(i.to_string())).collect(),
+        }];
+        let corrs = instance_match(&InstanceMatchConfig::default(), &src, &ctx);
+        assert_eq!(corrs.len(), 1, "numeric profile + overlap should match");
+        assert_eq!(corrs[0].tgt_attr, "bedrooms");
+    }
+
+    #[test]
+    fn disjoint_columns_do_not_match() {
+        let src = rel("s", &["name"], vec![vec!["alice"], vec!["bob"]]);
+        let ctx = vec![ContextColumn {
+            tgt_attr: "postcode".into(),
+            values: vec![Value::str("M13 9PL")],
+        }];
+        assert!(instance_match(&InstanceMatchConfig::default(), &src, &ctx).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs_are_quiet() {
+        let src = rel("s", &["a"], vec![]);
+        let ctx = vec![ContextColumn { tgt_attr: "x".into(), values: vec![] }];
+        assert!(instance_match(&InstanceMatchConfig::default(), &src, &ctx).is_empty());
+    }
+
+    #[test]
+    fn context_column_from_relation_binds_attr() {
+        let r = rel("address", &["street", "postcode"], vec![vec!["12 high st", "M1 1AA"]]);
+        let c = ContextColumn::from_relation(&r, "postcode", "postcode");
+        assert_eq!(c.values, vec![Value::str("M1 1AA")]);
+        let missing = ContextColumn::from_relation(&r, "nope", "x");
+        assert!(missing.values.is_empty());
+    }
+}

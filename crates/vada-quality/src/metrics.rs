@@ -1,0 +1,146 @@
+//! Quality metrics: the evidence the user context trades off
+//! (paper §2.2: completeness can be estimated from non-null fractions,
+//! consistency needs CFDs learned from the data context, accuracy needs a
+//! reference population).
+
+use std::collections::HashSet;
+
+use vada_common::text::normalize;
+use vada_common::{Relation, Result};
+use vada_kb::CfdRule;
+
+use crate::violations::{detect_violations, violating_row_count};
+
+/// Consistency of a relation w.r.t. a CFD set: `1 − violating rows / rows`.
+/// An empty relation is vacuously consistent.
+pub fn consistency(rel: &Relation, cfds: &[CfdRule]) -> f64 {
+    if rel.is_empty() {
+        return 1.0;
+    }
+    let violations = detect_violations(rel, cfds);
+    1.0 - violating_row_count(&violations) as f64 / rel.len() as f64
+}
+
+/// Syntactic accuracy of `attr` against a reference population: the
+/// fraction of non-null values that appear in the reference column
+/// (compared on normal forms). Returns 1.0 when the column has no values.
+pub fn accuracy_against_reference(
+    rel: &Relation,
+    attr: &str,
+    reference: &Relation,
+    ref_attr: &str,
+) -> Result<f64> {
+    let col = rel.schema().require(attr)?;
+    let ref_col = reference.schema().require(ref_attr)?;
+    let population: HashSet<String> = reference
+        .iter()
+        .filter(|t| !t[ref_col].is_null())
+        .map(|t| normalize(&t[ref_col].to_string()))
+        .collect();
+    let mut total = 0usize;
+    let mut hits = 0usize;
+    for t in rel.iter() {
+        if t[col].is_null() {
+            continue;
+        }
+        total += 1;
+        if population.contains(&normalize(&t[col].to_string())) {
+            hits += 1;
+        }
+    }
+    Ok(if total == 0 { 1.0 } else { hits as f64 / total as f64 })
+}
+
+/// Coverage of master data: the fraction of distinct master keys present
+/// in the relation (the completeness notion master data licenses).
+pub fn master_coverage(
+    rel: &Relation,
+    attr: &str,
+    master: &Relation,
+    master_attr: &str,
+) -> Result<f64> {
+    let col = rel.schema().require(attr)?;
+    let m_col = master.schema().require(master_attr)?;
+    let keys: HashSet<String> = master
+        .iter()
+        .filter(|t| !t[m_col].is_null())
+        .map(|t| normalize(&t[m_col].to_string()))
+        .collect();
+    if keys.is_empty() {
+        return Ok(1.0);
+    }
+    let present: HashSet<String> = rel
+        .iter()
+        .filter(|t| !t[col].is_null())
+        .map(|t| normalize(&t[col].to_string()))
+        .collect();
+    Ok(keys.intersection(&present).count() as f64 / keys.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, Schema};
+    use vada_kb::CfdRule;
+
+    fn fd(lhs: &str, rhs: &str) -> CfdRule {
+        CfdRule {
+            id: "c".into(),
+            relation: "r".into(),
+            lhs: vec![(lhs.into(), None)],
+            rhs: (rhs.into(), None),
+            support: 5,
+        }
+    }
+
+    #[test]
+    fn consistency_counts_violating_rows() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["pc", "city"]),
+            vec![
+                tuple!["M1", "manchester"],
+                tuple!["M1", "manchester"],
+                tuple!["M1", "leeds"],
+                tuple!["EH1", "edinburgh"],
+            ],
+        )
+        .unwrap();
+        let c = consistency(&rel, &[fd("pc", "city")]);
+        assert!((c - 0.75).abs() < 1e-12, "{c}");
+        let empty = Relation::empty(Schema::all_str("r", &["pc", "city"]));
+        assert_eq!(consistency(&empty, &[fd("pc", "city")]), 1.0);
+    }
+
+    #[test]
+    fn accuracy_checks_population_membership() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["pc"]),
+            vec![tuple!["M1 1AA"], tuple!["BOGUS"], tuple!["EH1 1AA"]],
+        )
+        .unwrap();
+        let reference = Relation::from_tuples(
+            Schema::all_str("ref", &["postcode"]),
+            vec![tuple!["M1 1AA"], tuple!["EH1 1AA"]],
+        )
+        .unwrap();
+        let a = accuracy_against_reference(&rel, "pc", &reference, "postcode").unwrap();
+        assert!((a - 2.0 / 3.0).abs() < 1e-12);
+        assert!(accuracy_against_reference(&rel, "nope", &reference, "postcode").is_err());
+    }
+
+    #[test]
+    fn master_coverage_measures_recall_of_keys() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["street"]),
+            vec![tuple!["1 high st"], tuple!["1 high st"]],
+        )
+        .unwrap();
+        let master = Relation::from_tuples(
+            Schema::all_str("m", &["street"]),
+            vec![tuple!["1 high st"], tuple!["2 park rd"]],
+        )
+        .unwrap();
+        let c = master_coverage(&rel, "street", &master, "street").unwrap();
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Lightweight column profiling for reports and the orchestration trace.
+
+use std::collections::BTreeMap;
+
+use vada_common::{Relation, Value};
+
+/// Profile of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Attribute name.
+    pub attr: String,
+    /// Row count.
+    pub rows: usize,
+    /// Non-null count.
+    pub non_null: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Fraction of non-null values parseable as numbers.
+    pub numeric_fraction: f64,
+}
+
+impl ColumnProfile {
+    /// Completeness = non-null / rows (1.0 when empty).
+    pub fn completeness(&self) -> f64 {
+        if self.rows == 0 {
+            1.0
+        } else {
+            self.non_null as f64 / self.rows as f64
+        }
+    }
+
+    /// Uniqueness = distinct / non-null (1.0 when no values).
+    pub fn uniqueness(&self) -> f64 {
+        if self.non_null == 0 {
+            1.0
+        } else {
+            self.distinct as f64 / self.non_null as f64
+        }
+    }
+}
+
+/// Profile every column of a relation.
+pub fn profile_relation(rel: &Relation) -> Vec<ColumnProfile> {
+    let mut out = Vec::new();
+    for (i, a) in rel.schema().attributes().iter().enumerate() {
+        let mut non_null = 0usize;
+        let mut numeric = 0usize;
+        let mut distinct: BTreeMap<&Value, ()> = BTreeMap::new();
+        for t in rel.iter() {
+            let v = &t[i];
+            if v.is_null() {
+                continue;
+            }
+            non_null += 1;
+            distinct.insert(v, ());
+            let is_num = match v {
+                Value::Int(_) | Value::Float(_) => true,
+                Value::Str(s) => s.trim().parse::<f64>().is_ok(),
+                _ => false,
+            };
+            if is_num {
+                numeric += 1;
+            }
+        }
+        out.push(ColumnProfile {
+            attr: a.name.clone(),
+            rows: rel.len(),
+            non_null,
+            distinct: distinct.len(),
+            numeric_fraction: if non_null == 0 { 0.0 } else { numeric as f64 / non_null as f64 },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, Schema, Tuple};
+
+    #[test]
+    fn profiles_counts_and_numerics() {
+        let rel = Relation::from_tuples(
+            Schema::all_str("r", &["a", "b"]),
+            vec![
+                tuple!["1", "x"],
+                tuple!["2", "x"],
+                Tuple::new(vec![Value::Null, Value::str("y")]),
+            ],
+        )
+        .unwrap();
+        let p = profile_relation(&rel);
+        assert_eq!(p[0].non_null, 2);
+        assert_eq!(p[0].numeric_fraction, 1.0);
+        assert!((p[0].completeness() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p[1].distinct, 2);
+        assert_eq!(p[1].numeric_fraction, 0.0);
+        assert!((p[1].uniqueness() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relation_profiles_cleanly() {
+        let rel = Relation::empty(Schema::all_str("r", &["a"]));
+        let p = profile_relation(&rel);
+        assert_eq!(p[0].completeness(), 1.0);
+        assert_eq!(p[0].uniqueness(), 1.0);
+    }
+}

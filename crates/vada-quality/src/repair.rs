@@ -1,0 +1,383 @@
+//! Reference-driven repair (paper §2.3: "thereby to carry out repairs to
+//! the mapping results").
+//!
+//! Two repair strategies, both powered by the data context:
+//!
+//! 1. **CFD lookup repair** — for each learned variable FD `X → A` that
+//!    also holds on the reference relation, build a lookup `X values → A
+//!    value` from the reference data; any result row whose `X` values hit
+//!    the lookup gets its `A` overwritten (or a null filled) when it
+//!    disagrees.
+//! 2. **Fuzzy key repair** — typo'd values of a *key-like* attribute (the
+//!    scenario's `street`) are snapped to the unique sufficiently-similar
+//!    reference value sharing the row's `postcode`-like context.
+
+use std::collections::HashMap;
+
+use vada_common::text::{jaro_winkler, normalize};
+use vada_common::{Relation, Value};
+use vada_kb::CfdRule;
+
+/// Repair configuration.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Minimum Jaro-Winkler similarity for a fuzzy snap.
+    pub fuzzy_threshold: f64,
+    /// Fill nulls from CFD lookups (not just fix conflicts)?
+    pub fill_nulls: bool,
+    /// Maximum chase passes: a repaired cell can enable further repairs
+    /// (a filled postcode unlocks the city lookup), so repair iterates to
+    /// a fixpoint; the cap guards against adversarial cyclic references,
+    /// mirroring the Datalog chase's termination guard.
+    pub max_passes: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig { fuzzy_threshold: 0.88, fill_nulls: true, max_passes: 8 }
+    }
+}
+
+/// What a repair run changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Cells overwritten because they conflicted with a CFD lookup.
+    pub cfd_fixes: usize,
+    /// Nulls filled from CFD lookups.
+    pub null_fills: usize,
+    /// Values snapped by fuzzy matching.
+    pub fuzzy_fixes: usize,
+    /// Chase passes executed.
+    pub passes: usize,
+    /// Whether the chase reached a fixpoint (a pass that changed nothing)
+    /// within the pass cap. When `true`, a further repair call is a no-op.
+    pub converged: bool,
+}
+
+impl RepairReport {
+    /// Total changed cells.
+    pub fn total(&self) -> usize {
+        self.cfd_fixes + self.null_fills + self.fuzzy_fixes
+    }
+}
+
+/// One lookup table: `(lhs attrs, rhs attr, lhs values → rhs value)`.
+type Lookup = (Vec<String>, String, HashMap<Vec<Value>, Value>);
+
+/// Lookup tables built from the reference relation for each variable FD.
+fn build_lookups(cfds: &[CfdRule], reference: &Relation) -> Vec<Lookup> {
+    let mut out = Vec::new();
+    for cfd in cfds {
+        if cfd.rhs.1.is_some() || cfd.lhs.iter().any(|(_, p)| p.is_some()) {
+            continue; // constant CFDs handled through violations, not lookup
+        }
+        let lhs_attrs: Vec<String> = cfd.lhs.iter().map(|(a, _)| a.clone()).collect();
+        let lhs_cols: Option<Vec<usize>> = lhs_attrs
+            .iter()
+            .map(|a| reference.schema().index_of(a))
+            .collect();
+        let rhs_col = reference.schema().index_of(&cfd.rhs.0);
+        let (Some(lhs_cols), Some(rhs_col)) = (lhs_cols, rhs_col) else {
+            continue;
+        };
+        let mut table: HashMap<Vec<Value>, Value> = HashMap::new();
+        let mut conflicted: std::collections::HashSet<Vec<Value>> = Default::default();
+        for t in reference.iter() {
+            if lhs_cols.iter().any(|&c| t[c].is_null()) || t[rhs_col].is_null() {
+                continue;
+            }
+            let key: Vec<Value> = lhs_cols.iter().map(|&c| t[c].clone()).collect();
+            match table.get(&key) {
+                None => {
+                    table.insert(key, t[rhs_col].clone());
+                }
+                Some(v) if *v == t[rhs_col] => {}
+                Some(_) => {
+                    conflicted.insert(key);
+                }
+            }
+        }
+        for key in conflicted {
+            table.remove(&key); // FD does not actually hold here: no repair
+        }
+        out.push((lhs_attrs, cfd.rhs.0.clone(), table));
+    }
+    out
+}
+
+/// Repair `rel` in place using CFD lookups over `reference`, then fuzzy
+/// key repair of `fuzzy_attr` grouped by `group_attr` (pass `None` to skip
+/// the fuzzy pass). Iterates the pass to a fixpoint (chase-style): a
+/// filled cell can enable further lookups.
+pub fn repair_with_reference(
+    cfg: &RepairConfig,
+    rel: &mut Relation,
+    cfds: &[CfdRule],
+    reference: &Relation,
+    fuzzy: Option<(&str, &str)>,
+) -> RepairReport {
+    let mut report = RepairReport::default();
+    for pass in 0..cfg.max_passes.max(1) {
+        let step = repair_pass(cfg, rel, cfds, reference, fuzzy);
+        report.passes = pass + 1;
+        if step.total() == 0 {
+            report.converged = true;
+            break;
+        }
+        report.cfd_fixes += step.cfd_fixes;
+        report.null_fills += step.null_fills;
+        report.fuzzy_fixes += step.fuzzy_fixes;
+    }
+    report
+}
+
+/// One repair pass over all CFD lookups plus the fuzzy pass.
+fn repair_pass(
+    cfg: &RepairConfig,
+    rel: &mut Relation,
+    cfds: &[CfdRule],
+    reference: &Relation,
+    fuzzy: Option<(&str, &str)>,
+) -> RepairReport {
+    let mut report = RepairReport::default();
+
+    // 1. CFD lookup repair
+    for (lhs_attrs, rhs_attr, table) in build_lookups(cfds, reference) {
+        let lhs_cols: Option<Vec<usize>> = lhs_attrs
+            .iter()
+            .map(|a| rel.schema().index_of(a))
+            .collect();
+        let rhs_col = rel.schema().index_of(&rhs_attr);
+        let (Some(lhs_cols), Some(rhs_col)) = (lhs_cols, rhs_col) else {
+            continue;
+        };
+        for row in 0..rel.len() {
+            let t = &rel.tuples()[row];
+            if lhs_cols.iter().any(|&c| t[c].is_null()) {
+                continue;
+            }
+            let key: Vec<Value> = lhs_cols.iter().map(|&c| t[c].clone()).collect();
+            let Some(want) = table.get(&key) else { continue };
+            let got = &t[rhs_col];
+            if got.is_null() {
+                if cfg.fill_nulls {
+                    let fixed = t.with_value(rhs_col, want.clone());
+                    rel.replace(row, fixed).expect("same arity");
+                    report.null_fills += 1;
+                }
+            } else if got != want {
+                let fixed = t.with_value(rhs_col, want.clone());
+                rel.replace(row, fixed).expect("same arity");
+                report.cfd_fixes += 1;
+            }
+        }
+    }
+
+    // 2. fuzzy key repair
+    if let Some((fuzzy_attr, group_attr)) = fuzzy {
+        let (Some(f_rel), Some(g_rel)) = (
+            rel.schema().index_of(fuzzy_attr),
+            rel.schema().index_of(group_attr),
+        ) else {
+            return report;
+        };
+        let (Some(f_ref), Some(g_ref)) = (
+            reference.schema().index_of(fuzzy_attr),
+            reference.schema().index_of(group_attr),
+        ) else {
+            return report;
+        };
+        // group reference values of fuzzy_attr by group_attr
+        let mut by_group: HashMap<Value, Vec<&Value>> = HashMap::new();
+        for t in reference.iter() {
+            if !t[g_ref].is_null() && !t[f_ref].is_null() {
+                by_group.entry(t[g_ref].clone()).or_default().push(&t[f_ref]);
+            }
+        }
+        for row in 0..rel.len() {
+            let t = &rel.tuples()[row];
+            let (got, group) = (&t[f_rel], &t[g_rel]);
+            if got.is_null() || group.is_null() {
+                continue;
+            }
+            let Some(candidates) = by_group.get(group) else { continue };
+            let got_norm = normalize(&got.to_string());
+            if candidates
+                .iter()
+                .any(|c| normalize(&c.to_string()) == got_norm)
+            {
+                continue; // already a reference value
+            }
+            // unique candidate above the similarity threshold?
+            let mut best: Option<(&Value, f64)> = None;
+            let mut ambiguous = false;
+            for c in candidates {
+                let sim = jaro_winkler(&got_norm, &normalize(&c.to_string()));
+                if sim >= cfg.fuzzy_threshold {
+                    match best {
+                        None => best = Some((c, sim)),
+                        Some((prev, _)) if prev == *c => {}
+                        Some(_) => ambiguous = true,
+                    }
+                }
+            }
+            if let (Some((want, _)), false) = (best, ambiguous) {
+                let fixed = t.with_value(f_rel, want.clone());
+                rel.replace(row, fixed).expect("same arity");
+                report.fuzzy_fixes += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::{tuple, Schema};
+
+    fn fd(lhs: &str, rhs: &str) -> CfdRule {
+        CfdRule {
+            id: "c".into(),
+            relation: "address".into(),
+            lhs: vec![(lhs.into(), None)],
+            rhs: (rhs.into(), None),
+            support: 10,
+        }
+    }
+
+    fn reference() -> Relation {
+        Relation::from_tuples(
+            Schema::all_str("address", &["street", "city", "postcode"]),
+            vec![
+                tuple!["1 high st", "manchester", "M1 1AA"],
+                tuple!["2 park rd", "manchester", "M1 1AB"],
+                tuple!["3 kings ave", "edinburgh", "EH1 1AA"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cfd_lookup_fixes_conflicts_and_fills_nulls() {
+        let mut rel = Relation::from_tuples(
+            Schema::all_str("result", &["street", "city", "postcode"]),
+            vec![
+                tuple!["1 high st", "leeds", "M1 1AA"], // wrong city
+                vada_common::Tuple::new(vec![
+                    Value::str("2 park rd"),
+                    Value::Null, // missing city
+                    Value::str("M1 1AB"),
+                ]),
+            ],
+        )
+        .unwrap();
+        let report = repair_with_reference(
+            &RepairConfig::default(),
+            &mut rel,
+            &[fd("postcode", "city")],
+            &reference(),
+            None,
+        );
+        assert_eq!(report.cfd_fixes, 1);
+        assert_eq!(report.null_fills, 1);
+        assert_eq!(rel.tuples()[0][1], Value::str("manchester"));
+        assert_eq!(rel.tuples()[1][1], Value::str("manchester"));
+    }
+
+    #[test]
+    fn fuzzy_repair_snaps_typos() {
+        let mut rel = Relation::from_tuples(
+            Schema::all_str("result", &["street", "postcode"]),
+            vec![
+                tuple!["1 hgih st", "M1 1AA"], // transposition typo
+                tuple!["totally different", "M1 1AA"],
+            ],
+        )
+        .unwrap();
+        let reference = Relation::from_tuples(
+            Schema::all_str("address", &["street", "postcode"]),
+            vec![tuple!["1 high st", "M1 1AA"]],
+        )
+        .unwrap();
+        let report = repair_with_reference(
+            &RepairConfig::default(),
+            &mut rel,
+            &[],
+            &reference,
+            Some(("street", "postcode")),
+        );
+        assert_eq!(report.fuzzy_fixes, 1);
+        assert_eq!(rel.tuples()[0][0], Value::str("1 high st"));
+        // the dissimilar value is left alone
+        assert_eq!(rel.tuples()[1][0], Value::str("totally different"));
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let mut rel = Relation::from_tuples(
+            Schema::all_str("result", &["street", "city", "postcode"]),
+            vec![tuple!["1 hgih st", "leeds", "M1 1AA"]],
+        )
+        .unwrap();
+        let cfds = [fd("postcode", "city")];
+        let r1 = repair_with_reference(
+            &RepairConfig::default(),
+            &mut rel,
+            &cfds,
+            &reference(),
+            Some(("street", "postcode")),
+        );
+        assert!(r1.total() > 0);
+        let r2 = repair_with_reference(
+            &RepairConfig::default(),
+            &mut rel,
+            &cfds,
+            &reference(),
+            Some(("street", "postcode")),
+        );
+        assert_eq!(r2.total(), 0, "second pass should change nothing");
+    }
+
+    #[test]
+    fn conflicting_reference_keys_do_not_repair() {
+        // reference where postcode → city does NOT hold: lookup must skip it
+        let reference = Relation::from_tuples(
+            Schema::all_str("address", &["city", "postcode"]),
+            vec![tuple!["manchester", "M1 1AA"], tuple!["leeds", "M1 1AA"]],
+        )
+        .unwrap();
+        let mut rel = Relation::from_tuples(
+            Schema::all_str("result", &["city", "postcode"]),
+            vec![tuple!["bristol", "M1 1AA"]],
+        )
+        .unwrap();
+        let report = repair_with_reference(
+            &RepairConfig::default(),
+            &mut rel,
+            &[fd("postcode", "city")],
+            &reference,
+            None,
+        );
+        assert_eq!(report.total(), 0);
+        assert_eq!(rel.tuples()[0][0], Value::str("bristol"));
+    }
+
+    #[test]
+    fn repair_reduces_violations() {
+        let cfds = [fd("postcode", "city")];
+        let mut rel = Relation::from_tuples(
+            Schema::all_str("result", &["street", "city", "postcode"]),
+            vec![
+                tuple!["1 high st", "manchester", "M1 1AA"],
+                tuple!["1 high st", "leeds", "M1 1AA"],
+            ],
+        )
+        .unwrap();
+        let before = crate::violations::detect_violations(&rel, &cfds).len();
+        assert!(before > 0);
+        repair_with_reference(&RepairConfig::default(), &mut rel, &cfds, &reference(), None);
+        let after = crate::violations::detect_violations(&rel, &cfds).len();
+        assert_eq!(after, 0);
+    }
+}

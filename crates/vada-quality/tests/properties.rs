@@ -1,0 +1,118 @@
+//! Property-based tests for the quality components: learner soundness
+//! (mined CFDs hold on their training data), repair idempotence and
+//! convergence to consistency on repairable instances.
+
+use proptest::prelude::*;
+
+use vada_common::{Relation, Schema, Tuple, Value};
+use vada_quality::{
+    consistency, detect_violations, learn_cfds, repair_with_reference, CfdLearnConfig,
+    RepairConfig,
+};
+
+/// Random three-column relations with small domains (so FDs appear and
+/// break by chance) and occasional nulls.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(
+        (
+            proptest::option::of(0u8..4),
+            proptest::option::of(0u8..3),
+            proptest::option::of(0u8..3),
+        ),
+        1..40,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::all_str("r", &["a", "b", "c"]);
+        let mut rel = Relation::empty(schema);
+        for (a, b, c) in rows {
+            let cell = |v: Option<u8>| v.map(|x| Value::str(format!("v{x}"))).unwrap_or(Value::Null);
+            rel.push(Tuple::new(vec![cell(a), cell(b), cell(c)])).unwrap();
+        }
+        rel
+    })
+}
+
+/// Like [`arb_relation`] but with no nulls anywhere.
+fn arb_complete_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0u8..4, 0u8..3, 0u8..3), 1..40).prop_map(|rows| {
+        let schema = Schema::all_str("r", &["a", "b", "c"]);
+        let mut rel = Relation::empty(schema);
+        for (a, b, c) in rows {
+            let cell = |x: u8| Value::str(format!("v{x}"));
+            rel.push(Tuple::new(vec![cell(a), cell(b), cell(c)])).unwrap();
+        }
+        rel
+    })
+}
+
+proptest! {
+    #[test]
+    fn mined_cfds_hold_on_training_data(rel in arb_relation()) {
+        let cfds = learn_cfds(
+            &CfdLearnConfig { min_support: 2, min_pattern_support: 2, ..Default::default() },
+            &rel,
+        );
+        let violations = detect_violations(&rel, &cfds);
+        prop_assert!(
+            violations.is_empty(),
+            "learner emitted a CFD its own training data violates: {:?}",
+            violations
+        );
+        prop_assert!((consistency(&rel, &cfds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converged_repair_is_idempotent(dirty in arb_relation(), reference in arb_relation()) {
+        // the chase can refuse to converge on adversarial cyclic lookup
+        // tables (it stops at the pass cap and reports converged = false);
+        // whenever it *does* converge, a second call must be a no-op
+        let cfds = learn_cfds(
+            &CfdLearnConfig { min_support: 2, min_pattern_support: 2, ..Default::default() },
+            &reference,
+        );
+        let mut rel = dirty.clone();
+        let first = repair_with_reference(
+            &RepairConfig::default(), &mut rel, &cfds, &reference, None,
+        );
+        prop_assume!(first.converged);
+        let snapshot = rel.tuples().to_vec();
+        let second = repair_with_reference(
+            &RepairConfig::default(), &mut rel, &cfds, &reference, None,
+        );
+        prop_assert_eq!(second.total(), 0, "second repair call must be a no-op");
+        prop_assert!(second.converged);
+        prop_assert_eq!(rel.tuples(), snapshot.as_slice());
+    }
+
+    #[test]
+    fn repairing_a_complete_reference_is_a_noop(reference in arb_complete_relation()) {
+        // a null-free reference equals its own lookup values everywhere, so
+        // repair must change nothing at all (with nulls present, fills can
+        // legitimately cascade — see `converged_repair_is_idempotent`)
+        let cfds = learn_cfds(
+            &CfdLearnConfig { min_support: 2, min_pattern_support: 2, ..Default::default() },
+            &reference,
+        );
+        let mut rel = reference.clone();
+        let report = repair_with_reference(
+            &RepairConfig::default(), &mut rel, &cfds, &reference, None,
+        );
+        prop_assert_eq!(report.total(), 0, "{:?}", report);
+        prop_assert!(report.converged);
+        prop_assert_eq!(rel.tuples(), reference.tuples());
+        prop_assert!((consistency(&rel, &cfds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_rows_are_within_bounds(rel in arb_relation()) {
+        let cfds = learn_cfds(
+            &CfdLearnConfig { min_support: 2, min_pattern_support: 2, ..Default::default() },
+            &rel,
+        );
+        for v in detect_violations(&rel, &cfds) {
+            for row in v.rows {
+                prop_assert!(row < rel.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Feedback convergence: repeated annotate→run rounds, showing the
+//! paper's §2.3 loop — feedback enters the knowledge base, repairs the
+//! result and (given enough evidence about a bad match) re-opens mapping
+//! generation.
+//!
+//! ```text
+//! cargo run --release --example feedback_loop
+//! ```
+
+use vada::Wrangler;
+use vada_extract::sources::target_schema;
+use vada_extract::{score_result, Oracle, Scenario, ScenarioConfig, UniverseConfig};
+use vada_kb::ContextKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // make the bedrooms column aggressively wrong: the paper's "area of
+    // the master bedroom as the number of bedrooms" defect at 40%
+    let mut cfg = ScenarioConfig {
+        universe: UniverseConfig { properties: 120, seed: 33 },
+        ..Default::default()
+    };
+    cfg.rightmove_errors.bedroom_area_rate = 0.4;
+    cfg.onthemarket_errors.bedroom_area_rate = 0.4;
+    let scenario = Scenario::generate(cfg);
+
+    let mut w = Wrangler::new();
+    w.add_source(scenario.rightmove.clone());
+    w.add_source(scenario.onthemarket.clone());
+    w.add_source(scenario.deprivation.clone());
+    w.set_target(target_schema());
+    w.add_data_context(
+        scenario.address.clone(),
+        ContextKind::Reference,
+        &[("street", "street"), ("postcode", "postcode")],
+    )?;
+    w.run()?;
+
+    let mut oracle = Oracle::new(&scenario.universe);
+    println!("round  annotations  vetoes  precision  beds-accuracy  beds-completeness");
+    for round in 0..6 {
+        let result = w.result().expect("result").clone();
+        let q = score_result(&scenario.universe, &result);
+        println!(
+            "{round:<6} {:<12} {:<7} {:<10.4} {:<14.4} {:.4}",
+            w.kb().feedback().len(),
+            w.kb().vetoes().len(),
+            q.precision,
+            q.quality_of("bedrooms"),
+            q.attr_completeness.get("bedrooms").copied().unwrap_or(0.0)
+        );
+        // 30 more annotations per round, different sample each time
+        let records = oracle.annotate(&result, 30, 100 + round as u64);
+        w.add_feedback(records);
+        w.run()?;
+    }
+    let final_result = w.result().expect("result").clone();
+    let q = score_result(&scenario.universe, &final_result);
+    println!(
+        "final  {:<12} {:<7} {:<10.4} {:<14.4} {:.4}",
+        w.kb().feedback().len(),
+        w.kb().vetoes().len(),
+        q.precision,
+        q.quality_of("bedrooms"),
+        q.attr_completeness.get("bedrooms").copied().unwrap_or(0.0)
+    );
+    println!(
+        "\nwith 40% bedroom-area defects, feedback exposed the bad matches; mapping\n\
+         evaluation revised their scores below the mapping threshold, so regeneration\n\
+         dropped the column entirely — trading bedrooms completeness for precision,\n\
+         exactly the paper's §2.3 feedback loop"
+    );
+    println!("\nmatch-score revisions recorded in the trace:");
+    for e in w.trace().entries().iter().filter(|e| e.transducer == "mapping_evaluation") {
+        println!("  #{} {}", e.step, e.summary);
+    }
+    Ok(())
+}
+
+/// Small helper so the table reads naturally.
+trait BedroomAccuracy {
+    fn quality_of(&self, attr: &str) -> f64;
+}
+
+impl BedroomAccuracy for vada_extract::ResultQuality {
+    fn quality_of(&self, attr: &str) -> f64 {
+        self.attr_accuracy.get(attr).copied().unwrap_or(0.0)
+    }
+}

@@ -1,0 +1,55 @@
+//! Open-government data scenario: enriching listings with deprivation
+//! statistics through the district-level left-outer join, and measuring
+//! how deprivation *coverage* drives crimerank completeness — the
+//! completeness/coverage trade-off the paper's user context reasons about.
+//!
+//! ```text
+//! cargo run --release --example open_gov
+//! ```
+
+use vada::Wrangler;
+use vada_extract::sources::target_schema;
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+
+fn run_with_coverage(coverage: f64) -> (usize, f64, f64) {
+    let scenario = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 150, seed: 21 },
+        deprivation_coverage: coverage,
+        ..Default::default()
+    });
+    let mut w = Wrangler::new();
+    w.add_source(scenario.rightmove.clone());
+    w.add_source(scenario.onthemarket.clone());
+    w.add_source(scenario.deprivation.clone());
+    w.set_target(target_schema());
+    w.run().expect("orchestration succeeds");
+
+    let result = w.result().expect("result").clone();
+    let crime_completeness = result
+        .completeness("crimerank")
+        .expect("crimerank attr exists");
+    let q = vada_extract::score_result(&scenario.universe, &result);
+    (scenario.deprivation.len(), crime_completeness, q.f1)
+}
+
+fn main() {
+    println!("deprivation coverage sweep — crimerank completeness follows the data context\n");
+    println!(
+        "{:<22} {:<18} {:<22} {:<6}",
+        "coverage requested", "deprivation rows", "crimerank completeness", "f1"
+    );
+    for coverage in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let (rows, crime, f1) = run_with_coverage(coverage);
+        println!(
+            "{:<22} {:<18} {:<22.3} {:<6.3}",
+            format!("{:.0}%", coverage * 100.0),
+            rows,
+            crime,
+            f1
+        );
+    }
+    println!(
+        "\nthe left-outer join keeps every property (other attributes are unaffected);\n\
+         only the crimerank column tracks the open-data coverage"
+    );
+}

@@ -1,0 +1,55 @@
+//! # vada — a reproduction of the VADA data-wrangling architecture
+//!
+//! An end-to-end, **pay-as-you-go** data-wrangling system after
+//! Konstantinou et al., *The VADA Architecture for Cost-Effective Data
+//! Wrangling* (SIGMOD '17): wrangling components are **transducers** whose
+//! input dependencies are Datalog queries over a shared **knowledge
+//! base**; a **network transducer** dynamically orchestrates whichever
+//! components have the data they need; and everything the user supplies —
+//! a target schema, **data context** (reference/master/example data),
+//! **feedback** annotations, or a pairwise-comparison **user context** —
+//! immediately re-opens the relevant parts of the pipeline and improves
+//! the result.
+//!
+//! ```no_run
+//! use vada::Wrangler;
+//! use vada_common::{csv, Schema};
+//!
+//! let mut w = Wrangler::new();
+//! w.add_source(csv::read_relation(
+//!     "price,street\n250000,12 high st\n",
+//!     Schema::all_str("rightmove", &["price", "street"]),
+//! ).unwrap());
+//! w.set_target(Schema::all_str("property", &["street", "price"]));
+//! w.run().unwrap();
+//! println!("{}", w.result().unwrap().to_table(10));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`vada_common`] | values, schemas, relations, CSV, text similarity |
+//! | [`vada_datalog`] | the Vadalog-style Datalog± reasoner |
+//! | [`vada_kb`] | the knowledge base (catalog + metadata + fact view) |
+//! | [`vada_context`] | AHP user context, data-context analysis |
+//! | [`vada_extract`] | extraction simulator, scenario generator, oracle |
+//! | [`vada_match`] | schema & instance matching |
+//! | [`vada_map`] | mapping generation / execution / selection |
+//! | [`vada_quality`] | CFD learning, violations, repair, metrics |
+//! | [`vada_fusion`] | duplicate detection & fusion |
+//! | [`vada_core`] | transducers, orchestration, the [`Wrangler`] facade |
+
+pub use vada_core::*;
+
+// Re-export the component crates so downstream users need only one
+// dependency.
+pub use vada_common;
+pub use vada_context;
+pub use vada_datalog;
+pub use vada_extract;
+pub use vada_fusion;
+pub use vada_kb;
+pub use vada_map;
+pub use vada_match;
+pub use vada_quality;

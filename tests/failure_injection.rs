@@ -1,0 +1,119 @@
+//! Failure injection: a transducer that errors must fail the orchestration
+//! with a diagnostic naming it, without corrupting the knowledge base, and
+//! degenerate inputs must produce errors rather than wrong results.
+
+use vada::{Activity, RunOutcome, Transducer, Wrangler};
+use vada_common::{tuple, Relation, Result, Schema, VadaError};
+use vada_kb::KnowledgeBase;
+
+/// Fails on its first run, succeeds afterwards.
+#[derive(Debug, Default)]
+struct Flaky {
+    attempts: usize,
+}
+
+impl Transducer for Flaky {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+    fn activity(&self) -> Activity {
+        Activity::Quality
+    }
+    fn input_dependency(&self) -> &str {
+        r#"relation(_, "source", _)"#
+    }
+    fn input_aspects(&self) -> &'static [&'static str] {
+        &["relations"]
+    }
+    fn run(&mut self, _kb: &mut KnowledgeBase) -> Result<RunOutcome> {
+        self.attempts += 1;
+        if self.attempts == 1 {
+            Err(VadaError::Transducer("synthetic fault".into()))
+        } else {
+            Ok(RunOutcome::noop("recovered"))
+        }
+    }
+}
+
+#[test]
+fn failing_transducer_is_named_and_kb_survives() {
+    let mut w = Wrangler::with_transducers(vec![Box::new(Flaky::default())]);
+    let mut src = Relation::empty(Schema::all_str("s", &["a"]));
+    src.push(tuple!["x"]).unwrap();
+    w.add_source(src);
+    let err = w.run().unwrap_err();
+    assert!(err.to_string().contains("flaky"), "{err}");
+    assert!(err.to_string().contains("synthetic fault"));
+    // the knowledge base is still usable and a retry proceeds
+    assert!(w.kb().relation("s").is_ok());
+    let report = w.run().expect("second attempt recovers");
+    assert_eq!(report.executed, 1);
+}
+
+#[test]
+fn malformed_mapping_rules_surface_as_errors() {
+    use vada_kb::MappingDef;
+    use vada_map::{execute_mapping, ExecuteConfig};
+    let mut kb = KnowledgeBase::new();
+    let mut src = Relation::empty(Schema::all_str("s", &["a"]));
+    src.push(tuple!["x"]).unwrap();
+    kb.register_source(src);
+    kb.register_target_schema(Schema::all_str("t", &["a"]));
+    let broken = MappingDef {
+        id: "bad".into(),
+        target: "t".into(),
+        rules: "t(X :- s(X).".into(), // syntax error
+        sources: vec!["s".into()],
+        matches_used: vec![],
+    };
+    let err = execute_mapping(&ExecuteConfig::default(), &broken, &kb).unwrap_err();
+    assert_eq!(err.kind(), "parse");
+}
+
+#[test]
+fn unknown_source_in_mapping_is_a_kb_error() {
+    use vada_kb::MappingDef;
+    use vada_map::{execute_mapping, ExecuteConfig};
+    let mut kb = KnowledgeBase::new();
+    kb.register_target_schema(Schema::all_str("t", &["a"]));
+    let mapping = MappingDef {
+        id: "m".into(),
+        target: "t".into(),
+        rules: "t(X) :- ghost(X).".into(),
+        sources: vec!["ghost".into()],
+        matches_used: vec![],
+    };
+    let err = execute_mapping(&ExecuteConfig::default(), &mapping, &kb).unwrap_err();
+    assert_eq!(err.kind(), "kb");
+    assert!(err.to_string().contains("ghost"));
+}
+
+#[test]
+fn empty_sources_produce_empty_but_valid_results() {
+    let mut w = Wrangler::new();
+    w.add_source(Relation::empty(Schema::all_str(
+        "rightmove",
+        &["price", "street", "postcode"],
+    )));
+    w.set_target(Schema::all_str("property", &["street", "postcode", "price"]));
+    // an empty source has no instances: matching is schema-only, the
+    // mapping executes to zero rows, nothing panics
+    w.run().expect("empty sources orchestrate cleanly");
+    if let Some(result) = w.result() {
+        assert!(result.is_empty());
+    }
+}
+
+#[test]
+fn divergent_user_datalog_is_rejected_not_hung() {
+    // a user-supplied mapping with a non-warded existential cycle must be
+    // stopped by the chase guard
+    use vada_datalog::{parse_program, Database, Engine, EngineConfig};
+    let program = parse_program(
+        "seed(1). p(X, Z) :- seed(X). seed(Z) :- p(_, Z).",
+    )
+    .unwrap();
+    let engine = Engine::new(EngineConfig { max_skolem_depth: 6, ..Default::default() });
+    let err = engine.run(&program, Database::new()).unwrap_err();
+    assert!(err.to_string().contains("termination guard"), "{err}");
+}

@@ -1,0 +1,186 @@
+//! Invariants of the dynamic orchestration (paper §2.3–2.4): dependency
+//! gating, activity ordering under the generic policy, trace integrity,
+//! and extensibility with user transducers.
+
+use vada::{Activity, GenericPolicy, RunOutcome, Transducer, Wrangler};
+use vada_common::{tuple, Relation, Result, Schema};
+use vada_extract::sources::target_schema;
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+use vada_kb::{ContextKind, KnowledgeBase};
+
+fn scenario() -> Scenario {
+    Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 60, seed: 8 },
+        ..Default::default()
+    })
+}
+
+fn run_full(w: &mut Wrangler, s: &Scenario) {
+    w.add_source(s.rightmove.clone());
+    w.add_source(s.onthemarket.clone());
+    w.add_source(s.deprivation.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap");
+    w.add_data_context(
+        s.address.clone(),
+        ContextKind::Reference,
+        &[("street", "street"), ("postcode", "postcode")],
+    )
+    .expect("context");
+    w.run().expect("context step");
+}
+
+#[test]
+fn trace_versions_are_monotone_and_writes_consistent() {
+    let s = scenario();
+    let mut w = Wrangler::new();
+    run_full(&mut w, &s);
+    let mut prev_end = 0;
+    for e in w.trace().entries() {
+        assert!(e.kb_version_before >= prev_end, "trace out of order at #{}", e.step);
+        assert!(e.kb_version_after >= e.kb_version_before);
+        if e.writes == 0 {
+            // noop runs may still record vetoes etc., but a plain noop must
+            // not claim progress it didn't make: version growth implies a
+            // summary mentioning what was written
+            assert!(
+                e.kb_version_after == e.kb_version_before || !e.summary.is_empty(),
+                "#{}: silent version bump",
+                e.step
+            );
+        }
+        prev_end = e.kb_version_after;
+    }
+}
+
+#[test]
+fn steps_numbered_densely() {
+    let s = scenario();
+    let mut w = Wrangler::new();
+    run_full(&mut w, &s);
+    for (i, e) in w.trace().entries().iter().enumerate() {
+        assert_eq!(e.step, i);
+    }
+}
+
+#[test]
+fn no_transducer_fires_before_its_dependencies() {
+    let s = scenario();
+    let mut w = Wrangler::new();
+    run_full(&mut w, &s);
+    let names: Vec<&str> = w
+        .trace()
+        .entries()
+        .iter()
+        .map(|e| e.transducer.as_str())
+        .collect();
+    let first = |name: &str| names.iter().position(|n| *n == name);
+    // the structural chain of Table 1
+    let matching = first("schema_matching").expect("matching ran");
+    let generation = first("mapping_generation").expect("generation ran");
+    let quality = first("mapping_quality").expect("quality ran");
+    let selection = first("mapping_selection").expect("selection ran");
+    let execution = first("mapping_execution").expect("execution ran");
+    assert!(matching < generation, "matches precede mappings");
+    assert!(generation < quality, "mappings precede their metrics");
+    assert!(quality < selection, "metrics precede selection");
+    assert!(selection < execution, "selection precedes execution");
+    // context-gated transducers only fire after the context step; the
+    // bootstrap prefix must not contain them
+    let context_step_start = names
+        .iter()
+        .position(|n| *n == "instance_matching" || *n == "cfd_learning")
+        .expect("context transducers ran");
+    assert!(execution < context_step_start);
+}
+
+#[test]
+fn generic_policy_orders_by_activity_within_a_burst() {
+    let s = scenario();
+    let mut w = Wrangler::with_policy(Box::new(GenericPolicy));
+    w.add_source(s.rightmove.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap");
+    // within the bootstrap burst, the first matching transducer precedes
+    // the first quality transducer
+    let entries = w.trace().entries();
+    let first_matching = entries
+        .iter()
+        .position(|e| e.activity == Activity::Matching)
+        .expect("matching ran");
+    let first_quality = entries
+        .iter()
+        .position(|e| e.activity == Activity::Quality)
+        .expect("quality ran");
+    assert!(first_matching < first_quality);
+}
+
+/// A user-defined transducer: counts result rows into a quality fact (the
+/// paper: "developers can contribute ... by adding in new components as
+/// transducers").
+#[derive(Debug, Default)]
+struct RowCounter {
+    runs: std::cell::Cell<usize>,
+}
+
+impl Transducer for RowCounter {
+    fn name(&self) -> &str {
+        "row_counter"
+    }
+    fn activity(&self) -> Activity {
+        Activity::Quality
+    }
+    fn input_dependency(&self) -> &str {
+        "result_available(_)"
+    }
+    fn input_aspects(&self) -> &'static [&'static str] {
+        &["result"]
+    }
+    fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
+        self.runs.set(self.runs.get() + 1);
+        let target = kb.target_schema().expect("target").name.clone();
+        let rows = kb.relation(&target)?.len();
+        kb.add_quality(vada_kb::QualityFact {
+            entity_kind: "result".into(),
+            entity: target,
+            metric: "rows".into(),
+            criterion: "rows(property)".into(),
+            value: rows as f64,
+        });
+        Ok(RunOutcome::new(format!("{rows} rows"), 1))
+    }
+}
+
+#[test]
+fn custom_transducers_join_the_fleet() {
+    let s = scenario();
+    let mut fleet = vada::default_transducers();
+    fleet.push(Box::new(RowCounter::default()));
+    let mut w = Wrangler::with_transducers(fleet);
+    w.add_source(s.rightmove.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap with custom transducer");
+    assert!(w
+        .trace()
+        .entries()
+        .iter()
+        .any(|e| e.transducer == "row_counter"));
+    assert!(w
+        .kb()
+        .quality_facts()
+        .iter()
+        .any(|q| q.metric == "rows" && q.value > 0.0));
+}
+
+#[test]
+fn small_sources_still_converge() {
+    // degenerate inputs must not wedge the orchestrator
+    let mut w = Wrangler::new();
+    let mut rm = Relation::empty(Schema::all_str("rightmove", &["price", "street", "postcode"]));
+    rm.push(tuple!["1", "a st", "M1 1AA"]).unwrap();
+    w.add_source(rm);
+    w.set_target(target_schema());
+    let report = w.run().expect("tiny input converges");
+    assert!(report.executed > 0);
+    assert!(w.result().is_some());
+}

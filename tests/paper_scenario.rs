@@ -1,0 +1,147 @@
+//! Scenario-fidelity tests: the matchers recover the ground-truth
+//! correspondences of the paper's scenario, the format transformations
+//! survive the pipeline, and the feedback oracle agrees with the scoring.
+
+use vada::Wrangler;
+use vada_extract::sources::{source_attrs, target_schema};
+use vada_extract::{Oracle, Scenario, ScenarioConfig, UniverseConfig};
+use vada_kb::{ContextKind, Verdict};
+
+fn scenario() -> Scenario {
+    Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 80, seed: 17 },
+        ..Default::default()
+    })
+}
+
+/// The true correspondences for the varied-name source.
+fn ground_truth_matches() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("asking_price", "price"),
+        ("street_name", "street"),
+        ("post_code", "postcode"),
+        ("beds", "bedrooms"),
+        ("property_type", "type"),
+        ("details", "description"),
+    ]
+}
+
+#[test]
+fn schema_matching_recovers_varied_names() {
+    let s = scenario();
+    let mut w = Wrangler::new();
+    w.add_source(s.onthemarket.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap");
+    for (src, tgt) in ground_truth_matches() {
+        let best = w
+            .kb()
+            .matches()
+            .filter(|m| m.src_rel == "onthemarket" && m.src_attr == src)
+            .max_by(|a, b| a.score.total_cmp(&b.score));
+        let best = best.unwrap_or_else(|| panic!("no match at all for {src}"));
+        assert_eq!(
+            best.tgt_attr, tgt,
+            "best match for onthemarket.{src} should be {tgt}, got {} ({:.2})",
+            best.tgt_attr, best.score
+        );
+    }
+}
+
+#[test]
+fn source_attr_fixture_is_consistent() {
+    let (rm, otm) = source_attrs(true);
+    assert_eq!(rm.len(), otm.len());
+    let (rm2, otm2) = source_attrs(false);
+    assert_eq!(rm2, otm2);
+}
+
+#[test]
+fn price_formats_are_normalised_in_the_result() {
+    let s = scenario();
+    let mut w = Wrangler::new();
+    w.add_source(s.rightmove.clone());
+    w.add_source(s.onthemarket.clone());
+    w.add_source(s.deprivation.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap");
+    let result = w.result().expect("result");
+    let idx = result.schema().index_of("price").expect("price attr");
+    for t in result.iter() {
+        if let Some(s) = t[idx].as_str() {
+            panic!("price survived as string: {s:?}");
+        }
+    }
+    // the sources definitely contained pretty-printed prices
+    let pretty_inputs = s
+        .rightmove
+        .iter()
+        .chain(s.onthemarket.iter())
+        .filter(|t| t[0].as_str().is_some_and(|v| v.starts_with('£')))
+        .count();
+    assert!(pretty_inputs > 0, "scenario must exercise format drift");
+}
+
+#[test]
+fn oracle_and_scorer_agree() {
+    let s = scenario();
+    let mut w = Wrangler::new();
+    w.add_source(s.rightmove.clone());
+    w.add_source(s.onthemarket.clone());
+    w.add_source(s.deprivation.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap");
+    w.add_data_context(
+        s.address.clone(),
+        ContextKind::Reference,
+        &[("street", "street"), ("postcode", "postcode")],
+    )
+    .expect("context registers");
+    w.run().expect("context step");
+    let result = w.result().expect("result").clone();
+
+    // annotate everything; the fraction of Correct verdicts must track the
+    // scorer's cell precision on aligned rows
+    let mut oracle = Oracle::new(&s.universe);
+    let all = oracle.annotate(&result, usize::MAX, 1);
+    let attr_verdicts: Vec<_> = all
+        .iter()
+        .filter(|f| matches!(f.target, vada_kb::FeedbackTarget::Attribute { .. }))
+        .collect();
+    assert!(!attr_verdicts.is_empty());
+    let correct = attr_verdicts
+        .iter()
+        .filter(|f| f.verdict == Verdict::Correct)
+        .count();
+    let oracle_precision = correct as f64 / attr_verdicts.len() as f64;
+    let scored = vada_extract::score_result(&s.universe, &result);
+    assert!(
+        (oracle_precision - scored.precision).abs() < 0.05,
+        "oracle precision {oracle_precision:.3} vs scorer {:.3}",
+        scored.precision
+    );
+}
+
+#[test]
+fn deprivation_coverage_bounds_crimerank_completeness() {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 80, seed: 18 },
+        deprivation_coverage: 0.5,
+        ..Default::default()
+    });
+    let mut w = Wrangler::new();
+    w.add_source(s.rightmove.clone());
+    w.add_source(s.onthemarket.clone());
+    w.add_source(s.deprivation.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap");
+    let result = w.result().expect("result");
+    let completeness = result.completeness("crimerank").expect("attr exists");
+    let covered_districts = s.deprivation.len() as f64;
+    let all_districts = s.universe.crime_by_district.len() as f64;
+    let coverage = covered_districts / all_districts;
+    assert!(
+        completeness <= coverage + 0.15,
+        "crimerank completeness {completeness:.3} cannot materially exceed district coverage {coverage:.3}"
+    );
+}
