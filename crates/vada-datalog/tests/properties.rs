@@ -53,6 +53,29 @@ proptest! {
     }
 
     #[test]
+    fn fixpoint_is_idempotent(
+        edges in proptest::collection::vec((0u8..10, 0u8..10), 0..30)
+    ) {
+        // the engine's output is a fixpoint: feeding it back in as the
+        // input database and re-running the same program adds no facts
+        let program = parse_program(TC_PROGRAM).unwrap();
+        let once = Engine::default().run(&program, edges_db(&edges)).unwrap();
+        let twice = Engine::default().run(&program, once.clone()).unwrap();
+        let preds: std::collections::BTreeSet<&str> =
+            once.predicates().into_iter().chain(twice.predicates()).collect();
+        for pred in preds {
+            prop_assert_eq!(
+                twice.facts(pred).len(),
+                once.facts(pred).len(),
+                "re-running to fixpoint changed the fact count for {}", pred
+            );
+            for t in twice.facts(pred) {
+                prop_assert!(once.contains(pred, t), "re-run invented fact {}({})", pred, t);
+            }
+        }
+    }
+
+    #[test]
     fn positive_programs_are_monotone(
         edges in proptest::collection::vec((0u8..10, 0u8..10), 0..30),
         extra in proptest::collection::vec((0u8..10, 0u8..10), 0..10)

@@ -1,0 +1,26 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// A vector of values from `element`, with length drawn from the
+/// half-open `size` range (proptest convention: `0..20` means 0–19).
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, min: size.start, max_exclusive: size.end }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.len_in(self.min, self.max_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal offline stand-in for `proptest`. Provides the subset of the
+//! API the workspace's property suites use: the [`proptest!`] macro,
+//! the [`strategy::Strategy`] trait with `prop_map`, `Just`, `any`,
+//! `prop_oneof!`, integer-range and regex-string strategies,
+//! `collection::vec` and `option::of`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest: inputs are generated from a
+//! deterministic per-case RNG (seed overridable via `PROPTEST_SEED`),
+//! failing cases are reported with their case number but **not shrunk**,
+//! and the regex-string strategy supports the subset of patterns used
+//! here (literal chars and `[...]` classes — ranges, negation, escapes —
+//! each optionally quantified by `{n}` / `{m,n}`).
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Number of random cases each property runs. Real proptest defaults to
+/// 256; 64 keeps the heavier chase/repair properties fast while still
+/// exploring broadly. Override with `PROPTEST_CASES`.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property `{}` failed at case {}/{}: {}",
+                                stringify!($name), case, cases, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "{:?} != {:?}: {}", l, r, ::std::format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "{:?} == {:?}", l, r);
+            }
+        }
+    };
+}
+
+/// Discard the current case (counts as a pass, like proptest rejection).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type. Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::OneOf::arm($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct OptionStrategy<S>(S);
+
+/// `Some` of the inner strategy's value, or `None` — `None` roughly a
+/// quarter of the time, so optional columns still mostly carry data.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Glob-import surface matching `proptest::prelude::*` usage.
+
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{TestCaseError, TestRng};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};
+
+/// Alias so `prop::collection::vec` / `prop::option::of` paths work.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}

@@ -1,0 +1,152 @@
+//! Tiny regex-subset string generator backing `"pattern"` strategies.
+//!
+//! Supported syntax — exactly what the workspace's property suites use:
+//! literal chars, `[...]` classes with ranges / negation / `\`-escapes,
+//! and `{n}` / `{m,n}` quantifiers on the preceding atom.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// (members, negated)
+    Class(Vec<char>, bool),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = piece.min + rng.below(piece.max - piece.min + 1);
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(members, false) => {
+            assert!(!members.is_empty(), "empty character class");
+            members[rng.below(members.len())]
+        }
+        Atom::Class(members, true) => {
+            // complement over printable ASCII
+            let pool: Vec<char> = (0x20u8..0x7F)
+                .map(|b| b as char)
+                .filter(|c| !members.contains(c))
+                .collect();
+            assert!(!pool.is_empty(), "negated class excludes all of printable ASCII");
+            pool[rng.below(pool.len())]
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'r' => '\r',
+        'n' => '\n',
+        't' => '\t',
+        '0' => '\0',
+        other => other, // \- \" \\ \] etc: the char itself
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let negated = i < chars.len() && chars[i] == '^';
+                if negated {
+                    i += 1;
+                }
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // range `a-z` (a trailing `-` before `]` is a literal)
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        i += 2;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern:?}");
+                        for code in lo as u32..=hi as u32 {
+                            if let Some(c) = char::from_u32(code) {
+                                members.push(c);
+                            }
+                        }
+                    } else {
+                        members.push(lo);
+                    }
+                    i += 1;
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                Atom::Class(members, negated)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in {pattern:?}");
+                Atom::Literal(unescape(chars[i]))
+            }
+            c => Atom::Literal(c),
+        };
+        i += 1; // past the atom's final char
+        // optional {n} / {m,n}
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut min_s = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                min_s.push(chars[i]);
+                i += 1;
+            }
+            let min: usize = min_s
+                .parse()
+                .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"));
+            let max = if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut max_s = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    max_s.push(chars[i]);
+                    i += 1;
+                }
+                max_s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"))
+            } else {
+                min
+            };
+            assert!(
+                i < chars.len() && chars[i] == '}',
+                "unterminated quantifier in {pattern:?}"
+            );
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier {{{min},{max}}} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}

@@ -1,0 +1,64 @@
+//! Per-case deterministic RNG and the error type threaded through the
+//! `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — discard the case.
+    Reject,
+    /// `prop_assert*` failed — fail the test with this message.
+    Fail(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "case rejected by prop_assume!"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Deterministic per-case RNG. The stream depends on the property name,
+/// the case index, and an optional `PROPTEST_SEED` override, so each
+/// property explores an independent deterministic sequence.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        // FNV-1a over the test name distinguishes properties in a file
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            base ^ h ^ ((case as u64) << 32 | 0x9E37_79B9),
+        ))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform length in `[min, max)` — proptest size ranges are
+    /// half-open, e.g. `0..20`.
+    pub fn len_in(&mut self, min: usize, max_exclusive: usize) -> usize {
+        assert!(min < max_exclusive, "empty size range {min}..{max_exclusive}");
+        min + self.below(max_exclusive - min)
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
