@@ -31,6 +31,8 @@ pub enum VadaError {
     Transducer(String),
     /// User-context / AHP input is invalid (e.g. inconsistent matrix shape).
     Context(String),
+    /// A parallel stage failed (captured worker panic, named stage).
+    Parallel(String),
     /// Anything else.
     Other(String),
 }
@@ -48,6 +50,7 @@ impl VadaError {
             | VadaError::Kb(m)
             | VadaError::Transducer(m)
             | VadaError::Context(m)
+            | VadaError::Parallel(m)
             | VadaError::Other(m) => m,
         }
     }
@@ -64,6 +67,7 @@ impl VadaError {
             VadaError::Kb(_) => "kb",
             VadaError::Transducer(_) => "transducer",
             VadaError::Context(_) => "context",
+            VadaError::Parallel(_) => "parallel",
             VadaError::Other(_) => "other",
         }
     }
@@ -115,6 +119,7 @@ mod tests {
             VadaError::Kb(String::new()).kind(),
             VadaError::Transducer(String::new()).kind(),
             VadaError::Context(String::new()).kind(),
+            VadaError::Parallel(String::new()).kind(),
             VadaError::Other(String::new()).kind(),
         ];
         let set: std::collections::HashSet<_> = kinds.iter().collect();

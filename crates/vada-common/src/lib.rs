@@ -11,6 +11,7 @@
 pub mod csv;
 pub mod error;
 pub mod idgen;
+pub mod par;
 pub mod relation;
 pub mod schema;
 pub mod text;
@@ -18,6 +19,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Result, VadaError};
+pub use par::Parallelism;
 pub use relation::Relation;
 pub use schema::{AttrType, Attribute, Schema};
 pub use tuple::Tuple;

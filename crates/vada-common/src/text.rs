@@ -9,6 +9,15 @@ use std::collections::HashSet;
 /// spaces. Matching and blocking both key on this normal form.
 pub fn normalize(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    normalize_append(s, &mut out);
+    out
+}
+
+/// Append the normal form of `s` (see [`normalize`]) to `out`, touching
+/// nothing before `out`'s current end. Lets hot loops (blocking-key
+/// extraction) reuse one scratch buffer instead of allocating per cell.
+pub fn normalize_append(s: &str, out: &mut String) {
+    let start = out.len();
     let mut last_space = true;
     for c in s.trim().chars() {
         if c.is_alphanumeric() {
@@ -19,10 +28,9 @@ pub fn normalize(s: &str) -> String {
             last_space = true;
         }
     }
-    while out.ends_with(' ') {
+    while out.len() > start && out.ends_with(' ') {
         out.pop();
     }
-    out
 }
 
 /// Levenshtein edit distance (unit costs).

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use vada_common::{Result, VadaError};
+use vada_common::{Parallelism, Result, VadaError};
 use vada_kb::KnowledgeBase;
 
 use crate::network::{GenericPolicy, SchedulingPolicy};
@@ -16,11 +16,16 @@ use crate::transducer::Transducer;
 pub struct OrchestratorConfig {
     /// Maximum transducer executions per `run_to_fixpoint` call.
     pub max_steps: usize,
+    /// Parallelism broadcast to every registered transducer (see
+    /// [`Transducer::set_parallelism`]). The wrangling result, the trace's
+    /// stable fields, and any error are identical at every level; defaults
+    /// to the `VADA_THREADS` override.
+    pub parallelism: Parallelism,
 }
 
 impl Default for OrchestratorConfig {
     fn default() -> Self {
-        OrchestratorConfig { max_steps: 200 }
+        OrchestratorConfig { max_steps: 200, parallelism: Parallelism::default() }
     }
 }
 
@@ -56,24 +61,42 @@ impl Orchestrator {
         transducers: Vec<Box<dyn Transducer>>,
         policy: Box<dyn SchedulingPolicy>,
     ) -> Orchestrator {
-        Orchestrator {
+        let mut orch = Orchestrator {
             transducers,
             policy,
             config: OrchestratorConfig::default(),
             last_run: HashMap::new(),
             trace: Trace::default(),
             step: 0,
+        };
+        // the orchestrator owns the parallelism knob: every registration
+        // path (constructor, add_transducer, set_config) broadcasts the
+        // current level, so thread usage never depends on how a component
+        // reached the fleet
+        for t in &mut orch.transducers {
+            t.set_parallelism(orch.config.parallelism);
         }
+        orch
     }
 
-    /// Override limits.
+    /// Override limits, broadcasting the parallelism level to the fleet.
     pub fn set_config(&mut self, config: OrchestratorConfig) {
+        for t in &mut self.transducers {
+            t.set_parallelism(config.parallelism);
+        }
         self.config = config;
     }
 
+    /// The current configuration.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
     /// Register an additional transducer (the architecture is extensible:
-    /// "additional transducers can be added at any time", §2.3).
-    pub fn add_transducer(&mut self, t: Box<dyn Transducer>) {
+    /// "additional transducers can be added at any time", §2.3). It adopts
+    /// the orchestrator's current parallelism level.
+    pub fn add_transducer(&mut self, mut t: Box<dyn Transducer>) {
+        t.set_parallelism(self.config.parallelism);
         self.transducers.push(t);
     }
 
@@ -273,7 +296,7 @@ mod tests {
             // reads intermediates, writes quality
             Box::new(PingPong { name: "b", reads: &["intermediates"], write_quality: true }),
         ]);
-        orch.set_config(OrchestratorConfig { max_steps: 10 });
+        orch.set_config(OrchestratorConfig { max_steps: 10, ..Default::default() });
         let err = orch.run_to_fixpoint(&mut kb).unwrap_err();
         assert!(err.to_string().contains("10 steps"));
     }

@@ -1,7 +1,7 @@
 //! The [`Wrangler`] facade: the end-user surface of the architecture,
 //! driving the four pay-as-you-go steps of the demonstration (paper §3).
 
-use vada_common::{Relation, Result, Schema};
+use vada_common::{Parallelism, Relation, Result, Schema};
 use vada_kb::{ContextKind, FeedbackRecord, KnowledgeBase, PairwiseStatement};
 
 use crate::network::SchedulingPolicy;
@@ -70,6 +70,15 @@ impl Wrangler {
 
     /// Override orchestrator limits.
     pub fn set_orchestrator_config(&mut self, config: OrchestratorConfig) {
+        self.orchestrator.set_config(config);
+    }
+
+    /// Set the parallelism level for every registered component. Safe to
+    /// change at any point: parallel and sequential runs produce identical
+    /// results, traces, and errors (the `parallel_equivalence` suite pins
+    /// this).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        let config = OrchestratorConfig { parallelism, ..self.orchestrator.config().clone() };
         self.orchestrator.set_config(config);
     }
 

@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
+use vada_common::par::{self, Parallelism};
 use vada_common::{Result, Tuple, VadaError, Value};
 
 use crate::analysis::stratify;
@@ -140,6 +141,11 @@ pub struct EngineConfig {
     pub max_skolem_depth: usize,
     /// Total derived-fact cap.
     pub max_facts: usize,
+    /// Worker threads for evaluating independent rules of a stratum.
+    /// Derived facts, their insertion order, and errors are identical at
+    /// every level (see [`vada_common::par`]); defaults to the
+    /// `VADA_THREADS` override.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +154,7 @@ impl Default for EngineConfig {
             max_iterations: 100_000,
             max_skolem_depth: 12,
             max_facts: 50_000_000,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -194,14 +201,42 @@ impl Engine {
                 .map(|&ri| CompiledRule::compile(&program.rules[ri], ri))
                 .collect::<Result<_>>()?;
             let recursive = strat.recursive_preds(program, stratum);
+            // body predicates per rule, for independence batching: a rule
+            // that reads a predicate written earlier in the same pass must
+            // observe those writes, so it cannot share a snapshot with the
+            // writer. Negated predicates live in lower strata (stratified),
+            // but are included for robustness.
+            let rule_reads: Vec<BTreeSet<&str>> = compiled
+                .iter()
+                .map(|cr| {
+                    cr.rule
+                        .positive_preds()
+                        .chain(cr.rule.negative_preds())
+                        .collect()
+                })
+                .collect();
+            let rule_heads: Vec<&str> =
+                compiled.iter().map(|cr| cr.rule.head_pred.as_str()).collect();
 
-            // initial pass: all rules, full database
+            // initial pass: all rules, full database. Maximal runs of
+            // consecutive independent rules evaluate in parallel against
+            // the same snapshot; their derivations then insert in rule
+            // order, reproducing the sequential pass byte for byte.
             let mut delta = Database::new();
-            for cr in &compiled {
-                let derived = self.eval_rule(cr, &db, None)?;
-                for (pred, t) in derived {
-                    if db.insert(&pred, t.clone()) {
-                        delta.insert(&pred, t);
+            let all_rules: Vec<usize> = (0..compiled.len()).collect();
+            let initial_par = self.pass_parallelism(db.total_facts());
+            for batch in independent_batches(&all_rules, &rule_reads, &rule_heads) {
+                let outs = par::par_try_map(
+                    initial_par,
+                    "datalog/stratum-initial",
+                    &batch,
+                    |_, &ci| self.eval_rule(&compiled[ci], &db, None),
+                )?;
+                for derived in outs {
+                    for (pred, t) in derived {
+                        if db.insert(&pred, t.clone()) {
+                            delta.insert(&pred, t);
+                        }
                     }
                 }
             }
@@ -218,11 +253,16 @@ impl Engine {
                     )));
                 }
                 let mut new_delta = Database::new();
-                for cr in &compiled {
+                // one pass per occurrence of a recursive predicate, in the
+                // same flattened (rule, occurrence) order the sequential
+                // loop visits; pass eligibility depends only on the
+                // previous iteration's delta, so the work list is fixed
+                // up front and batches by the same independence rule.
+                let mut passes: Vec<(usize, usize)> = Vec::new();
+                for (ci, cr) in compiled.iter().enumerate() {
                     if cr.rule.has_aggregate() {
                         continue;
                     }
-                    // one pass per occurrence of a recursive predicate
                     for (occ, lit_idx) in cr.positive_lit_indices.iter().enumerate() {
                         let Literal::Pos(atom) = &cr.rule.body[*lit_idx] else {
                             continue;
@@ -233,7 +273,22 @@ impl Engine {
                         if delta.facts(&atom.pred).is_empty() {
                             continue;
                         }
-                        let derived = self.eval_rule(cr, &db, Some((&delta, occ)))?;
+                        passes.push((ci, occ));
+                    }
+                }
+                let pass_rules: Vec<usize> = passes.iter().map(|&(ci, _)| ci).collect();
+                let delta_par = self.pass_parallelism(delta.total_facts());
+                for batch in independent_batches(&pass_rules, &rule_reads, &rule_heads) {
+                    let outs = par::par_try_map(
+                        delta_par,
+                        "datalog/stratum-delta",
+                        &batch,
+                        |_, &pi| {
+                            let (ci, occ) = passes[pi];
+                            self.eval_rule(&compiled[ci], &db, Some((&delta, occ)))
+                        },
+                    )?;
+                    for derived in outs {
                         for (pred, t) in derived {
                             if db.insert(&pred, t.clone()) {
                                 new_delta.insert(&pred, t);
@@ -262,6 +317,19 @@ impl Engine {
             }
         }
         Ok(out)
+    }
+
+    /// The level a stratum pass should run at: tiny inputs (a
+    /// near-converged delta iteration, a trivial program) don't amortise
+    /// worker spawn, so they drop to sequential. The level never affects
+    /// output, only wall-clock, so this heuristic is safe by construction.
+    fn pass_parallelism(&self, input_facts: usize) -> Parallelism {
+        const MIN_FACTS_FOR_WORKERS: usize = 64;
+        if input_facts < MIN_FACTS_FOR_WORKERS {
+            Parallelism::Sequential
+        } else {
+            self.config.parallelism
+        }
     }
 
     fn check_size(&self, db: &Database) -> Result<()> {
@@ -306,6 +374,34 @@ impl Engine {
         }
         Ok(results)
     }
+}
+
+/// Split a sequence of work items (each evaluating one rule) into maximal
+/// runs that may share a database snapshot: an item joins the current run
+/// iff its rule's body predicates don't intersect the head predicates the
+/// run already writes — evaluating such a run in parallel and inserting
+/// its derivations in item order is indistinguishable from the sequential
+/// eval-insert-eval interleaving. Returns runs of work-item indices.
+fn independent_batches(
+    item_rules: &[usize],
+    reads: &[BTreeSet<&str>],
+    heads: &[&str],
+) -> Vec<Vec<usize>> {
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut cur_heads: BTreeSet<&str> = BTreeSet::new();
+    for (item, &ri) in item_rules.iter().enumerate() {
+        if reads[ri].iter().any(|p| cur_heads.contains(p)) {
+            batches.push(std::mem::take(&mut cur));
+            cur_heads.clear();
+        }
+        cur.push(item);
+        cur_heads.insert(heads[ri]);
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    batches
 }
 
 /// Build the head tuple for a satisfied binding, inventing skolems for

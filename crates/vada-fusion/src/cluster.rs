@@ -1,8 +1,9 @@
 //! Union-find clustering of above-threshold record pairs within blocks.
 
-use vada_common::{Relation, Result};
+use vada_common::par::{self, Parallelism};
+use vada_common::{Relation, Result, Tuple};
 
-use crate::blocking::block_by_keys;
+use crate::blocking::block_by_keys_with;
 use crate::similarity::{record_similarity, FieldSpec};
 
 /// Disjoint-set forest with path compression and union by size.
@@ -79,21 +80,69 @@ pub struct ClusterConfig {
 
 /// Detect duplicate clusters in a relation: blocking, pairwise similarity
 /// within blocks, union of above-threshold pairs. Returns clusters of row
-/// indices (singletons included).
+/// indices (singletons included). Parallelism follows the `VADA_THREADS`
+/// override; see [`cluster_relation_with`].
 pub fn cluster_relation(cfg: &ClusterConfig, rel: &Relation) -> Result<Vec<Vec<usize>>> {
+    cluster_relation_with(cfg, rel, Parallelism::from_env())
+}
+
+/// [`cluster_relation`] with explicit parallelism: candidate pairs are
+/// enumerated in block order, scored across workers, and unioned in the
+/// same pair order — so the union-find evolves exactly as in the
+/// sequential loop and the clusters are identical at any worker count.
+pub fn cluster_relation_with(
+    cfg: &ClusterConfig,
+    rel: &Relation,
+    par: Parallelism,
+) -> Result<Vec<Vec<usize>>> {
+    cluster_relation_scored(cfg, rel, par, &|a, b| record_similarity(&cfg.fields, a, b))
+}
+
+/// [`cluster_relation_with`] with an injected pair scorer, the seam used by
+/// failure-injection tests and custom similarity metrics. A scorer that
+/// errors (or panics — captured, never a hang) surfaces the failure for the
+/// lowest-indexed candidate pair, naming the `fusion/pairwise` stage.
+pub fn cluster_relation_scored(
+    cfg: &ClusterConfig,
+    rel: &Relation,
+    par: Parallelism,
+    scorer: &(dyn Fn(&Tuple, &Tuple) -> Result<f64> + Sync),
+) -> Result<Vec<Vec<usize>>> {
+    // Candidate pairs are quadratic in block size, so they are streamed in
+    // bounded rounds rather than materialised: extra memory stays O(round)
+    // even for a degenerate single-block key. Rounds cover the pair
+    // sequence in block order, scores apply in that same order, and a
+    // failing round returns before any later round starts — so clusters
+    // and the first error are unchanged by the round boundaries.
+    const PAIRS_PER_ROUND: usize = 1 << 16;
     let keys: Vec<&str> = cfg.block_keys.iter().map(|s| s.as_str()).collect();
-    let blocks = block_by_keys(rel, &keys)?;
+    let blocks = block_by_keys_with(rel, &keys, par)?;
+    let tuples = rel.tuples();
     let mut uf = UnionFind::new(rel.len());
+    let mut round: Vec<(usize, usize)> = Vec::new();
+    let score_round = |round: &[(usize, usize)], uf: &mut UnionFind| -> Result<()> {
+        let sims = par::par_try_map(par, "fusion/pairwise", round, |_, &(a, b)| {
+            scorer(&tuples[a], &tuples[b])
+        })?;
+        for (&(a, b), sim) in round.iter().zip(&sims) {
+            if *sim >= cfg.threshold {
+                uf.union(a, b);
+            }
+        }
+        Ok(())
+    };
     for block in &blocks {
         for (i, &a) in block.iter().enumerate() {
             for &b in &block[i + 1..] {
-                let sim = record_similarity(&cfg.fields, &rel.tuples()[a], &rel.tuples()[b])?;
-                if sim >= cfg.threshold {
-                    uf.union(a, b);
+                round.push((a, b));
+                if round.len() == PAIRS_PER_ROUND {
+                    score_round(&round, &mut uf)?;
+                    round.clear();
                 }
             }
         }
     }
+    score_round(&round, &mut uf)?;
     Ok(uf.clusters())
 }
 

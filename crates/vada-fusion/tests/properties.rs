@@ -3,8 +3,10 @@
 
 use proptest::prelude::*;
 
-use vada_common::{Relation, Schema, Tuple, Value};
-use vada_fusion::{block_by_keys, fuse_clusters, Survivorship, UnionFind};
+use vada_common::{Parallelism, Relation, Schema, Tuple, Value};
+use vada_fusion::{
+    block_by_keys, block_by_keys_with, blocking_stats, fuse_clusters, Survivorship, UnionFind,
+};
 
 proptest! {
     #[test]
@@ -50,6 +52,51 @@ proptest! {
             let vals: std::collections::HashSet<&str> =
                 block.iter().map(|&r| keys[r].as_str()).collect();
             prop_assert_eq!(vals.len(), 1, "mixed keys in one block");
+        }
+    }
+
+    #[test]
+    fn blocking_completeness_over_nullable_keys(
+        rows in proptest::collection::vec(
+            (proptest::option::of("[a-c]{1,2}"), proptest::option::of("[x-z]{1}")),
+            1..40,
+        )
+    ) {
+        let schema = Schema::all_str("r", &["k1", "k2"]);
+        let mut rel = Relation::empty(schema);
+        for (a, b) in &rows {
+            rel.push(Tuple::new(vec![
+                a.as_deref().map(Value::str).unwrap_or(Value::Null),
+                b.as_deref().map(Value::str).unwrap_or(Value::Null),
+            ])).unwrap();
+        }
+        let blocks = block_by_keys(&rel, &["k1", "k2"]).unwrap();
+        // completeness: two rows with equal non-null key attributes (same
+        // null pattern, same values) always land in the same block
+        let block_of: std::collections::HashMap<usize, usize> = blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.iter().map(move |&r| (r, bi)))
+            .collect();
+        for i in 0..rows.len() {
+            for j in i + 1..rows.len() {
+                if rows[i] == rows[j] && (rows[i].0.is_some() || rows[i].1.is_some()) {
+                    prop_assert_eq!(
+                        block_of[&i], block_of[&j],
+                        "rows {} and {} share keys {:?} but not a block", i, j, rows[i]
+                    );
+                }
+            }
+        }
+        // blocking never creates work: candidate pairs within blocks are a
+        // subset of the full cross product
+        let stats = blocking_stats(&blocks, rel.len());
+        prop_assert!(stats.candidate_pairs <= stats.total_pairs);
+        prop_assert_eq!(stats.blocks, blocks.len());
+        // parallel key extraction is indistinguishable from sequential
+        for n in [2usize, 3, 8] {
+            let par = block_by_keys_with(&rel, &["k1", "k2"], Parallelism::Threads(n)).unwrap();
+            prop_assert_eq!(&par, &blocks, "Threads({}) diverged", n);
         }
     }
 

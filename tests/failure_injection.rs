@@ -2,7 +2,7 @@
 //! with a diagnostic naming it, without corrupting the knowledge base, and
 //! degenerate inputs must produce errors rather than wrong results.
 
-use vada::{Activity, RunOutcome, Transducer, Wrangler};
+use vada::{Activity, Parallelism, RunOutcome, Transducer, Wrangler};
 use vada_common::{tuple, Relation, Result, Schema, VadaError};
 use vada_kb::KnowledgeBase;
 
@@ -102,6 +102,43 @@ fn empty_sources_produce_empty_but_valid_results() {
     if let Some(result) = w.result() {
         assert!(result.is_empty());
     }
+}
+
+#[test]
+fn panicking_similarity_errors_instead_of_hanging_and_names_the_stage() {
+    use vada_common::Value;
+    use vada_fusion::{cluster_relation_scored, record_similarity, ClusterConfig, FieldKind, FieldSpec};
+
+    let mut rel = Relation::empty(Schema::all_str("r", &["street", "postcode"]));
+    for i in 0..200 {
+        rel.push(tuple![format!("{} high st", i / 2), "M1 1AA"]).unwrap();
+    }
+    rel.push(tuple!["POISON", "M1 1AA"]).unwrap();
+    let cfg = ClusterConfig {
+        block_keys: vec!["postcode".into()],
+        fields: vec![FieldSpec { col: 0, weight: 1.0, kind: FieldKind::Text }],
+        threshold: 0.9,
+    };
+    let scorer = |a: &vada_common::Tuple, b: &vada_common::Tuple| {
+        let poisoned = |t: &vada_common::Tuple| t[0] == Value::str("POISON");
+        if poisoned(a) || poisoned(b) {
+            panic!("poisoned row reached the scorer");
+        }
+        record_similarity(&cfg.fields, a, b)
+    };
+    // the panic payload must come back as an error naming the offending
+    // stage — from the worker threads just like from the sequential path,
+    // never a deadlock or process abort
+    for par in [Parallelism::Sequential, Parallelism::Threads(4), Parallelism::Threads(8)] {
+        let err = cluster_relation_scored(&cfg, &rel, par, &scorer).unwrap_err();
+        assert_eq!(err.kind(), "parallel", "{par:?}: {err}");
+        assert!(err.message().contains("fusion/pairwise"), "{par:?}: {err}");
+        assert!(err.message().contains("poisoned row"), "{par:?}: {err}");
+    }
+    // all parallelism levels report the same (lowest-pair-index) failure
+    let seq = cluster_relation_scored(&cfg, &rel, Parallelism::Sequential, &scorer).unwrap_err();
+    let par = cluster_relation_scored(&cfg, &rel, Parallelism::Threads(4), &scorer).unwrap_err();
+    assert_eq!(seq, par);
 }
 
 #[test]
