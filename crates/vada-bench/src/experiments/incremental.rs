@@ -1,0 +1,186 @@
+//! The incremental-evaluation baseline: quantify full vs delta
+//! re-derivation and persist the numbers as machine-readable JSON
+//! (`BENCH_baseline.json`) so the performance trajectory accumulates
+//! across PRs instead of living only in terminal scrollback.
+
+use std::time::Instant;
+
+use vada_common::{tuple, Tuple};
+use vada_datalog::incremental::{DeltaMode, IncrementalSession};
+use vada_datalog::{parse_program, Database, Engine, EngineConfig};
+
+use crate::report::table;
+
+/// Where the machine-readable baseline lands (repo root when the driver
+/// runs from there; always printed in the report).
+pub const BASELINE_PATH: &str = "BENCH_baseline.json";
+
+const PROGRAM: &str = r#"
+    all(X, P) :- a(X, P).
+    all(X, P) :- b(X, P).
+    picked(X, P) :- a(X, P), k(X).
+    wide(X, P, Q) :- picked(X, P), w(P, Q).
+"#;
+
+fn base_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n as i64 {
+        db.insert("a", tuple![i % 997, i]);
+        db.insert("b", tuple![i % 631, i + 10_000_000]);
+        if i % 3 == 0 {
+            db.insert("k", tuple![i % 997]);
+        }
+        db.insert("w", tuple![i, i * 2]);
+    }
+    db
+}
+
+fn delta(k: usize, round: usize) -> Vec<(String, Tuple)> {
+    (0..k as i64)
+        .map(|j| {
+            let v = 20_000_000 + (round as i64) * k as i64 + j;
+            ("a".to_string(), tuple![v % 997, v])
+        })
+        .collect()
+}
+
+struct Row {
+    base_rows: usize,
+    delta_rows: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+    full_derivations: usize,
+    incremental_derivations: usize,
+}
+
+fn measure(n: usize, k: usize, rounds: usize) -> Row {
+    let program = parse_program(PROGRAM).unwrap();
+    let engine = Engine::new(EngineConfig::default());
+
+    // full: median wall-clock of re-deriving base+delta from scratch
+    let mut grown = base_db(n);
+    for (p, t) in delta(k, 0) {
+        grown.insert(&p, t);
+    }
+    let input_facts = grown.total_facts();
+    let mut full_times = Vec::new();
+    let mut full_derivations = 0usize;
+    for _ in 0..rounds {
+        let input = grown.clone();
+        let start = Instant::now();
+        let out = engine.run(&program, input).expect("full run evaluates");
+        full_times.push(start.elapsed().as_secs_f64() * 1e3);
+        full_derivations = out.total_facts() - input_facts;
+    }
+
+    // incremental: median wall-clock of one k-fact delta apply
+    let mut session = IncrementalSession::new(EngineConfig::default(), PROGRAM).unwrap();
+    session.run_full(base_db(n)).unwrap();
+    session.apply(delta(k, 0)).unwrap();
+    let mut inc_times = Vec::new();
+    let mut inc_derivations = 0usize;
+    for round in 1..=rounds {
+        let facts = delta(k, round);
+        let start = Instant::now();
+        session.apply(facts).expect("delta applies");
+        inc_times.push(start.elapsed().as_secs_f64() * 1e3);
+        let outcome = session.last_outcome().expect("apply records an outcome");
+        assert_eq!(outcome.mode, DeltaMode::Incremental, "baseline must hit the fast path");
+        inc_derivations = outcome.derived_facts;
+    }
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    Row {
+        base_rows: n,
+        delta_rows: k,
+        full_ms: median(full_times),
+        incremental_ms: median(inc_times),
+        full_derivations,
+        incremental_derivations: inc_derivations,
+    }
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let workers = vada_common::Parallelism::from_env().workers();
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v1\",\n");
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"datalog_incremental_vs_full\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"base_rows\": {}, \"delta_rows\": {}, \"full_ms\": {:.3}, \
+             \"incremental_ms\": {:.3}, \"full_derivations\": {}, \
+             \"incremental_derivations\": {}, \"speedup\": {:.1}}}{}\n",
+            r.base_rows,
+            r.delta_rows,
+            r.full_ms,
+            r.incremental_ms,
+            r.full_derivations,
+            r.incremental_derivations,
+            r.full_ms / r.incremental_ms.max(1e-9),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the baseline measurements, write `BENCH_baseline.json`, and return
+/// the human-readable report.
+pub fn incremental_baseline() -> String {
+    let rows = vec![measure(5_000, 64, 5), measure(20_000, 64, 5)];
+    let json = to_json(&rows);
+    let write_note = match std::fs::write(BASELINE_PATH, &json) {
+        Ok(()) => format!("baseline written to {BASELINE_PATH}"),
+        Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
+    };
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.base_rows.to_string(),
+                r.delta_rows.to_string(),
+                format!("{:.2}", r.full_ms),
+                format!("{:.2}", r.incremental_ms),
+                r.full_derivations.to_string(),
+                r.incremental_derivations.to_string(),
+                format!("{:.0}x", r.full_ms / r.incremental_ms.max(1e-9)),
+            ]
+        })
+        .collect();
+    format!(
+        "== Incremental delta evaluation vs full re-derivation ==\n\
+         A k-row delta against an N-row base: the full path re-derives\n\
+         everything, the incremental session re-derives O(k).\n\n{}\n{}",
+        table(
+            &[
+                "base rows",
+                "delta rows",
+                "full ms",
+                "incr ms",
+                "full derivations",
+                "incr derivations",
+                "speedup"
+            ],
+            &table_rows,
+        ),
+        write_note,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_rows_show_less_work() {
+        let r = measure(2_000, 32, 3);
+        assert!(r.incremental_derivations < r.full_derivations / 10,
+            "delta path must derive far less: {} vs {}",
+            r.incremental_derivations, r.full_derivations);
+        let json = to_json(&[r]);
+        assert!(json.contains("\"speedup\""), "{json}");
+    }
+}

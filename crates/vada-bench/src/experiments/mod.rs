@@ -5,11 +5,13 @@ pub mod context;
 pub mod datacontext;
 pub mod feedback;
 pub mod figures;
+pub mod incremental;
 pub mod matchers;
 pub mod orchestration;
 pub mod repair_cfd;
 
-/// All experiment ids, in DESIGN.md order.
+/// All experiment ids, in DESIGN.md order (`bench` additionally writes
+/// the machine-readable `BENCH_baseline.json`).
 pub const ALL: &[&str] = &[
     "table1",
     "fig2",
@@ -21,6 +23,7 @@ pub const ALL: &[&str] = &[
     "datacontext",
     "matchers",
     "cfd",
+    "bench",
 ];
 
 /// Run one experiment by id and return its report text.
@@ -36,6 +39,7 @@ pub fn run(id: &str) -> Option<String> {
         "datacontext" => datacontext::datacontext_sweep(),
         "matchers" => matchers::matcher_ablation(),
         "cfd" => repair_cfd::cfd_and_repair(),
+        "bench" => incremental::incremental_baseline(),
         _ => return None,
     })
 }

@@ -1,0 +1,73 @@
+//! The evaluation-mode knob for re-runs over an evolving knowledge base.
+//!
+//! [`Evaluation::Full`] re-derives every Datalog relation from its full
+//! inputs on each run. [`Evaluation::Incremental`] lets components keep
+//! materialized state alive between runs and feed only the *changes*
+//! (knowledge-base delta-journal entries) through the semi-naive loop, so a
+//! re-run after a small edit costs O(change) instead of O(database).
+//!
+//! Like [`crate::Parallelism`], the knob is safe to flip at any time:
+//! incremental evaluation is pinned byte-identical to full evaluation —
+//! same relations, same fact insertion order, same trace shape — by the
+//! root `incremental_equivalence` differential suite. Whenever a change
+//! cannot be proven order-safe, the incremental path falls back to a full
+//! re-derivation (recording why), never to divergent output.
+
+/// How a component should evaluate when its inputs change.
+///
+/// The default is read from the `VADA_INCREMENTAL` environment variable
+/// (`1`/`true`/`on` select [`Evaluation::Incremental`]), mirroring the
+/// `VADA_THREADS` override for [`crate::Parallelism`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evaluation {
+    /// Re-derive everything from full inputs on every run.
+    Full,
+    /// Keep materialized state between runs and evaluate only deltas,
+    /// falling back to full re-derivation when a change is not provably
+    /// order-safe.
+    Incremental,
+}
+
+impl Default for Evaluation {
+    fn default() -> Self {
+        Evaluation::from_env()
+    }
+}
+
+impl Evaluation {
+    /// Read the `VADA_INCREMENTAL` override: `1`, `true` or `on`
+    /// (case-insensitive) select [`Evaluation::Incremental`]; anything
+    /// else, including unset, selects [`Evaluation::Full`].
+    pub fn from_env() -> Evaluation {
+        match std::env::var("VADA_INCREMENTAL") {
+            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
+                Evaluation::Incremental
+            }
+            _ => Evaluation::Full,
+        }
+    }
+
+    /// Whether this mode keeps state between runs.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self, Evaluation::Incremental)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_contract() {
+        // the default must agree with whatever the ambient environment says
+        // (CI runs the whole suite under VADA_INCREMENTAL=1 on one leg)
+        match std::env::var("VADA_INCREMENTAL") {
+            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
+                assert_eq!(Evaluation::from_env(), Evaluation::Incremental)
+            }
+            _ => assert_eq!(Evaluation::from_env(), Evaluation::Full),
+        }
+        assert!(Evaluation::Incremental.is_incremental());
+        assert!(!Evaluation::Full.is_incremental());
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod csv;
 pub mod error;
+pub mod evaluation;
 pub mod idgen;
 pub mod par;
 pub mod relation;
@@ -19,6 +20,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Result, VadaError};
+pub use evaluation::Evaluation;
 pub use par::Parallelism;
 pub use relation::Relation;
 pub use schema::{AttrType, Attribute, Schema};

@@ -1,11 +1,11 @@
 //! Mapping transducers: generation, selection, execution.
 
-use vada_common::{Parallelism, Relation, Result, VadaError};
+use vada_common::{Evaluation, Parallelism, Relation, Result, VadaError};
 use vada_context::UserContext;
 use vada_kb::KnowledgeBase;
 use vada_map::{
-    execute_mapping, generate_candidates, rank_mappings, ExecuteConfig, MapGenConfig,
-    MappingScore,
+    execute_mapping, generate_candidates, rank_mappings, ExecuteConfig, IncrementalExecutor,
+    MapGenConfig, MappingScore,
 };
 
 use crate::components::feedback::apply_vetoes;
@@ -140,11 +140,15 @@ impl Transducer for MappingSelection {
 
 /// Execute the selected mapping and materialise the result (re-applying
 /// any feedback-derived vetoes so user corrections survive
-/// re-materialisation).
+/// re-materialisation). Under [`Evaluation::Incremental`] the Datalog
+/// materialization persists between runs and only knowledge-base deltas
+/// are re-derived; the output is byte-identical either way.
 #[derive(Debug, Default)]
 pub struct MappingExecution {
     /// Execution configuration.
     pub config: ExecuteConfig,
+    evaluation: Evaluation,
+    executor: IncrementalExecutor,
 }
 
 impl Transducer for MappingExecution {
@@ -171,6 +175,10 @@ impl Transducer for MappingExecution {
         self.config.engine.parallelism = parallelism;
     }
 
+    fn set_evaluation(&mut self, evaluation: Evaluation) {
+        self.evaluation = evaluation;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let id = kb
             .selected_mapping()
@@ -185,6 +193,9 @@ impl Transducer for MappingExecution {
         let mut result: Relation = match kb.relation(&candidate_relation_name(&id)) {
             Ok(cached) => {
                 Relation::from_tuples(cached.schema().renamed(&mapping.target), cached.tuples().to_vec())?
+            }
+            Err(_) if self.evaluation.is_incremental() => {
+                self.executor.execute(&self.config, &mapping, kb)?
             }
             Err(_) => execute_mapping(&self.config, &mapping, kb)?,
         };

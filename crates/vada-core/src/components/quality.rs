@@ -1,11 +1,11 @@
 //! Quality transducers: CFD learning, source profiling, and per-mapping
 //! quality metrics.
 
-use vada_common::{Relation, Result};
+use vada_common::{Evaluation, Parallelism, Relation, Result};
 use vada_context::data_context::{capabilities, cfd_training_contexts};
 use vada_kb::{KnowledgeBase, QualityFact};
-use vada_map::{execute_mapping, ExecuteConfig};
-use vada_quality::{accuracy_against_reference, consistency, learn_cfds, CfdLearnConfig};
+use vada_map::{execute_mapping, ExecuteConfig, ExecutorStats, IncrementalExecutor};
+use vada_quality::{accuracy_against_reference, consistency, learn_cfds_with, CfdLearnConfig};
 
 use crate::components::mapping::candidate_relation_name;
 use crate::transducer::{Activity, RunOutcome, Transducer};
@@ -18,6 +18,8 @@ use crate::transducer::{Activity, RunOutcome, Transducer};
 pub struct CfdLearning {
     /// Learner configuration.
     pub config: CfdLearnConfig,
+    /// Workers for the levelwise scan over LHS candidate sets.
+    pub parallelism: Parallelism,
 }
 
 impl Transducer for CfdLearning {
@@ -37,6 +39,10 @@ impl Transducer for CfdLearning {
         &["data_context", "relations"]
     }
 
+    fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let contexts = cfd_training_contexts(kb)?;
         if contexts.is_empty() {
@@ -48,7 +54,7 @@ impl Transducer for CfdLearning {
         let mut written = 0usize;
         for (rel_name, _coverage) in &contexts {
             let rel = kb.relation(rel_name)?.clone();
-            for cfd in learn_cfds(&self.config, &rel) {
+            for cfd in learn_cfds_with(&self.config, &rel, self.parallelism)? {
                 kb.add_cfd(cfd);
                 written += 1;
             }
@@ -114,6 +120,16 @@ impl Transducer for SourceProfiling {
 pub struct MappingQuality {
     /// Execution configuration for candidate materialisation.
     pub config: ExecuteConfig,
+    evaluation: Evaluation,
+    executor: IncrementalExecutor,
+}
+
+impl MappingQuality {
+    /// Counters from the incremental execution path (how many candidate
+    /// materialisations went through the semi-naive fast path).
+    pub fn executor_stats(&self) -> &ExecutorStats {
+        self.executor.stats()
+    }
 }
 
 impl Transducer for MappingQuality {
@@ -131,6 +147,14 @@ impl Transducer for MappingQuality {
 
     fn input_aspects(&self) -> &'static [&'static str] {
         &["mappings", "cfds", "data_context"]
+    }
+
+    fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.engine.parallelism = parallelism;
+    }
+
+    fn set_evaluation(&mut self, evaluation: Evaluation) {
+        self.evaluation = evaluation;
     }
 
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
@@ -155,7 +179,11 @@ impl Transducer for MappingQuality {
         let mut written = 0usize;
         let mut materialised: Vec<(String, Relation)> = Vec::new();
         for mapping in &mappings {
-            let result = execute_mapping(&self.config, mapping, kb)?;
+            let result = if self.evaluation.is_incremental() {
+                self.executor.execute(&self.config, mapping, kb)?
+            } else {
+                execute_mapping(&self.config, mapping, kb)?
+            };
             // completeness per target attribute
             for attr in result.schema().attr_names().iter().map(|s| s.to_string()) {
                 let value = result.completeness(&attr)?;

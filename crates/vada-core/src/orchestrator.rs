@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use vada_common::{Parallelism, Result, VadaError};
+use vada_common::{Evaluation, Parallelism, Result, VadaError};
 use vada_kb::KnowledgeBase;
 
 use crate::network::{GenericPolicy, SchedulingPolicy};
@@ -21,11 +21,23 @@ pub struct OrchestratorConfig {
     /// stable fields, and any error are identical at every level; defaults
     /// to the `VADA_THREADS` override.
     pub parallelism: Parallelism,
+    /// Evaluation mode broadcast to every registered transducer (see
+    /// [`Transducer::set_evaluation`]). Under [`Evaluation::Incremental`]
+    /// the mapping transducers keep materialized Datalog state between
+    /// runs and re-derive only what the knowledge-base delta journal says
+    /// changed; results and traces are identical in both modes (the
+    /// `incremental_equivalence` suite pins this). Defaults to the
+    /// `VADA_INCREMENTAL` override.
+    pub evaluation: Evaluation,
 }
 
 impl Default for OrchestratorConfig {
     fn default() -> Self {
-        OrchestratorConfig { max_steps: 200, parallelism: Parallelism::default() }
+        OrchestratorConfig {
+            max_steps: 200,
+            parallelism: Parallelism::default(),
+            evaluation: Evaluation::default(),
+        }
     }
 }
 
@@ -69,20 +81,23 @@ impl Orchestrator {
             trace: Trace::default(),
             step: 0,
         };
-        // the orchestrator owns the parallelism knob: every registration
-        // path (constructor, add_transducer, set_config) broadcasts the
-        // current level, so thread usage never depends on how a component
-        // reached the fleet
+        // the orchestrator owns the parallelism and evaluation knobs:
+        // every registration path (constructor, add_transducer,
+        // set_config) broadcasts the current levels, so behaviour never
+        // depends on how a component reached the fleet
         for t in &mut orch.transducers {
             t.set_parallelism(orch.config.parallelism);
+            t.set_evaluation(orch.config.evaluation);
         }
         orch
     }
 
-    /// Override limits, broadcasting the parallelism level to the fleet.
+    /// Override limits, broadcasting the parallelism level and evaluation
+    /// mode to the fleet.
     pub fn set_config(&mut self, config: OrchestratorConfig) {
         for t in &mut self.transducers {
             t.set_parallelism(config.parallelism);
+            t.set_evaluation(config.evaluation);
         }
         self.config = config;
     }
@@ -97,6 +112,7 @@ impl Orchestrator {
     /// the orchestrator's current parallelism level.
     pub fn add_transducer(&mut self, mut t: Box<dyn Transducer>) {
         t.set_parallelism(self.config.parallelism);
+        t.set_evaluation(self.config.evaluation);
         self.transducers.push(t);
     }
 

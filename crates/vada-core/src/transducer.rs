@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use vada_common::{Parallelism, Result};
+use vada_common::{Evaluation, Parallelism, Result};
 use vada_kb::KnowledgeBase;
 
 /// The wrangling activity a transducer belongs to (paper Table 1 column
@@ -113,6 +113,14 @@ pub trait Transducer {
     /// it, which is always correct because parallel and sequential paths
     /// produce identical output.
     fn set_parallelism(&mut self, _parallelism: Parallelism) {}
+
+    /// Adopt the orchestrator's evaluation mode (see
+    /// [`crate::OrchestratorConfig::evaluation`]). Components that can
+    /// keep materialized state between runs and re-evaluate only
+    /// knowledge-base deltas override this; the default ignores it, which
+    /// is always correct because the incremental path is pinned
+    /// byte-identical to full evaluation.
+    fn set_evaluation(&mut self, _evaluation: Evaluation) {}
 
     /// Execute against the knowledge base.
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome>;

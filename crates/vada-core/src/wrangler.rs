@@ -1,7 +1,7 @@
 //! The [`Wrangler`] facade: the end-user surface of the architecture,
 //! driving the four pay-as-you-go steps of the demonstration (paper §3).
 
-use vada_common::{Parallelism, Relation, Result, Schema};
+use vada_common::{Evaluation, Parallelism, Relation, Result, Schema};
 use vada_kb::{ContextKind, FeedbackRecord, KnowledgeBase, PairwiseStatement};
 
 use crate::network::SchedulingPolicy;
@@ -79,6 +79,16 @@ impl Wrangler {
     /// this).
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         let config = OrchestratorConfig { parallelism, ..self.orchestrator.config().clone() };
+        self.orchestrator.set_config(config);
+    }
+
+    /// Set the evaluation mode for every registered component. Safe to
+    /// change at any point: incremental and full evaluation produce
+    /// identical results, traces, and errors (the `incremental_equivalence`
+    /// suite pins this); incremental re-runs after small knowledge-base
+    /// edits cost O(change).
+    pub fn set_evaluation(&mut self, evaluation: Evaluation) {
+        let config = OrchestratorConfig { evaluation, ..self.orchestrator.config().clone() };
         self.orchestrator.set_config(config);
     }
 

@@ -129,6 +129,14 @@ impl Database {
             }
         }
     }
+
+    /// Replace the fact set of one predicate wholesale. Used by the
+    /// incremental layer to re-establish the scratch insertion order of a
+    /// multi-rule head after a delta pass; never exposed publicly because
+    /// arbitrary replacement would break the append-only order reasoning.
+    pub(crate) fn set_fact_set(&mut self, pred: &str, fs: FactSet) {
+        self.rels.insert(pred.to_string(), fs);
+    }
 }
 
 /// Engine tuning knobs.
@@ -319,11 +327,22 @@ impl Engine {
         Ok(out)
     }
 
+    /// Engine configuration (read access for the incremental layer).
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Engine configuration (mutable access for the incremental layer;
+    /// changing the parallelism level never changes output).
+    pub(crate) fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
     /// The level a stratum pass should run at: tiny inputs (a
     /// near-converged delta iteration, a trivial program) don't amortise
     /// worker spawn, so they drop to sequential. The level never affects
     /// output, only wall-clock, so this heuristic is safe by construction.
-    fn pass_parallelism(&self, input_facts: usize) -> Parallelism {
+    pub(crate) fn pass_parallelism(&self, input_facts: usize) -> Parallelism {
         const MIN_FACTS_FOR_WORKERS: usize = 64;
         if input_facts < MIN_FACTS_FOR_WORKERS {
             Parallelism::Sequential
@@ -344,7 +363,7 @@ impl Engine {
 
     /// Evaluate one rule; returns `(pred, tuple)` pairs (possibly with
     /// duplicates — the caller dedups on insert).
-    fn eval_rule(
+    pub(crate) fn eval_rule(
         &self,
         cr: &CompiledRule,
         db: &Database,
@@ -382,7 +401,7 @@ impl Engine {
 /// run already writes — evaluating such a run in parallel and inserting
 /// its derivations in item order is indistinguishable from the sequential
 /// eval-insert-eval interleaving. Returns runs of work-item indices.
-fn independent_batches(
+pub(crate) fn independent_batches(
     item_rules: &[usize],
     reads: &[BTreeSet<&str>],
     heads: &[&str],
@@ -527,21 +546,21 @@ fn aggregate(
 
 /// A rule with a precomputed evaluation order and per-literal bound-position
 /// information.
-struct CompiledRule<'a> {
-    rule: &'a Rule,
+pub(crate) struct CompiledRule<'a> {
+    pub(crate) rule: &'a Rule,
     rule_idx: usize,
     /// Evaluation order: indices into `rule.body`.
-    order: Vec<usize>,
+    pub(crate) order: Vec<usize>,
     /// Bound positions of each positive literal *in evaluation order
     /// position* (index aligned with `order`).
     bound_positions: Vec<Vec<usize>>,
     /// Indices (into `rule.body`) of positive literals in source order —
     /// used for delta-occurrence numbering.
-    positive_lit_indices: Vec<usize>,
+    pub(crate) positive_lit_indices: Vec<usize>,
 }
 
 impl<'a> CompiledRule<'a> {
-    fn compile(rule: &'a Rule, rule_idx: usize) -> Result<CompiledRule<'a>> {
+    pub(crate) fn compile(rule: &'a Rule, rule_idx: usize) -> Result<CompiledRule<'a>> {
         let body = &rule.body;
         let mut placed = vec![false; body.len()];
         let mut bound: BTreeSet<usize> = BTreeSet::new();
@@ -660,7 +679,7 @@ impl<'a> CompiledRule<'a> {
     }
 
     /// Occurrence number (among positive literals) of body literal `lit_idx`.
-    fn occurrence_of(&self, lit_idx: usize) -> Option<usize> {
+    pub(crate) fn occurrence_of(&self, lit_idx: usize) -> Option<usize> {
         self.positive_lit_indices.iter().position(|&i| i == lit_idx)
     }
 }

@@ -41,6 +41,7 @@ pub mod analysis;
 pub mod ast;
 pub mod builtins;
 pub mod engine;
+pub mod incremental;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -49,6 +50,7 @@ pub mod skolem;
 pub use analysis::{stratify, Stratification};
 pub use ast::{Atom, CmpOp, Expr, HeadTerm, Literal, Program, Rule, Term};
 pub use engine::{Database, Engine, EngineConfig};
+pub use incremental::{DeltaMode, DeltaOutcome, IncrementalSession};
 pub use parser::parse_program;
 
 use vada_common::Result;

@@ -1,0 +1,250 @@
+//! The knowledge-base **change journal**: every mutation of the
+//! [`KnowledgeBase`](crate::KnowledgeBase) is recorded as a
+//! [`DeltaEvent`] with a monotone sequence number equal to the KB version
+//! the mutation produced, so any consumer can ask *"what changed since I
+//! last ran?"* and pay O(change) instead of re-reading the whole base.
+//!
+//! Events distinguish **monotone** changes (rows appended to an existing
+//! relation — the shape the incremental Datalog path can evaluate as a
+//! delta) from **non-monotone** ones (a relation replaced or removed, or a
+//! metadata aspect rewritten), which force consumers back to a full run.
+//!
+//! ```
+//! use vada_common::{tuple, Relation, Schema};
+//! use vada_kb::{DeltaChange, KnowledgeBase};
+//!
+//! let mut kb = KnowledgeBase::new();
+//! let mut src = Relation::empty(Schema::all_str("listings", &["price"]));
+//! src.push(tuple!["100"]).unwrap();
+//! kb.register_source(src.clone());
+//! let seen = kb.version();
+//!
+//! // appending rows and re-registering is recorded as a monotone delta
+//! src.push(tuple!["200"]).unwrap();
+//! kb.register_source(src);
+//! let events = kb.drain_deltas_since(seen).expect("within the window");
+//! match &events[0].change {
+//!     DeltaChange::RowsAppended { relation, rows } => {
+//!         assert_eq!(relation, "listings");
+//!         assert_eq!(rows.len(), 1);
+//!     }
+//!     other => panic!("expected an append, got {other:?}"),
+//! }
+//! ```
+//!
+//! The journal keeps a bounded window of recent events; a consumer whose
+//! watermark has fallen out of the window gets `None` from
+//! [`KnowledgeBase::drain_deltas_since`](crate::KnowledgeBase::drain_deltas_since)
+//! and must fall back to a full run — the same contract as a non-monotone
+//! event, so staleness can never produce wrong results.
+
+use std::collections::VecDeque;
+
+use vada_common::Tuple;
+
+/// What one knowledge-base mutation did, at the granularity the
+/// incremental evaluation path consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaChange {
+    /// Rows were appended to an existing relation (schema unchanged, old
+    /// rows a prefix of the new ones). Monotone: consumers may feed
+    /// `rows` straight through a semi-naive delta pass.
+    RowsAppended {
+        /// Relation name.
+        relation: String,
+        /// The appended suffix, in insertion order.
+        rows: Vec<Tuple>,
+    },
+    /// A brand-new relation was registered. Recorded without its rows —
+    /// a consumer that cares about a relation it has never seen must read
+    /// it from the catalog anyway, and copying whole relations into the
+    /// journal would double ingestion memory.
+    RelationAdded {
+        /// Relation name.
+        relation: String,
+    },
+    /// A relation was replaced with content that is not an extension of
+    /// what was there (rows retracted or rewritten, or the schema
+    /// changed). Non-monotone.
+    RelationReplaced {
+        /// Relation name.
+        relation: String,
+    },
+    /// A relation was removed from the catalog. Non-monotone.
+    RelationRemoved {
+        /// Relation name.
+        relation: String,
+    },
+    /// A metadata aspect changed (matches, mappings, CFDs, feedback,
+    /// quality, contexts, selection, staged documents…). Non-monotone for
+    /// relation consumers, but carries the aspect so consumers can ignore
+    /// aspects they do not read.
+    AspectChanged {
+        /// Short human-readable detail (e.g. the mutating operation).
+        detail: String,
+    },
+}
+
+impl DeltaChange {
+    /// Whether the change is a pure fact insertion.
+    pub fn is_monotone(&self) -> bool {
+        matches!(self, DeltaChange::RowsAppended { .. })
+    }
+
+    /// The relation this change touches, if it is relation-level.
+    pub fn relation(&self) -> Option<&str> {
+        match self {
+            DeltaChange::RowsAppended { relation, .. }
+            | DeltaChange::RelationAdded { relation }
+            | DeltaChange::RelationReplaced { relation }
+            | DeltaChange::RelationRemoved { relation } => Some(relation),
+            DeltaChange::AspectChanged { .. } => None,
+        }
+    }
+}
+
+/// One journalled mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEvent {
+    /// The knowledge-base version this mutation produced. Strictly
+    /// monotone across the journal.
+    pub seq: u64,
+    /// The aspect the mutation bumped (see
+    /// [`KnowledgeBase::aspect_version`](crate::KnowledgeBase::aspect_version)).
+    pub aspect: &'static str,
+    /// What changed.
+    pub change: DeltaChange,
+}
+
+/// Default cap on retained events. Generous enough for many orchestration
+/// steps between two runs of the same consumer, small enough that the
+/// journal never dominates KB memory.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// A bounded, monotone-sequence journal of [`DeltaEvent`]s.
+#[derive(Debug, Clone)]
+pub struct DeltaJournal {
+    events: VecDeque<DeltaEvent>,
+    /// Highest sequence number that has been pruned out of the window
+    /// (0 when nothing was pruned).
+    pruned_through: u64,
+    capacity: usize,
+}
+
+impl Default for DeltaJournal {
+    fn default() -> Self {
+        DeltaJournal {
+            events: VecDeque::new(),
+            pruned_through: 0,
+            capacity: DEFAULT_JOURNAL_CAPACITY,
+        }
+    }
+}
+
+impl DeltaJournal {
+    /// An empty journal with a custom retention window.
+    pub fn with_capacity(capacity: usize) -> DeltaJournal {
+        DeltaJournal { capacity: capacity.max(1), ..DeltaJournal::default() }
+    }
+
+    /// Record a mutation. `seq` must be strictly greater than any
+    /// previously recorded sequence (the KB version counter guarantees
+    /// this).
+    pub fn record(&mut self, seq: u64, aspect: &'static str, change: DeltaChange) {
+        debug_assert!(
+            self.events.back().is_none_or(|e| e.seq < seq),
+            "journal sequence numbers must be strictly monotone"
+        );
+        self.events.push_back(DeltaEvent { seq, aspect, change });
+        while self.events.len() > self.capacity {
+            let dropped = self.events.pop_front().expect("len > capacity >= 1");
+            self.pruned_through = dropped.seq;
+        }
+    }
+
+    /// The events with `seq > version`, oldest first — or `None` when the
+    /// window no longer reaches back to `version` (some event with
+    /// `seq > version` has been pruned), in which case the consumer must
+    /// fall back to a full run.
+    pub fn events_since(&self, version: u64) -> Option<Vec<DeltaEvent>> {
+        if version < self.pruned_through {
+            return None;
+        }
+        Some(
+            self.events
+                .iter()
+                .filter(|e| e.seq > version)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Highest pruned sequence number (0 when nothing was pruned yet).
+    pub fn pruned_through(&self) -> u64 {
+        self.pruned_through
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::tuple;
+
+    fn append(rel: &str, n: usize) -> DeltaChange {
+        DeltaChange::RowsAppended {
+            relation: rel.into(),
+            rows: (0..n).map(|i| tuple![i as i64]).collect(),
+        }
+    }
+
+    #[test]
+    fn events_since_filters_by_seq() {
+        let mut j = DeltaJournal::default();
+        j.record(1, "relations", append("a", 1));
+        j.record(2, "matches", DeltaChange::AspectChanged { detail: "add_match".into() });
+        j.record(5, "relations", append("a", 2));
+        let since2 = j.events_since(2).unwrap();
+        assert_eq!(since2.len(), 1);
+        assert_eq!(since2[0].seq, 5);
+        assert_eq!(j.events_since(0).unwrap().len(), 3);
+        assert!(j.events_since(5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn window_overflow_returns_none() {
+        let mut j = DeltaJournal::with_capacity(2);
+        j.record(1, "relations", append("a", 1));
+        j.record(2, "relations", append("a", 1));
+        j.record(3, "relations", append("a", 1));
+        // seq 1 was pruned: a consumer at version 0 cannot be served
+        assert_eq!(j.pruned_through(), 1);
+        assert!(j.events_since(0).is_none());
+        // a consumer at version 1 (or later) still can
+        assert_eq!(j.events_since(1).unwrap().len(), 2);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn monotonicity_classification() {
+        assert!(append("r", 1).is_monotone());
+        assert!(!DeltaChange::RelationAdded { relation: "r".into() }.is_monotone());
+        assert!(!DeltaChange::RelationReplaced { relation: "r".into() }.is_monotone());
+        assert!(!DeltaChange::RelationRemoved { relation: "r".into() }.is_monotone());
+        assert!(!DeltaChange::AspectChanged { detail: "x".into() }.is_monotone());
+        assert_eq!(append("r", 1).relation(), Some("r"));
+        assert_eq!(
+            DeltaChange::AspectChanged { detail: "x".into() }.relation(),
+            None
+        );
+    }
+}

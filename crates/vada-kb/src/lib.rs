@@ -20,11 +20,13 @@
 //! these versions to decide which transducers have new inputs (paper §2.4).
 
 pub mod catalog;
+pub mod delta;
 pub mod meta;
 pub mod provenance;
 pub mod store;
 
 pub use catalog::{Catalog, RelationKind};
+pub use delta::{DeltaChange, DeltaEvent, DeltaJournal};
 pub use meta::{
     CellVeto,
     CfdRule, ContextKind, FeedbackRecord, FeedbackTarget, MappingDef, MatchDef, PairwiseStatement,

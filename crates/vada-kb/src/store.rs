@@ -8,6 +8,7 @@ use vada_datalog::engine::{Database, Engine};
 use vada_datalog::parser::parse_query;
 
 use crate::catalog::{Catalog, RelationKind};
+use crate::delta::{DeltaChange, DeltaEvent, DeltaJournal};
 use crate::meta::{
     CellVeto, CfdRule, ContextKind, FeedbackRecord, FeedbackTarget, MappingDef, MatchDef,
     PairwiseStatement, QualityFact, Verdict,
@@ -34,6 +35,7 @@ pub struct KnowledgeBase {
     staged: BTreeMap<String, String>,
     version: u64,
     aspect_versions: BTreeMap<&'static str, u64>,
+    journal: DeltaJournal,
     provenance: ProvenanceLog,
     /// cached dependency view: `(kb version it was built at, database)`
     dep_cache: Mutex<Option<(u64, Database)>>,
@@ -57,6 +59,7 @@ impl Clone for KnowledgeBase {
             staged: self.staged.clone(),
             version: self.version,
             aspect_versions: self.aspect_versions.clone(),
+            journal: self.journal.clone(),
             provenance: self.provenance.clone(),
             dep_cache: Mutex::new(None),
         }
@@ -70,13 +73,57 @@ impl KnowledgeBase {
     }
 
     fn touch(&mut self, aspect: &'static str) {
+        self.touch_with(aspect, DeltaChange::AspectChanged { detail: aspect.to_string() });
+    }
+
+    fn touch_with(&mut self, aspect: &'static str, change: DeltaChange) {
         self.version += 1;
         self.aspect_versions.insert(aspect, self.version);
+        self.journal.record(self.version, aspect, change);
+    }
+
+    /// Classify what registering `rel` under `kind` does to the catalog:
+    /// a pure row append (monotone) or a replacement (non-monotone).
+    fn relation_change(&self, kind: RelationKind, rel: &Relation) -> DeltaChange {
+        let name = rel.name().to_string();
+        match self.catalog.get(&name) {
+            None => DeltaChange::RelationAdded { relation: name },
+            Some(old)
+                if self.catalog.kind(&name) == Some(kind)
+                    && old.schema() == rel.schema()
+                    && old.len() <= rel.len()
+                    && old.tuples() == &rel.tuples()[..old.len()] =>
+            {
+                DeltaChange::RowsAppended {
+                    relation: name,
+                    rows: rel.tuples()[old.len()..].to_vec(),
+                }
+            }
+            Some(_) => DeltaChange::RelationReplaced { relation: name },
+        }
     }
 
     /// Global version counter; bumps on every mutation.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The change-journal entries recorded after `version`, oldest first —
+    /// the consumer side of the delta journal. Returns `None` when the
+    /// journal's bounded window no longer reaches back that far, in which
+    /// case the caller must treat everything as changed (full run).
+    ///
+    /// Reading does not remove events (the window is pruned by capacity,
+    /// not by consumption), so any number of consumers can each keep their
+    /// own watermark — typically the [`KnowledgeBase::version`] observed at
+    /// the end of their previous run.
+    pub fn drain_deltas_since(&self, version: u64) -> Option<Vec<DeltaEvent>> {
+        self.journal.events_since(version)
+    }
+
+    /// The change journal itself (read access).
+    pub fn journal(&self) -> &DeltaJournal {
+        &self.journal
     }
 
     /// The version at which `aspect` last changed (0 if never). Aspects:
@@ -100,10 +147,14 @@ impl KnowledgeBase {
     // extensional data
     // ------------------------------------------------------------------
 
-    /// Register a source relation (web-extraction output).
+    /// Register a source relation (web-extraction output). Re-registering
+    /// a grown copy of an existing source (same schema, old rows a prefix)
+    /// is journalled as a monotone row append, which the incremental
+    /// evaluation path can consume as a delta.
     pub fn register_source(&mut self, rel: Relation) {
+        let change = self.relation_change(RelationKind::Source, &rel);
         self.catalog.put(RelationKind::Source, rel);
-        self.touch("relations");
+        self.touch_with("relations", change);
     }
 
     /// Register the target schema the user wants populated (paper Fig 2(b)).
@@ -130,6 +181,7 @@ impl KnowledgeBase {
             rel.schema().require(ctx_attr)?;
         }
         let name = rel.name().to_string();
+        let change = self.relation_change(RelationKind::Context, &rel);
         self.catalog.put(RelationKind::Context, rel);
         self.context_kinds.insert(name.clone(), kind);
         for (ctx_attr, tgt_attr) in bindings {
@@ -137,7 +189,7 @@ impl KnowledgeBase {
                 .push((name.clone(), ctx_attr.to_string(), tgt_attr.to_string()));
         }
         self.touch("data_context");
-        self.touch("relations");
+        self.touch_with("relations", change);
         Ok(())
     }
 
@@ -165,23 +217,28 @@ impl KnowledgeBase {
 
     /// Store a materialised result relation (the wrangled target data).
     pub fn put_result(&mut self, rel: Relation) {
+        let change = self.relation_change(RelationKind::Result, &rel);
         self.catalog.put(RelationKind::Result, rel);
-        self.touch("result");
+        self.touch_with("result", change);
     }
 
     /// Store an intermediate relation. Intermediates bump their own aspect
     /// (`intermediates`), not `relations`, so they never re-trigger the
     /// schema-level transducers.
     pub fn put_intermediate(&mut self, rel: Relation) {
+        let change = self.relation_change(RelationKind::Intermediate, &rel);
         self.catalog.put(RelationKind::Intermediate, rel);
-        self.touch("intermediates");
+        self.touch_with("intermediates", change);
     }
 
     /// Drop an intermediate relation (e.g. consumed duplicate clusters).
     pub fn remove_intermediate(&mut self, name: &str) {
         if self.catalog.kind(name) == Some(RelationKind::Intermediate) {
             self.catalog.remove(name);
-            self.touch("intermediates");
+            self.touch_with(
+                "intermediates",
+                DeltaChange::RelationRemoved { relation: name.to_string() },
+            );
         }
     }
 
@@ -693,6 +750,58 @@ mod tests {
             support: 5,
         });
         assert!(kb.query_satisfied("cfd_available(\"address\")").unwrap());
+    }
+
+    #[test]
+    fn journal_classifies_appends_and_replacements() {
+        let mut kb = kb_with_scenario();
+        let seen = kb.version();
+
+        // growing re-registration → monotone append with the suffix
+        let mut grown = kb.relation("rightmove").unwrap().clone();
+        grown.push(tuple!["410000", "3 kings ave", "EH1 1AA"]).unwrap();
+        kb.register_source(grown.clone());
+        let events = kb.drain_deltas_since(seen).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, kb.version());
+        assert_eq!(events[0].aspect, "relations");
+        match &events[0].change {
+            DeltaChange::RowsAppended { relation, rows } => {
+                assert_eq!(relation, "rightmove");
+                assert_eq!(rows, &[tuple!["410000", "3 kings ave", "EH1 1AA"]]);
+            }
+            other => panic!("expected append, got {other:?}"),
+        }
+
+        // rewriting an existing row → replacement
+        let mut rewritten = grown;
+        rewritten.replace(0, tuple!["1", "x", "y"]).unwrap();
+        let seen = kb.version();
+        kb.register_source(rewritten);
+        let events = kb.drain_deltas_since(seen).unwrap();
+        assert!(matches!(
+            events[0].change,
+            DeltaChange::RelationReplaced { ref relation } if relation == "rightmove"
+        ));
+
+        // metadata mutations are journalled as aspect changes
+        let seen = kb.version();
+        kb.clear_matches();
+        let events = kb.drain_deltas_since(seen).unwrap();
+        assert_eq!(events[0].aspect, "matches");
+        assert!(!events[0].change.is_monotone());
+    }
+
+    #[test]
+    fn journal_window_forces_full_fallback_when_stale() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_target_schema(Schema::all_str("t", &["a"]));
+        let stale = 0u64;
+        for i in 0..(crate::delta::DEFAULT_JOURNAL_CAPACITY + 4) {
+            kb.stage_document(format!("d{i}"), "a\n1\n");
+        }
+        assert!(kb.drain_deltas_since(stale).is_none(), "window must have pruned");
+        assert!(kb.drain_deltas_since(kb.version()).unwrap().is_empty());
     }
 
     #[test]

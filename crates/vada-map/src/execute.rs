@@ -14,7 +14,7 @@ pub struct ExecuteConfig {
 }
 
 /// Extract the outward code (district) of a postcode-shaped string.
-fn district_of(postcode: &str) -> Option<&str> {
+pub(crate) fn district_of(postcode: &str) -> Option<&str> {
     let outward = postcode.split_whitespace().next()?;
     let has_alpha = outward.chars().any(|c| c.is_ascii_alphabetic());
     let has_digit = outward.chars().any(|c| c.is_ascii_digit());
@@ -61,26 +61,38 @@ pub fn coerce_value(v: &Value, ty: AttrType) -> Value {
     }
 }
 
+/// The `postcode_district(full, district)` helper facts one row
+/// contributes, in value order. The single definition of the helper-fact
+/// condition: the incremental delta planner must mirror the scratch input
+/// construction exactly, so both paths call this.
+pub(crate) fn district_facts(row: &Tuple) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for v in row.iter() {
+        if let Value::Str(s) = v {
+            if let Some(d) = district_of(s) {
+                if s.contains(' ') {
+                    out.push((s.to_string(), d.to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Build the execution database: the mapping's source relations plus
 /// `postcode_district(full, district)` helper facts derived from every
 /// postcode-shaped value in those relations.
-fn build_input_db(mapping: &MappingDef, kb: &KnowledgeBase) -> Result<Database> {
+pub(crate) fn build_input_db(mapping: &MappingDef, kb: &KnowledgeBase) -> Result<Database> {
     let mut db = Database::new();
     for source in &mapping.sources {
         let rel = kb.relation(source)?;
         db.insert_relation(rel);
         for t in rel.iter() {
-            for v in t.iter() {
-                if let Value::Str(s) = v {
-                    if let Some(d) = district_of(s) {
-                        if s.contains(' ') {
-                            db.insert(
-                                "postcode_district",
-                                Tuple::new(vec![Value::str(s.as_ref()), Value::str(d)]),
-                            );
-                        }
-                    }
-                }
+            for (full, district) in district_facts(t) {
+                db.insert(
+                    "postcode_district",
+                    Tuple::new(vec![Value::str(full), Value::str(district)]),
+                );
             }
         }
     }
@@ -108,22 +120,27 @@ pub fn execute_mapping(
 
     let mut rel = Relation::empty(target.clone());
     for t in output.facts(&target.name) {
-        if t.arity() != target.arity() {
-            return Err(VadaError::Eval(format!(
-                "mapping `{}` produced arity {} for target arity {}",
-                mapping.id,
-                t.arity(),
-                target.arity()
-            )));
-        }
-        let coerced: Vec<Value> = t
-            .iter()
-            .zip(target.attributes())
-            .map(|(v, a)| coerce_value(v, a.ty))
-            .collect();
-        rel.push(Tuple::new(coerced))?;
+        rel.push(coerce_fact(t, target, &mapping.id)?)?;
     }
     Ok(rel)
+}
+
+/// Coerce one derived target fact into the typed target schema, shared by
+/// the from-scratch and incremental execution paths.
+pub(crate) fn coerce_fact(t: &Tuple, target: &Schema, mapping_id: &str) -> Result<Tuple> {
+    if t.arity() != target.arity() {
+        return Err(VadaError::Eval(format!(
+            "mapping `{mapping_id}` produced arity {} for target arity {}",
+            t.arity(),
+            target.arity()
+        )));
+    }
+    Ok(Tuple::new(
+        t.iter()
+            .zip(target.attributes())
+            .map(|(v, a)| coerce_value(v, a.ty))
+            .collect::<Vec<Value>>(),
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,573 @@
+//! Incremental mapping execution: the bridge between the knowledge-base
+//! [delta journal](vada_kb::DeltaJournal) and the Datalog engine's
+//! [`IncrementalSession`].
+//!
+//! An [`IncrementalExecutor`] keeps one session per *structurally
+//! distinct* mapping (fingerprinted by rules, source list and target
+//! schema — mapping ids regenerate on every generation pass, the
+//! structure usually does not). On re-execution it reads the journal
+//! entries since its last run; when every relevant entry is a monotone
+//! row append it feeds just those rows (plus the derived
+//! `postcode_district` helper facts) through the session's semi-naive
+//! fast path, so the derivation work is O(rows added), not O(sources).
+//! Anything else — a replaced source, a stale journal window, a schema
+//! change, a helper fact whose scratch position an append cannot
+//! reproduce — rebuilds the input from the knowledge base and
+//! re-materializes, keeping the output byte-identical to
+//! [`execute_mapping`](crate::execute_mapping) in every case.
+//!
+//! ```
+//! use vada_common::{tuple, AttrType, Relation, Schema};
+//! use vada_kb::{KnowledgeBase, MappingDef};
+//! use vada_map::{execute_mapping, ExecuteConfig, IncrementalExecutor};
+//!
+//! let mut kb = KnowledgeBase::new();
+//! let mut src = Relation::empty(Schema::all_str("listings", &["street", "price"]));
+//! src.push(tuple!["1 high st", "250000"]).unwrap();
+//! kb.register_source(src.clone());
+//! kb.register_target_schema(
+//!     Schema::new("property", [("street", AttrType::Str), ("price", AttrType::Int)]).unwrap(),
+//! );
+//! let mapping = MappingDef {
+//!     id: "m0".into(),
+//!     target: "property".into(),
+//!     rules: "property(S, P) :- listings(S, P).".into(),
+//!     sources: vec!["listings".into()],
+//!     matches_used: vec![],
+//! };
+//!
+//! let mut exec = IncrementalExecutor::default();
+//! let cfg = ExecuteConfig::default();
+//! let first = exec.execute(&cfg, &mapping, &kb).unwrap();
+//!
+//! // append a row and re-execute: one delta fact through the fast path
+//! src.push(tuple!["2 park rd", "300000"]).unwrap();
+//! kb.register_source(src);
+//! let second = exec.execute(&cfg, &mapping, &kb).unwrap();
+//! assert_eq!(second.len(), 2);
+//! assert_eq!(exec.stats().incremental_runs, 1);
+//! // …and byte-identical to a from-scratch execution
+//! assert_eq!(second.tuples(), execute_mapping(&cfg, &mapping, &kb).unwrap().tuples());
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
+use vada_datalog::incremental::{DeltaMode, IncrementalSession};
+use vada_kb::{DeltaChange, DeltaEvent, KnowledgeBase, MappingDef};
+
+use crate::execute::{build_input_db, coerce_fact, district_facts, ExecuteConfig};
+
+/// Cap on retained sessions; the least recently used is evicted beyond it.
+pub const DEFAULT_SESSION_CAPACITY: usize = 16;
+
+/// Executor-level counters, for benches and the repro driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// From-scratch materializations: bootstraps, journal/session
+    /// fallbacks, structural changes.
+    pub full_runs: usize,
+    /// Executions that went through the semi-naive fast path end to end.
+    pub incremental_runs: usize,
+    /// The most recent reason a fast path was refused, if any.
+    pub last_fallback: Option<String>,
+}
+
+/// One persistent session plus the state needed to mirror the scratch
+/// input construction and the coerced result incrementally.
+#[derive(Debug)]
+struct MappingSession {
+    session: IncrementalSession,
+    /// KB version consumed through (journal watermark).
+    last_version: u64,
+    /// Cached coerced result; extended in place on append-only deltas.
+    result: Relation,
+    /// Target facts already represented in `result`.
+    target_facts: usize,
+    /// Full postcode → index (into `mapping.sources`) of the source whose
+    /// scan first contributes its `postcode_district` fact. The helper
+    /// predicate is shared across sources, so whether an appended row's
+    /// helper fact keeps (or can take) its scratch position depends on
+    /// where earlier occurrences live — see `plan_delta`.
+    districts: HashMap<String, usize>,
+    /// Highest first-occurrence source index present in `districts`.
+    max_district_source: usize,
+}
+
+/// A fleet of [`IncrementalSession`]s keyed by mapping structure. See the
+/// module docs.
+#[derive(Debug)]
+pub struct IncrementalExecutor {
+    sessions: BTreeMap<String, MappingSession>,
+    /// Fingerprints in least→most recently used order.
+    lru: Vec<String>,
+    capacity: usize,
+    stats: ExecutorStats,
+}
+
+impl Default for IncrementalExecutor {
+    fn default() -> Self {
+        IncrementalExecutor {
+            sessions: BTreeMap::new(),
+            lru: Vec::new(),
+            capacity: DEFAULT_SESSION_CAPACITY,
+            stats: ExecutorStats::default(),
+        }
+    }
+}
+
+/// The structural identity of a mapping execution: same fingerprint ⇒
+/// same program, same input sources, same output typing.
+fn fingerprint(mapping: &MappingDef, target: &Schema) -> String {
+    let mut fp = String::new();
+    fp.push_str(&target.name);
+    for a in target.attributes() {
+        fp.push_str(&format!("|{}:{}", a.name, a.ty.name()));
+    }
+    fp.push_str(&format!("|src={:?}|", mapping.sources));
+    fp.push_str(&mapping.rules);
+    fp
+}
+
+/// A vetted monotone delta: facts in scratch-input order plus the
+/// helper-fact bookkeeping to persist once the apply succeeds.
+struct PlannedDelta {
+    facts: Vec<(String, Tuple)>,
+    districts: HashMap<String, usize>,
+    max_source: usize,
+}
+
+impl IncrementalExecutor {
+    /// An executor retaining at most `capacity` sessions.
+    pub fn with_capacity(capacity: usize) -> IncrementalExecutor {
+        IncrementalExecutor { capacity: capacity.max(1), ..Default::default() }
+    }
+
+    /// Executor-level counters.
+    pub fn stats(&self) -> &ExecutorStats {
+        &self.stats
+    }
+
+    /// Execute `mapping`, incrementally when the journal proves the inputs
+    /// only grew. The result is byte-identical to
+    /// [`execute_mapping`](crate::execute_mapping) on the same knowledge
+    /// base — including row order — in every case.
+    pub fn execute(
+        &mut self,
+        cfg: &ExecuteConfig,
+        mapping: &MappingDef,
+        kb: &KnowledgeBase,
+    ) -> Result<Relation> {
+        let target: Schema = kb
+            .target_schema()
+            .ok_or_else(|| VadaError::Kb("no target schema registered".into()))?
+            .clone();
+        if target.name != mapping.target {
+            return Err(VadaError::Kb(format!(
+                "mapping `{}` targets `{}` but the registered target is `{}`",
+                mapping.id, mapping.target, target.name
+            )));
+        }
+        let fp = fingerprint(mapping, &target);
+        self.lru.retain(|f| f != &fp);
+        self.lru.push(fp.clone());
+
+        if let Some(ms) = self.sessions.get_mut(&fp) {
+            // adopt the current worker count: the orchestrator may have
+            // re-broadcast since this session was bootstrapped (output is
+            // level-invariant, only wall-clock changes)
+            ms.session.set_parallelism(cfg.engine.parallelism);
+            match self.plan_delta(&fp, mapping, kb) {
+                Ok(plan) => {
+                    let outcome = self.apply_delta(&fp, plan, mapping, &target, kb);
+                    match outcome {
+                        Ok(rel) => return Ok(rel),
+                        Err(e) => {
+                            // a failed apply leaves the session poisoned:
+                            // drop it so the next execution rebuilds clean
+                            self.sessions.remove(&fp);
+                            self.lru.retain(|f| f != &fp);
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(reason) => {
+                    self.stats.last_fallback = Some(reason);
+                    self.sessions.remove(&fp);
+                }
+            }
+        }
+        self.bootstrap(&fp, cfg, mapping, &target, kb)
+    }
+
+    /// Decide whether the journal entries since the session's watermark
+    /// form an order-safe monotone delta; returns the delta facts in
+    /// scratch-input order plus the updated helper-fact bookkeeping, or
+    /// the refusal reason.
+    fn plan_delta(
+        &self,
+        fp: &str,
+        mapping: &MappingDef,
+        kb: &KnowledgeBase,
+    ) -> Result<PlannedDelta, String> {
+        let ms = &self.sessions[fp];
+        let Some(events) = kb.drain_deltas_since(ms.last_version) else {
+            return Err("journal window no longer covers the last run".into());
+        };
+        let mut delta: Vec<(String, Tuple)> = Vec::new();
+        let mut districts = ms.districts.clone();
+        let mut max_source = ms.max_district_source;
+        for DeltaEvent { change, .. } in &events {
+            match change {
+                DeltaChange::RowsAppended { relation, rows } => {
+                    let Some(src_idx) =
+                        mapping.sources.iter().position(|s| s == relation)
+                    else {
+                        continue;
+                    };
+                    for row in rows {
+                        for (full, district) in district_facts(row) {
+                            // the helper predicate is shared across
+                            // sources: an appended row's district fact is
+                            // order-safe iff (a) it is already contributed
+                            // by this source or an earlier one (its first
+                            // occurrence cannot move), or (b) it is brand
+                            // new and no later source has contributed any
+                            // district yet (so appending IS its scratch
+                            // position)
+                            match districts.get(&full) {
+                                Some(&first) if first <= src_idx => {}
+                                Some(_) => {
+                                    return Err(format!(
+                                        "helper fact `{full}` would move before its \
+                                         first occurrence"
+                                    ));
+                                }
+                                None if max_source > src_idx => {
+                                    return Err(format!(
+                                        "new helper fact `{full}` from source \
+                                         `{relation}` lands before later sources"
+                                    ));
+                                }
+                                None => {
+                                    districts.insert(full.clone(), src_idx);
+                                    max_source = max_source.max(src_idx);
+                                    delta.push((
+                                        "postcode_district".into(),
+                                        Tuple::new(vec![
+                                            Value::str(full),
+                                            Value::str(district),
+                                        ]),
+                                    ));
+                                }
+                            }
+                        }
+                        delta.push((relation.clone(), row.clone()));
+                    }
+                }
+                // a brand-new relation cannot be one of this session's
+                // sources (they existed at bootstrap), but if a source
+                // was removed and re-added the pair of events must force
+                // a rebuild — treat it like a replacement
+                DeltaChange::RelationAdded { relation }
+                | DeltaChange::RelationReplaced { relation }
+                | DeltaChange::RelationRemoved { relation } => {
+                    if mapping.sources.contains(relation) {
+                        return Err(format!("source `{relation}` was replaced"));
+                    }
+                }
+                // metadata aspects never reach the execution input; the
+                // fingerprint already pins rules, sources and target
+                DeltaChange::AspectChanged { .. } => {}
+            }
+        }
+        Ok(PlannedDelta { facts: delta, districts, max_source })
+    }
+
+    /// Feed a planned delta through the session and extend (or rebuild)
+    /// the coerced result to mirror the target fact order.
+    fn apply_delta(
+        &mut self,
+        fp: &str,
+        plan: PlannedDelta,
+        mapping: &MappingDef,
+        target: &Schema,
+        kb: &KnowledgeBase,
+    ) -> Result<Relation> {
+        let ms = self.sessions.get_mut(fp).expect("caller checked presence");
+        ms.districts = plan.districts;
+        ms.max_district_source = plan.max_source;
+        ms.session.apply(plan.facts)?;
+        let outcome = ms.session.last_outcome().expect("apply records an outcome");
+        let fast = outcome.mode == DeltaMode::Incremental;
+        if fast {
+            self.stats.incremental_runs += 1;
+            self.stats.last_fallback = None;
+        } else {
+            self.stats.full_runs += 1;
+            self.stats.last_fallback = outcome.fallback_reason.clone();
+        }
+        let facts = ms.session.database().facts(&target.name);
+        if fast && !outcome.reordered.contains(&target.name) {
+            // new target facts are a suffix: append-coerce only those
+            for t in &facts[ms.target_facts.min(facts.len())..] {
+                ms.result.push(coerce_fact(t, target, &mapping.id)?)?;
+            }
+        } else {
+            let mut rel = Relation::empty(target.clone());
+            for t in facts {
+                rel.push(coerce_fact(t, target, &mapping.id)?)?;
+            }
+            ms.result = rel;
+        }
+        ms.target_facts = facts.len();
+        ms.last_version = kb.version();
+        Ok(ms.result.clone())
+    }
+
+    /// Build a fresh session from the knowledge base (first sight of this
+    /// mapping structure, or recovery from a refused/failed delta).
+    fn bootstrap(
+        &mut self,
+        fp: &str,
+        cfg: &ExecuteConfig,
+        mapping: &MappingDef,
+        target: &Schema,
+        kb: &KnowledgeBase,
+    ) -> Result<Relation> {
+        let input = build_input_db(mapping, kb)?;
+        // first-occurrence source index per helper fact, in the same scan
+        // order build_input_db uses
+        let mut districts: HashMap<String, usize> = HashMap::new();
+        let mut max_district_source = 0usize;
+        for (src_idx, source) in mapping.sources.iter().enumerate() {
+            let rel = kb.relation(source)?;
+            for row in rel.iter() {
+                for (full, _) in district_facts(row) {
+                    districts.entry(full).or_insert_with(|| {
+                        max_district_source = max_district_source.max(src_idx);
+                        src_idx
+                    });
+                }
+            }
+        }
+        let mut session = IncrementalSession::new(cfg.engine.clone(), &mapping.rules)?;
+        session.run_full(input)?;
+        let mut result = Relation::empty(target.clone());
+        let facts = session.database().facts(&target.name);
+        for t in facts {
+            result.push(coerce_fact(t, target, &mapping.id)?)?;
+        }
+        let ms = MappingSession {
+            last_version: kb.version(),
+            target_facts: facts.len(),
+            districts,
+            max_district_source,
+            result,
+            session,
+        };
+        self.stats.full_runs += 1;
+        self.sessions.insert(fp.to_string(), ms);
+        while self.lru.len() > self.capacity {
+            let evicted = self.lru.remove(0);
+            self.sessions.remove(&evicted);
+        }
+        Ok(self.sessions[fp].result.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute_mapping;
+    use vada_common::{tuple, AttrType};
+
+    fn kb_and_mapping() -> (KnowledgeBase, MappingDef) {
+        let mut kb = KnowledgeBase::new();
+        let mut rm = Relation::empty(Schema::all_str(
+            "rightmove",
+            &["price", "street", "postcode"],
+        ));
+        rm.push(tuple!["£250,000", "12 high st", "M1 1AA"]).unwrap();
+        rm.push(tuple!["300000", "9 park rd", "EH1 1AA"]).unwrap();
+        kb.register_source(rm);
+        let mut dep = Relation::empty(Schema::all_str("deprivation", &["postcode", "crime"]));
+        dep.push(tuple!["M1", "500"]).unwrap();
+        kb.register_source(dep);
+        kb.register_target_schema(
+            Schema::new(
+                "property",
+                [
+                    ("street", AttrType::Str),
+                    ("postcode", AttrType::Str),
+                    ("price", AttrType::Int),
+                    ("crimerank", AttrType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let rules = r#"
+            property(S, PC, P, C) :- rightmove(P, S, PC), postcode_district(PC, D), deprivation(D, C).
+            property(S, PC, P, null) :- rightmove(P, S, PC), not has_crime(PC).
+            has_crime(PC) :- postcode_district(PC, D), deprivation(D, _).
+        "#;
+        let mapping = MappingDef {
+            id: "m".into(),
+            target: "property".into(),
+            rules: rules.into(),
+            sources: vec!["deprivation".into(), "rightmove".into()],
+            matches_used: vec![],
+        };
+        (kb, mapping)
+    }
+
+    #[test]
+    fn matches_scratch_across_appends_and_replacements() {
+        let (mut kb, mapping) = kb_and_mapping();
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        let check = |exec: &mut IncrementalExecutor, kb: &KnowledgeBase| {
+            let inc = exec.execute(&cfg, &mapping, kb).unwrap();
+            let scratch = execute_mapping(&cfg, &mapping, kb).unwrap();
+            assert_eq!(inc.schema(), scratch.schema());
+            assert_eq!(inc.tuples(), scratch.tuples());
+        };
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().full_runs, 1);
+
+        // grow the last source (rightmove) with an already-seen postcode:
+        // fast path (a brand-new postcode would add a postcode_district
+        // fact feeding the negated has_crime, correctly forcing a rebuild)
+        let mut rm = kb.relation("rightmove").unwrap().clone();
+        rm.push(tuple!["410000", "3 kings ave", "M1 1AA"]).unwrap();
+        kb.register_source(rm.clone());
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().incremental_runs, 1, "{:?}", exec.stats());
+
+        // a new postcode falls back inside the session, still identical
+        let mut rm_new = kb.relation("rightmove").unwrap().clone();
+        rm_new.push(tuple!["99000", "7 new rd", "M9 9ZZ"]).unwrap();
+        kb.register_source(rm_new);
+        check(&mut exec, &kb);
+        assert!(
+            exec.stats()
+                .last_fallback
+                .as_deref()
+                .is_some_and(|r| r.contains("negated")),
+            "{:?}",
+            exec.stats()
+        );
+
+        // a brand-new district-shaped value in the non-final source would
+        // land before rightmove's helper facts in a scratch build: rebuilt
+        let mut dep = kb.relation("deprivation").unwrap().clone();
+        dep.push(tuple!["EH1 1ZZ", "900"]).unwrap();
+        kb.register_source(dep);
+        check(&mut exec, &kb);
+        assert!(
+            exec.stats()
+                .last_fallback
+                .as_deref()
+                .is_some_and(|r| r.contains("lands before later sources")),
+            "{:?}",
+            exec.stats()
+        );
+
+        // replace a source outright: rebuilt
+        let mut rm2 = Relation::empty(rm.schema().clone());
+        rm2.push(tuple!["1", "x st", "M1 1AA"]).unwrap();
+        kb.register_source(rm2);
+        let before = exec.stats().full_runs;
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().full_runs, before + 1);
+    }
+
+    #[test]
+    fn unrelated_kb_churn_is_ignored() {
+        let (mut kb, mapping) = kb_and_mapping();
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+
+        // metadata churn plus an unrelated relation: no reason to rerun
+        kb.add_quality(vada_kb::QualityFact {
+            entity_kind: "mapping".into(),
+            entity: "m".into(),
+            metric: "completeness".into(),
+            criterion: "completeness(price)".into(),
+            value: 1.0,
+        });
+        let mut other = Relation::empty(Schema::all_str("unrelated", &["a"]));
+        other.push(tuple!["x"]).unwrap();
+        kb.register_source(other);
+
+        let rel = exec.execute(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(exec.stats().incremental_runs, 1);
+        assert_eq!(
+            rel.tuples(),
+            execute_mapping(&cfg, &mapping, &kb).unwrap().tuples()
+        );
+    }
+
+    #[test]
+    fn structural_change_creates_a_fresh_session() {
+        let (mut kb, mut mapping) = kb_and_mapping();
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+        // a different mapping id with identical structure reuses the session
+        mapping.id = "m2".into();
+        let mut rm = kb.relation("rightmove").unwrap().clone();
+        rm.push(tuple!["500000", "4 mill ln", "EH1 1AA"]).unwrap();
+        kb.register_source(rm);
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(exec.stats().incremental_runs, 1);
+        // changed rules: new fingerprint, fresh full run
+        mapping.rules = "property(S, PC, P, null) :- rightmove(P, S, PC).".into();
+        let rel = exec.execute(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(exec.stats().full_runs, 2);
+        assert_eq!(
+            rel.tuples(),
+            execute_mapping(&cfg, &mapping, &kb).unwrap().tuples()
+        );
+    }
+
+    #[test]
+    fn failed_apply_drops_the_session_and_recovers() {
+        let mut kb = KnowledgeBase::new();
+        let mut src = Relation::empty(Schema::all_str("s", &["a"]));
+        src.push(tuple![1]).unwrap();
+        kb.register_source(src.clone());
+        kb.register_target_schema(
+            Schema::new("t", [("a", AttrType::Str)]).unwrap(),
+        );
+        let mapping = MappingDef {
+            id: "m".into(),
+            target: "t".into(),
+            rules: "t(Y) :- s(X), Y = X + 0.".into(),
+            sources: vec!["s".into()],
+            matches_used: vec![],
+        };
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+
+        // a delta row that breaks the arithmetic mid-delta-pass
+        src.push(tuple!["not a number"]).unwrap();
+        kb.register_source(src.clone());
+        let err = exec.execute(&cfg, &mapping, &kb).unwrap_err();
+        assert_eq!(err.kind(), "eval", "{err}");
+        // …the scratch path fails identically (no divergence), and once
+        // the poison row is gone the executor rebuilds cleanly
+        assert!(execute_mapping(&cfg, &mapping, &kb).is_err());
+        let mut fixed = Relation::empty(src.schema().clone());
+        fixed.push(tuple![1]).unwrap();
+        fixed.push(tuple![2]).unwrap();
+        kb.register_source(fixed);
+        let rel = exec.execute(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(
+            rel.tuples(),
+            execute_mapping(&cfg, &mapping, &kb).unwrap().tuples()
+        );
+    }
+}

@@ -17,8 +17,10 @@
 
 pub mod execute;
 pub mod generate;
+pub mod incremental;
 pub mod select;
 
 pub use execute::{execute_mapping, ExecuteConfig};
 pub use generate::{generate_candidates, MapGenConfig};
+pub use incremental::{ExecutorStats, IncrementalExecutor};
 pub use select::{rank_mappings, MappingScore};

@@ -16,7 +16,8 @@
 use std::collections::{BTreeSet, HashMap};
 
 use vada_common::idgen::IdGen;
-use vada_common::{Relation, Value};
+use vada_common::par::{self, Parallelism};
+use vada_common::{Relation, Result, Value};
 use vada_kb::CfdRule;
 
 static CFD_IDS: IdGen = IdGen::new("cfd");
@@ -89,8 +90,35 @@ fn fd_holds(rel: &Relation, lhs: &[usize], rhs: usize) -> Option<usize> {
     Some(support)
 }
 
-/// Mine CFDs from a training relation.
+/// Mine CFDs from a training relation (sequential).
 pub fn learn_cfds(cfg: &CfdLearnConfig, rel: &Relation) -> Vec<CfdRule> {
+    learn_cfds_with(cfg, rel, Parallelism::Sequential)
+        .expect("sequential mining has no failure modes")
+}
+
+/// An FD/CFD candidate before it receives an id (workers produce these;
+/// the caller assigns ids in deterministic merge order).
+struct Candidate {
+    lhs: Vec<(String, Option<Value>)>,
+    rhs: (String, Option<Value>),
+    support: usize,
+    /// LHS column set, for minimality bookkeeping of variable FDs.
+    lhs_cols: BTreeSet<usize>,
+    rhs_col: usize,
+}
+
+/// Mine CFDs from a training relation, scanning the LHS candidate sets of
+/// each level in parallel. The mining is embarrassingly parallel within a
+/// level: minimality pruning only consults dependencies found at strictly
+/// smaller LHS sizes (equal-size sets can never subsume one another), so
+/// workers share a read-only snapshot of `found` and their candidates are
+/// merged back in input order — rule order and content are identical at
+/// every [`Parallelism`] level.
+pub fn learn_cfds_with(
+    cfg: &CfdLearnConfig,
+    rel: &Relation,
+    parallelism: Parallelism,
+) -> Result<Vec<CfdRule>> {
     let n_attrs = rel.schema().arity();
     let attr_name = |i: usize| rel.schema().attr(i).name.clone();
     let mut out: Vec<CfdRule> = Vec::new();
@@ -102,32 +130,45 @@ pub fn learn_cfds(cfg: &CfdLearnConfig, rel: &Relation) -> Vec<CfdRule> {
     let mut level: Vec<BTreeSet<usize>> =
         (0..n_attrs).map(|i| BTreeSet::from([i])).collect();
     for _size in 1..=cfg.max_lhs {
-        for lhs_set in &level {
-            let lhs_vec: Vec<usize> = lhs_set.iter().copied().collect();
-            for rhs in 0..n_attrs {
-                if lhs_set.contains(&rhs) {
-                    continue;
-                }
-                // minimality: a subset already determines rhs
-                if found
-                    .iter()
-                    .any(|(l, r)| *r == rhs && l.is_subset(lhs_set))
-                {
-                    continue;
-                }
-                if let Some(support) = fd_holds(rel, &lhs_vec, rhs) {
-                    if support >= cfg.min_support {
-                        found.push((lhs_set.clone(), rhs));
-                        out.push(CfdRule {
-                            id: CFD_IDS.next_id(),
-                            relation: rel.name().to_string(),
-                            lhs: lhs_vec.iter().map(|&c| (attr_name(c), None)).collect(),
-                            rhs: (attr_name(rhs), None),
-                            support,
-                        });
+        let per_set: Vec<Vec<Candidate>> = par::par_try_map(
+            parallelism,
+            "quality/cfd-level-scan",
+            &level,
+            |_, lhs_set| {
+                let lhs_vec: Vec<usize> = lhs_set.iter().copied().collect();
+                let mut cands = Vec::new();
+                for rhs in 0..n_attrs {
+                    if lhs_set.contains(&rhs) {
+                        continue;
+                    }
+                    // minimality: a subset already determines rhs
+                    if found.iter().any(|(l, r)| *r == rhs && l.is_subset(lhs_set)) {
+                        continue;
+                    }
+                    if let Some(support) = fd_holds(rel, &lhs_vec, rhs) {
+                        if support >= cfg.min_support {
+                            cands.push(Candidate {
+                                lhs: lhs_vec.iter().map(|&c| (attr_name(c), None)).collect(),
+                                rhs: (attr_name(rhs), None),
+                                support,
+                                lhs_cols: lhs_set.clone(),
+                                rhs_col: rhs,
+                            });
+                        }
                     }
                 }
-            }
+                Ok(cands)
+            },
+        )?;
+        for cand in per_set.into_iter().flatten() {
+            found.push((cand.lhs_cols.clone(), cand.rhs_col));
+            out.push(CfdRule {
+                id: CFD_IDS.next_id(),
+                relation: rel.name().to_string(),
+                lhs: cand.lhs,
+                rhs: cand.rhs,
+                support: cand.support,
+            });
         }
         // next level: expand each set by one attribute
         let mut next: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
@@ -143,69 +184,99 @@ pub fn learn_cfds(cfg: &CfdLearnConfig, rel: &Relation) -> Vec<CfdRule> {
         level = next.into_iter().collect();
     }
 
-    // constant CFDs with single-attribute LHS
+    // constant CFDs with single-attribute LHS, one worker item per LHS
+    // attribute (deterministic: partitions are scanned in sorted key order)
     if cfg.mine_constants {
-        let mut constants: Vec<CfdRule> = Vec::new();
-        for lhs in 0..n_attrs {
-            // skip LHS attributes already determining everything variably —
-            // a variable FD subsumes its constant instances
-            let parts = partition(rel, &[lhs]);
-            for (key, rows) in parts {
-                if rows.len() < cfg.min_pattern_support {
-                    continue;
-                }
-                for rhs in 0..n_attrs {
-                    if rhs == lhs {
+        let lhs_attrs: Vec<usize> = (0..n_attrs).collect();
+        let per_lhs: Vec<Vec<Candidate>> = par::par_try_map(
+            parallelism,
+            "quality/cfd-constant-scan",
+            &lhs_attrs,
+            |_, &lhs| {
+                let mut cands = Vec::new();
+                let parts = partition(rel, &[lhs]);
+                let mut keys: Vec<&Vec<Value>> = parts.keys().collect();
+                keys.sort();
+                for key in keys {
+                    let rows = &parts[key];
+                    if rows.len() < cfg.min_pattern_support {
                         continue;
                     }
-                    if found
-                        .iter()
-                        .any(|(l, r)| *r == rhs && l.len() == 1 && l.contains(&lhs))
-                    {
-                        continue; // subsumed by variable FD lhs → rhs
-                    }
-                    let mut value: Option<&Value> = None;
-                    let mut ok = true;
-                    let mut support = 0usize;
-                    for &row in &rows {
-                        let v = &rel.tuples()[row][rhs];
-                        if v.is_null() {
+                    for rhs in 0..n_attrs {
+                        if rhs == lhs {
                             continue;
                         }
-                        match value {
-                            None => value = Some(v),
-                            Some(prev) if prev == v => {}
-                            Some(_) => {
-                                ok = false;
-                                break;
-                            }
+                        if found
+                            .iter()
+                            .any(|(l, r)| *r == rhs && l.len() == 1 && l.contains(&lhs))
+                        {
+                            continue; // subsumed by variable FD lhs → rhs
                         }
-                        support += 1;
-                    }
-                    if ok && support >= cfg.min_pattern_support {
-                        if let Some(v) = value {
-                            constants.push(CfdRule {
-                                id: CFD_IDS.next_id(),
-                                relation: rel.name().to_string(),
-                                lhs: vec![(attr_name(lhs), Some(key[0].clone()))],
-                                rhs: (attr_name(rhs), Some(v.clone())),
-                                support,
-                            });
+                        let mut value: Option<&Value> = None;
+                        let mut ok = true;
+                        let mut support = 0usize;
+                        for &row in rows {
+                            let v = &rel.tuples()[row][rhs];
+                            if v.is_null() {
+                                continue;
+                            }
+                            match value {
+                                None => value = Some(v),
+                                Some(prev) if prev == v => {}
+                                Some(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            support += 1;
+                        }
+                        if ok && support >= cfg.min_pattern_support {
+                            if let Some(v) = value {
+                                cands.push(Candidate {
+                                    lhs: vec![(attr_name(lhs), Some(key[0].clone()))],
+                                    rhs: (attr_name(rhs), Some(v.clone())),
+                                    support,
+                                    lhs_cols: BTreeSet::from([lhs]),
+                                    rhs_col: rhs,
+                                });
+                            }
                         }
                     }
                 }
+                Ok(cands)
+            },
+        )?;
+        let mut constants: Vec<Candidate> = per_lhs.into_iter().flatten().collect();
+        // ids are assigned after the deterministic sort, so the id ↔ rule
+        // association no longer depends on scan order
+        let display_of = |c: &Candidate| {
+            CfdRule {
+                id: String::new(),
+                relation: rel.name().to_string(),
+                lhs: c.lhs.clone(),
+                rhs: c.rhs.clone(),
+                support: c.support,
             }
-        }
+            .display()
+        };
         constants.sort_by(|a, b| {
             b.support
                 .cmp(&a.support)
-                .then_with(|| a.display().cmp(&b.display()))
+                .then_with(|| display_of(a).cmp(&display_of(b)))
         });
         constants.truncate(cfg.max_constant_cfds);
-        out.extend(constants);
+        for cand in constants {
+            out.push(CfdRule {
+                id: CFD_IDS.next_id(),
+                relation: rel.name().to_string(),
+                lhs: cand.lhs,
+                rhs: cand.rhs,
+                support: cand.support,
+            });
+        }
     }
 
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -311,6 +382,37 @@ mod tests {
         let rel = Relation::from_tuples(schema, rows).unwrap();
         let cfds = learn_cfds(&CfdLearnConfig::default(), &rel);
         assert!(has_variable_fd(&cfds, &["a"], "b"));
+    }
+
+    #[test]
+    fn parallel_mining_matches_sequential_rule_for_rule() {
+        for rel in [address(), {
+            // wide mixed relation with constants and nulls
+            let schema = Schema::all_str("r", &["a", "b", "c", "d"]);
+            let mut rows = Vec::new();
+            for i in 0..40 {
+                rows.push(tuple![
+                    format!("k{}", i % 6),
+                    format!("v{}", (i % 6) * 2),
+                    format!("w{}", i % 3),
+                    if i % 11 == 0 { "odd".to_string() } else { "even".to_string() }
+                ]);
+            }
+            Relation::from_tuples(schema, rows).unwrap()
+        }] {
+            let cfg = CfdLearnConfig { max_lhs: 3, ..Default::default() };
+            let seq = learn_cfds_with(&cfg, &rel, Parallelism::Sequential).unwrap();
+            for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+                let got = learn_cfds_with(&cfg, &rel, par).unwrap();
+                assert_eq!(got.len(), seq.len(), "{par:?}");
+                for (a, b) in got.iter().zip(&seq) {
+                    // ids come from a process-global counter; everything
+                    // else must line up rule for rule
+                    assert_eq!(a.display(), b.display(), "{par:?}");
+                    assert_eq!(a.support, b.support, "{par:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -142,6 +142,54 @@ fn panicking_similarity_errors_instead_of_hanging_and_names_the_stage() {
 }
 
 #[test]
+fn incremental_mode_survives_transducer_failure() {
+    // a failing transducer under Evaluation::Incremental must surface the
+    // same diagnostic as under Full, leave the knowledge base (and its
+    // delta journal) usable, and let the retry proceed
+    use vada::{Evaluation, OrchestratorConfig};
+    let mut w = Wrangler::with_transducers(vec![Box::new(Flaky::default())]);
+    w.set_orchestrator_config(OrchestratorConfig {
+        evaluation: Evaluation::Incremental,
+        ..OrchestratorConfig::default()
+    });
+    let mut src = Relation::empty(Schema::all_str("s", &["a"]));
+    src.push(tuple!["x"]).unwrap();
+    w.add_source(src);
+    let journal_before = w.kb().journal().len();
+    let err = w.run().unwrap_err();
+    assert!(err.to_string().contains("flaky"), "{err}");
+    // the journal recorded the registration and nothing from the failed
+    // run — consistent for any incremental consumer that reads it next
+    assert_eq!(w.kb().journal().len(), journal_before);
+    let report = w.run().expect("retry recovers under incremental mode");
+    assert_eq!(report.executed, 1);
+}
+
+#[test]
+fn poisoned_incremental_session_refuses_deltas_until_rematerialized() {
+    // the datalog layer's contract behind the recovery above: after a
+    // failed delta pass the session is poisoned, every further apply is
+    // refused, and a run_full over clean input restores service — the
+    // journal side (owned by the KB) is never touched by the failure
+    use vada_datalog::incremental::IncrementalSession;
+    use vada_datalog::{Database, EngineConfig};
+    let mut session =
+        IncrementalSession::new(EngineConfig::default(), "q(Y) :- p(X), Y = X * 2.").unwrap();
+    let mut input = Database::new();
+    input.insert("p", tuple![2]);
+    session.run_full(input.clone()).unwrap();
+    let err = session
+        .apply(vec![("p".into(), tuple!["not a number"])])
+        .unwrap_err();
+    assert_eq!(err.kind(), "eval", "{err}");
+    let err = session.apply(vec![("p".into(), tuple![3])]).unwrap_err();
+    assert!(err.message().contains("poisoned"), "{err}");
+    session.run_full(input).unwrap();
+    session.apply(vec![("p".into(), tuple![3])]).unwrap();
+    assert_eq!(session.database().facts("q").len(), 2);
+}
+
+#[test]
 fn divergent_user_datalog_is_rejected_not_hung() {
     // a user-supplied mapping with a non-warded existential cycle must be
     // stopped by the chase guard
