@@ -79,6 +79,23 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
                     .total_facts()
             });
         });
+        // retraction: retract k base rows through the counting path, then
+        // re-apply them so every iteration does real deletion work against
+        // a full-size base (the measured pair stays O(k) either way)
+        group.bench_with_input(BenchmarkId::new("retract+reapply", n), &n, |bench, &n| {
+            let mut session =
+                IncrementalSession::new(EngineConfig::default(), PROGRAM).unwrap();
+            session.run_full(base_db(n)).unwrap();
+            let rows: Vec<(String, Tuple)> = (0..K as i64)
+                .map(|i| ("a".to_string(), tuple![i % 997, i]))
+                .collect();
+            bench.iter(|| {
+                session.retract(rows.clone()).expect("retraction applies");
+                let out = session.last_outcome().expect("retract records an outcome");
+                assert_eq!(out.removed_facts, K, "retraction must hit live rows");
+                session.apply(rows.clone()).expect("re-apply succeeds").total_facts()
+            });
+        });
     }
     group.finish();
 }

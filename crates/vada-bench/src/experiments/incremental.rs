@@ -11,6 +11,30 @@ use vada_datalog::{parse_program, Database, Engine, EngineConfig};
 
 use crate::report::table;
 
+/// Median of raw wall-clock samples.
+fn median_ms(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Median wall-clock of re-deriving `input` from scratch `rounds` times,
+/// plus the derivation count — the full-path half of both baselines.
+fn time_full_runs(input: &Database, rounds: usize) -> (f64, usize) {
+    let program = parse_program(PROGRAM).unwrap();
+    let engine = Engine::new(EngineConfig::default());
+    let input_facts = input.total_facts();
+    let mut times = Vec::new();
+    let mut derivations = 0usize;
+    for _ in 0..rounds {
+        let db = input.clone();
+        let start = Instant::now();
+        let out = engine.run(&program, db).expect("full run evaluates");
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        derivations = out.total_facts() - input_facts;
+    }
+    (median_ms(times), derivations)
+}
+
 /// Where the machine-readable baseline lands (repo root when the driver
 /// runs from there; always printed in the report).
 pub const BASELINE_PATH: &str = "BENCH_baseline.json";
@@ -53,25 +77,89 @@ struct Row {
     incremental_derivations: usize,
 }
 
-fn measure(n: usize, k: usize, rounds: usize) -> Row {
-    let program = parse_program(PROGRAM).unwrap();
-    let engine = Engine::new(EngineConfig::default());
+struct RetractRow {
+    base_rows: usize,
+    removed_rows: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+    full_derivations: usize,
+    incremental_work: usize,
+}
 
+/// The `a` facts of rounds `round*k..(round+1)*k` — disjoint per round, so
+/// repeated retraction rounds always remove rows that are still present.
+fn base_rows_of(k: usize, round: usize) -> Vec<(String, Tuple)> {
+    (0..k as i64)
+        .map(|j| {
+            let i = (round as i64) * k as i64 + j;
+            ("a".to_string(), tuple![i % 997, i])
+        })
+        .collect()
+}
+
+/// A `k`-row retraction against an `n`-row base: the full path re-derives
+/// the shrunk base from scratch, the incremental session's counting path
+/// retracts O(k) facts. The derivation-count asymmetry is the headline
+/// O(change) claim for deletions.
+fn measure_retraction(n: usize, k: usize, rounds: usize) -> RetractRow {
+    // full: median wall-clock of re-deriving base-minus-k from scratch
+    let mut shrunk = Database::new();
+    let gone: std::collections::HashSet<Tuple> =
+        base_rows_of(k, 0).into_iter().map(|(_, t)| t).collect();
+    {
+        let full = base_db(n);
+        for pred in full.predicates() {
+            for t in full.facts(pred) {
+                if pred == "a" && gone.contains(t) {
+                    continue;
+                }
+                shrunk.insert(pred, t.clone());
+            }
+        }
+    }
+    let (full_ms, full_derivations) = time_full_runs(&shrunk, rounds);
+
+    // incremental: median wall-clock of one k-row retraction (each round
+    // removes a distinct slice of the base)
+    let mut session = IncrementalSession::new(EngineConfig::default(), PROGRAM).unwrap();
+    session.run_full(base_db(n)).unwrap();
+    let mut inc_times = Vec::new();
+    let mut inc_work = 0usize;
+    for round in 0..rounds {
+        let removals = base_rows_of(k, round);
+        let start = Instant::now();
+        session.retract(removals).expect("retraction applies");
+        inc_times.push(start.elapsed().as_secs_f64() * 1e3);
+        let outcome = session.last_outcome().expect("retract records an outcome");
+        assert_eq!(
+            outcome.mode,
+            DeltaMode::Incremental,
+            "retraction baseline must hit the counting path: {outcome:?}"
+        );
+        // guard against drift between base_rows_of and base_db turning the
+        // measurement into a no-op
+        assert_eq!(outcome.removed_facts, k, "every removal must hit a live base row");
+        assert!(outcome.retracted_facts > 0, "retraction must cascade: {outcome:?}");
+        inc_work = outcome.retracted_facts + outcome.rederived_facts;
+    }
+
+    RetractRow {
+        base_rows: n,
+        removed_rows: k,
+        full_ms,
+        incremental_ms: median_ms(inc_times),
+        full_derivations,
+        incremental_work: inc_work,
+    }
+}
+
+fn measure(n: usize, k: usize, rounds: usize) -> Row {
     // full: median wall-clock of re-deriving base+delta from scratch
     let mut grown = base_db(n);
     for (p, t) in delta(k, 0) {
         grown.insert(&p, t);
     }
-    let input_facts = grown.total_facts();
-    let mut full_times = Vec::new();
-    let mut full_derivations = 0usize;
-    for _ in 0..rounds {
-        let input = grown.clone();
-        let start = Instant::now();
-        let out = engine.run(&program, input).expect("full run evaluates");
-        full_times.push(start.elapsed().as_secs_f64() * 1e3);
-        full_derivations = out.total_facts() - input_facts;
-    }
+    let (full_ms, full_derivations) = time_full_runs(&grown, rounds);
 
     // incremental: median wall-clock of one k-fact delta apply
     let mut session = IncrementalSession::new(EngineConfig::default(), PROGRAM).unwrap();
@@ -86,26 +174,23 @@ fn measure(n: usize, k: usize, rounds: usize) -> Row {
         inc_times.push(start.elapsed().as_secs_f64() * 1e3);
         let outcome = session.last_outcome().expect("apply records an outcome");
         assert_eq!(outcome.mode, DeltaMode::Incremental, "baseline must hit the fast path");
+        assert_eq!(outcome.delta_facts, k, "every delta row must be genuinely new");
         inc_derivations = outcome.derived_facts;
     }
 
-    let median = |mut v: Vec<f64>| -> f64 {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        v[v.len() / 2]
-    };
     Row {
         base_rows: n,
         delta_rows: k,
-        full_ms: median(full_times),
-        incremental_ms: median(inc_times),
+        full_ms,
+        incremental_ms: median_ms(inc_times),
         full_derivations,
         incremental_derivations: inc_derivations,
     }
 }
 
-fn to_json(rows: &[Row]) -> String {
+fn to_json(rows: &[Row], retractions: &[RetractRow]) -> String {
     let workers = vada_common::Parallelism::from_env().workers();
-    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v2\",\n");
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str("  \"datalog_incremental_vs_full\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -123,6 +208,22 @@ fn to_json(rows: &[Row]) -> String {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"datalog_retraction_vs_full\": [\n");
+    for (i, r) in retractions.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"base_rows\": {}, \"removed_rows\": {}, \"full_ms\": {:.3}, \
+             \"incremental_ms\": {:.3}, \"full_derivations\": {}, \
+             \"incremental_work\": {}, \"speedup\": {:.1}}}{}\n",
+            r.base_rows,
+            r.removed_rows,
+            r.full_ms,
+            r.incremental_ms,
+            r.full_derivations,
+            r.incremental_work,
+            r.full_ms / r.incremental_ms.max(1e-9),
+            if i + 1 == retractions.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -131,7 +232,11 @@ fn to_json(rows: &[Row]) -> String {
 /// the human-readable report.
 pub fn incremental_baseline() -> String {
     let rows = vec![measure(5_000, 64, 5), measure(20_000, 64, 5)];
-    let json = to_json(&rows);
+    let retractions = vec![
+        measure_retraction(5_000, 64, 5),
+        measure_retraction(20_000, 64, 5),
+    ];
+    let json = to_json(&rows, &retractions);
     let write_note = match std::fs::write(BASELINE_PATH, &json) {
         Ok(()) => format!("baseline written to {BASELINE_PATH}"),
         Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
@@ -150,10 +255,27 @@ pub fn incremental_baseline() -> String {
             ]
         })
         .collect();
+    let retract_rows: Vec<Vec<String>> = retractions
+        .iter()
+        .map(|r| {
+            vec![
+                r.base_rows.to_string(),
+                r.removed_rows.to_string(),
+                format!("{:.2}", r.full_ms),
+                format!("{:.2}", r.incremental_ms),
+                r.full_derivations.to_string(),
+                r.incremental_work.to_string(),
+                format!("{:.0}x", r.full_ms / r.incremental_ms.max(1e-9)),
+            ]
+        })
+        .collect();
     format!(
         "== Incremental delta evaluation vs full re-derivation ==\n\
          A k-row delta against an N-row base: the full path re-derives\n\
-         everything, the incremental session re-derives O(k).\n\n{}\n{}",
+         everything, the incremental session re-derives O(k).\n\n{}\n\n\
+         == Retraction (counting/DRed) vs full re-derivation ==\n\
+         A k-row retraction against an N-row base: the full path re-derives\n\
+         the shrunk base from scratch, the counting path touches O(k) facts.\n\n{}\n{}",
         table(
             &[
                 "base rows",
@@ -165,6 +287,18 @@ pub fn incremental_baseline() -> String {
                 "speedup"
             ],
             &table_rows,
+        ),
+        table(
+            &[
+                "base rows",
+                "removed rows",
+                "full ms",
+                "incr ms",
+                "full derivations",
+                "incr work",
+                "speedup"
+            ],
+            &retract_rows,
         ),
         write_note,
     )
@@ -180,7 +314,12 @@ mod tests {
         assert!(r.incremental_derivations < r.full_derivations / 10,
             "delta path must derive far less: {} vs {}",
             r.incremental_derivations, r.full_derivations);
-        let json = to_json(&[r]);
+        let rr = measure_retraction(2_000, 32, 3);
+        assert!(rr.incremental_work < rr.full_derivations / 10,
+            "retraction path must touch far less: {} vs {}",
+            rr.incremental_work, rr.full_derivations);
+        let json = to_json(&[r], &[rr]);
         assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"datalog_retraction_vs_full\""), "{json}");
     }
 }

@@ -113,6 +113,41 @@ impl Relation {
         Ok(())
     }
 
+    /// Remove the tuples at the given row indices (interpreted against the
+    /// pre-removal numbering; duplicates are collapsed), preserving the
+    /// relative order of the remaining rows. Returns the removed tuples in
+    /// ascending row order.
+    pub fn remove_rows(&mut self, rows: &[usize]) -> Result<Vec<Tuple>> {
+        let mut sorted: Vec<usize> = rows.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&last) = sorted.last() {
+            if last >= self.tuples.len() {
+                return Err(VadaError::Schema(format!(
+                    "row {last} out of range for `{}` ({} rows)",
+                    self.schema.name,
+                    self.tuples.len()
+                )));
+            }
+        }
+        if sorted.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.indexes.clear();
+        let removed: Vec<Tuple> = sorted.iter().map(|&r| self.tuples[r].clone()).collect();
+        let mut next = sorted.iter().peekable();
+        let mut kept = Vec::with_capacity(self.tuples.len() - sorted.len());
+        for (row, t) in self.tuples.drain(..).enumerate() {
+            if next.peek() == Some(&&row) {
+                next.next();
+            } else {
+                kept.push(t);
+            }
+        }
+        self.tuples = kept;
+        Ok(removed)
+    }
+
     /// Retain only tuples matching the predicate.
     pub fn retain(&mut self, f: impl FnMut(&Tuple) -> bool) {
         self.indexes.clear();
@@ -326,6 +361,19 @@ mod tests {
         .unwrap();
         let d = r.distinct_values("a").unwrap();
         assert_eq!(d, vec![Value::str("a"), Value::str("b")]);
+    }
+
+    #[test]
+    fn remove_rows_preserves_remaining_order() {
+        let mut r = rel();
+        let removed = r.remove_rows(&[2, 0, 2]).unwrap();
+        assert_eq!(removed, vec![tuple![1, "x"], tuple![1, "z"]]);
+        assert_eq!(r.tuples(), &[tuple![2, "y"]]);
+        assert!(r.remove_rows(&[5]).is_err());
+        assert!(r.remove_rows(&[]).unwrap().is_empty());
+        // indexes rebuilt against the shrunk relation
+        assert!(r.lookup(&[0], &tuple![1]).is_empty());
+        assert_eq!(r.lookup(&[0], &tuple![2]), &[0]);
     }
 
     #[test]

@@ -142,7 +142,9 @@ impl Transducer for MappingSelection {
 /// any feedback-derived vetoes so user corrections survive
 /// re-materialisation). Under [`Evaluation::Incremental`] the Datalog
 /// materialization persists between runs and only knowledge-base deltas
-/// are re-derived; the output is byte-identical either way.
+/// are re-derived — row appends through the semi-naive fast path, row
+/// removals and tail rewrites through the counting/DRed retraction path —
+/// with the output byte-identical either way.
 #[derive(Debug, Default)]
 pub struct MappingExecution {
     /// Execution configuration.

@@ -115,7 +115,9 @@ impl Transducer for SourceProfiling {
 /// and measuring completeness (per target attribute), consistency (against
 /// the learned CFDs) and syntactic accuracy (against reference
 /// populations). These are the metrics mapping selection weighs under the
-/// user context.
+/// user context. Under [`Evaluation::Incremental`] candidate
+/// materialisations persist between runs and re-derive only journalled
+/// row-level changes, deletions included.
 #[derive(Debug, Default)]
 pub struct MappingQuality {
     /// Execution configuration for candidate materialisation.

@@ -98,6 +98,26 @@ impl Wrangler {
         self.kb.register_source(rel);
     }
 
+    /// Remove rows from a registered relation (the paper's feedback loop:
+    /// users retract low-quality rows and re-wrangle). Journalled as a
+    /// row-level retraction, so under [`Evaluation::Incremental`] the next
+    /// run re-derives O(rows removed), not O(database). Returns the
+    /// removed tuples in ascending row order.
+    pub fn remove_source_rows(&mut self, name: &str, rows: &[usize]) -> Result<Vec<vada_common::Tuple>> {
+        let removed = self.kb.remove_rows(name, rows)?;
+        self.kb.log("user", "remove_rows", &format!("{name}:{}", removed.len()));
+        Ok(removed)
+    }
+
+    /// Rewrite rows of a registered source in place (`edits` pairs a row
+    /// index with its new tuple). Journalled as a row-level rewrite; tail
+    /// rewrites replay incrementally, mid-relation rewrites rebuild.
+    pub fn update_source_rows(&mut self, name: &str, edits: &[(usize, vada_common::Tuple)]) -> Result<()> {
+        self.kb.update_source(name, edits)?;
+        self.kb.log("user", "update_rows", &format!("{name}:{}", edits.len()));
+        Ok(())
+    }
+
     /// Register the target schema.
     pub fn set_target(&mut self, schema: Schema) {
         self.kb.log("user", "register_target", &schema.name);

@@ -52,6 +52,27 @@ impl FactSet {
         self.set.contains(t)
     }
 
+    /// Remove a fact, preserving the insertion order of the rest; returns
+    /// `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.set.remove(t) {
+            let pos = self.tuples.iter().position(|x| x == t).expect("set and vec agree");
+            self.tuples.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every fact in `gone` in one pass, preserving the insertion
+    /// order of the rest; returns how many were present and removed.
+    pub fn remove_all(&mut self, gone: &HashSet<Tuple>) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !gone.contains(t));
+        self.set.retain(|t| !gone.contains(t));
+        before - self.tuples.len()
+    }
+
     /// Facts in insertion order.
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
@@ -88,6 +109,19 @@ impl Database {
     /// Whether the fact is present.
     pub fn contains(&self, pred: &str, t: &Tuple) -> bool {
         self.rels.get(pred).is_some_and(|fs| fs.contains(t))
+    }
+
+    /// Remove a fact, preserving the insertion order of the remaining facts
+    /// of the predicate; returns `true` if it was present.
+    pub fn remove(&mut self, pred: &str, t: &Tuple) -> bool {
+        self.rels.get_mut(pred).is_some_and(|fs| fs.remove(t))
+    }
+
+    /// Remove every listed fact of one predicate in a single pass,
+    /// preserving the insertion order of the rest; returns how many were
+    /// present and removed.
+    pub fn remove_facts(&mut self, pred: &str, gone: &HashSet<Tuple>) -> usize {
+        self.rels.get_mut(pred).map_or(0, |fs| fs.remove_all(gone))
     }
 
     /// Facts for a predicate (empty slice if unknown).
@@ -293,7 +327,11 @@ impl Engine {
                         &batch,
                         |_, &pi| {
                             let (ci, occ) = passes[pi];
-                            self.eval_rule(&compiled[ci], &db, Some((&delta, occ)))
+                            self.eval_rule(
+                                &compiled[ci],
+                                &db,
+                                Some(DeltaSpec::Insert { delta: &delta, occ }),
+                            )
                         },
                     )?;
                     for derived in outs {
@@ -367,9 +405,9 @@ impl Engine {
         &self,
         cr: &CompiledRule,
         db: &Database,
-        delta: Option<(&Database, usize)>,
+        spec: Option<DeltaSpec<'_>>,
     ) -> Result<Vec<(String, Tuple)>> {
-        let ctx = EvalCtx { db, delta, cache: RefCell::new(HashMap::new()) };
+        let ctx = EvalCtx { db, spec, cache: RefCell::new(HashMap::new()) };
         let mut binding: Binding = vec![None; cr.rule.var_count];
         let mut results = Vec::new();
 
@@ -393,7 +431,83 @@ impl Engine {
         }
         Ok(results)
     }
+
+    /// Whether `cr` (a non-aggregate rule) can derive exactly `fact` from
+    /// `db` minus `dead` — DRed's re-derivation probe. Head variables that
+    /// occur in the body are pre-bound from `fact`, so the join explores
+    /// only bindings compatible with the candidate and exits on the first
+    /// supporting derivation; O(probe), not O(rule enumeration).
+    pub(crate) fn derives_fact(
+        &self,
+        cr: &CompiledRule,
+        db: &Database,
+        dead: &Database,
+        fact: &Tuple,
+    ) -> Result<bool> {
+        if cr.rule.has_aggregate() {
+            return Err(VadaError::Eval(
+                "derivability probe on an aggregate rule (internal invariant)".into(),
+            ));
+        }
+        if fact.arity() != cr.rule.head_terms.len() {
+            return Ok(false);
+        }
+        let mut body_vars = BTreeSet::new();
+        for lit in &cr.rule.body {
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => a.vars(&mut body_vars),
+                Literal::Cmp(_, l, r) => {
+                    l.vars(&mut body_vars);
+                    r.vars(&mut body_vars);
+                }
+            }
+        }
+        let mut binding: Binding = vec![None; cr.rule.var_count];
+        for (i, ht) in cr.rule.head_terms.iter().enumerate() {
+            match ht {
+                HeadTerm::Term(Term::Const(c)) => {
+                    if c != &fact[i] {
+                        return Ok(false);
+                    }
+                }
+                HeadTerm::Term(Term::Var(id, _)) if body_vars.contains(id) => {
+                    match &binding[*id] {
+                        Some(v) if v != &fact[i] => return Ok(false),
+                        Some(_) => {}
+                        None => binding[*id] = Some(fact[i].clone()),
+                    }
+                }
+                // existential head variable: left unbound, checked via the
+                // regenerated (deterministic) skolem below
+                HeadTerm::Term(Term::Var(..)) => {}
+                HeadTerm::Agg(..) => unreachable!("aggregate rules rejected above"),
+            }
+        }
+        let ctx = EvalCtx {
+            db,
+            spec: Some(DeltaSpec::Except { dead }),
+            cache: RefCell::new(HashMap::new()),
+        };
+        let mut found = false;
+        let depth = self.config.max_skolem_depth;
+        let outcome = join(cr, &ctx, 0, &mut binding, &mut |b| {
+            if head_tuple(cr, b, depth)? == *fact {
+                found = true;
+                return Err(VadaError::Eval(STOP_SENTINEL.into()));
+            }
+            Ok(())
+        });
+        match outcome {
+            Ok(()) => Ok(found),
+            Err(VadaError::Eval(m)) if m == STOP_SENTINEL => Ok(true),
+            Err(e) => Err(e),
+        }
+    }
 }
+
+/// Early-exit marker threaded through the join's `Result` channel by
+/// [`Engine::derives_fact`]; never surfaces to callers.
+const STOP_SENTINEL: &str = "__vada_derivability_probe_stop__";
 
 /// Split a sequence of work items (each evaluating one rule) into maximal
 /// runs that may share a database snapshot: an item joins the current run
@@ -684,44 +798,107 @@ impl<'a> CompiledRule<'a> {
     }
 }
 
-type IndexKey = (bool, String, Vec<usize>);
+/// How one rule evaluation sources its positive literals — the engine's
+/// single mechanism behind full passes, semi-naive insertion deltas, and
+/// the retraction machinery.
+#[derive(Clone, Copy)]
+pub(crate) enum DeltaSpec<'a> {
+    /// Occurrence `occ` (among positive literals) enumerates `delta`;
+    /// everything else reads the full database. The classic semi-naive
+    /// insertion pass.
+    Insert {
+        /// The new facts.
+        delta: &'a Database,
+        /// Positive-literal occurrence forced to the delta.
+        occ: usize,
+    },
+    /// Occurrence `occ` enumerates `removed`; occurrences *before* it read
+    /// the database minus `removed`; occurrences *after* it read the full
+    /// database (which still holds the removed facts — retraction commits
+    /// after enumeration). Summed over every occurrence of a shrunk
+    /// predicate, this enumerates each destroyed derivation exactly once:
+    /// at the first occurrence where it touches a removed fact.
+    Delete {
+        /// The facts being retracted.
+        removed: &'a Database,
+        /// Positive-literal occurrence forced to the removed set.
+        occ: usize,
+    },
+    /// Every positive literal reads the database minus `dead` — the
+    /// surviving view DRed's re-derivation phase probes against.
+    Except {
+        /// Facts excluded from view.
+        dead: &'a Database,
+    },
+}
+
+/// Index namespace per source shape (full / delta / filtered view).
+type IndexKey = (u8, String, Vec<usize>);
+
+/// One positive literal's resolved source: the backing database, its index
+/// namespace, and an optional set of facts to treat as absent.
+struct SourceSel<'a> {
+    db: &'a Database,
+    tag: u8,
+    minus: Option<&'a Database>,
+}
 
 struct EvalCtx<'a> {
     db: &'a Database,
-    /// `(delta database, occurrence index forced to delta)`
-    delta: Option<(&'a Database, usize)>,
-    /// lazily built hash indexes: (is_delta, pred, cols) → key → row ids
+    spec: Option<DeltaSpec<'a>>,
+    /// lazily built hash indexes: (tag, pred, cols) → key → row ids
     cache: RefCell<HashMap<IndexKey, HashMap<Tuple, Vec<usize>>>>,
 }
 
 impl<'a> EvalCtx<'a> {
-    fn source_for(&self, cr: &CompiledRule, lit_idx: usize) -> (&'a Database, bool) {
-        if let Some((delta, occ)) = self.delta {
-            if cr.occurrence_of(lit_idx) == Some(occ) {
-                return (delta, true);
+    fn source_for(&self, cr: &CompiledRule, lit_idx: usize) -> SourceSel<'a> {
+        let full = SourceSel { db: self.db, tag: 0, minus: None };
+        match self.spec {
+            None => full,
+            Some(DeltaSpec::Insert { delta, occ }) => {
+                if cr.occurrence_of(lit_idx) == Some(occ) {
+                    SourceSel { db: delta, tag: 1, minus: None }
+                } else {
+                    full
+                }
+            }
+            Some(DeltaSpec::Delete { removed, occ }) => {
+                match cr.occurrence_of(lit_idx) {
+                    Some(o) if o == occ => SourceSel { db: removed, tag: 1, minus: None },
+                    Some(o) if o < occ => {
+                        SourceSel { db: self.db, tag: 2, minus: Some(removed) }
+                    }
+                    _ => full,
+                }
+            }
+            Some(DeltaSpec::Except { dead }) => {
+                SourceSel { db: self.db, tag: 2, minus: Some(dead) }
             }
         }
-        (self.db, false)
     }
 
-    /// Row ids of `pred` facts whose projection on `cols` equals `key`.
-    fn candidates(
-        &self,
-        source: &'a Database,
-        is_delta: bool,
-        pred: &str,
-        cols: &[usize],
-        key: &Tuple,
-    ) -> Vec<usize> {
+    /// Row ids of `pred` facts (within the selected source, respecting its
+    /// exclusion set) whose projection on `cols` equals `key`.
+    fn candidates(&self, sel: &SourceSel<'a>, pred: &str, cols: &[usize], key: &Tuple) -> Vec<usize> {
+        let visible = |t: &Tuple| sel.minus.is_none_or(|m| !m.contains(pred, t));
         if cols.is_empty() {
-            return (0..source.facts(pred).len()).collect();
+            return sel
+                .db
+                .facts(pred)
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| visible(t))
+                .map(|(row, _)| row)
+                .collect();
         }
-        let cache_key = (is_delta, pred.to_string(), cols.to_vec());
+        let cache_key = (sel.tag, pred.to_string(), cols.to_vec());
         let mut cache = self.cache.borrow_mut();
         let index = cache.entry(cache_key).or_insert_with(|| {
             let mut idx: HashMap<Tuple, Vec<usize>> = HashMap::new();
-            for (row, t) in source.facts(pred).iter().enumerate() {
-                idx.entry(t.project(cols)).or_default().push(row);
+            for (row, t) in sel.db.facts(pred).iter().enumerate() {
+                if visible(t) {
+                    idx.entry(t.project(cols)).or_default().push(row);
+                }
             }
             idx
         });
@@ -744,14 +921,14 @@ fn join(
     let lit_idx = cr.order[depth];
     match &cr.rule.body[lit_idx] {
         Literal::Pos(atom) => {
-            let (source, is_delta) = ctx.source_for(cr, lit_idx);
+            let sel = ctx.source_for(cr, lit_idx);
             let cols = &cr.bound_positions[depth];
             let key: Tuple = cols
                 .iter()
                 .map(|&p| resolve(&atom.terms[p], binding).expect("bound position must resolve"))
                 .collect();
-            let rows = ctx.candidates(source, is_delta, &atom.pred, cols, &key);
-            let facts = source.facts(&atom.pred);
+            let rows = ctx.candidates(&sel, &atom.pred, cols, &key);
+            let facts = sel.db.facts(&atom.pred);
             for row in rows {
                 let fact = &facts[row];
                 if fact.arity() != atom.terms.len() {
@@ -1023,6 +1200,73 @@ mod tests {
     fn string_concat_in_rules() {
         let db = run(r#"name("ann"). greeting(G) :- name(N), G = "hi " + N."#);
         assert_eq!(db.facts("greeting"), &[tuple!["hi ann"]]);
+    }
+
+    #[test]
+    fn factset_removal_preserves_order() {
+        let mut fs = FactSet::default();
+        for i in 0..5i64 {
+            fs.insert(tuple![i]);
+        }
+        assert!(fs.remove(&tuple![2]));
+        assert!(!fs.remove(&tuple![2]));
+        assert_eq!(fs.tuples(), &[tuple![0], tuple![1], tuple![3], tuple![4]]);
+        let gone: HashSet<Tuple> = [tuple![0], tuple![4], tuple![9]].into_iter().collect();
+        assert_eq!(fs.remove_all(&gone), 2);
+        assert_eq!(fs.tuples(), &[tuple![1], tuple![3]]);
+        assert!(!fs.contains(&tuple![0]));
+    }
+
+    #[test]
+    fn deletion_spec_enumerates_each_destroyed_derivation_once() {
+        // q(X) :- p(X), p(X) self-join: a derivation touching the removed
+        // fact at both occurrences must be enumerated exactly once
+        let program = parse_program("q(X) :- p(X), p(X).").unwrap();
+        let mut db = Database::new();
+        db.insert("p", tuple![1]);
+        db.insert("p", tuple![2]);
+        let mut removed = Database::new();
+        removed.insert("p", tuple![2]);
+        let cr = CompiledRule::compile(&program.rules[0], 0).unwrap();
+        let engine = Engine::default();
+        let mut destroyed = Vec::new();
+        for occ in 0..2 {
+            destroyed.extend(
+                engine
+                    .eval_rule(&cr, &db, Some(DeltaSpec::Delete { removed: &removed, occ }))
+                    .unwrap(),
+            );
+        }
+        assert_eq!(destroyed, vec![("q".to_string(), tuple![2])]);
+    }
+
+    #[test]
+    fn derivability_probe_respects_the_dead_view() {
+        let program =
+            parse_program("tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).").unwrap();
+        let mut db = Database::new();
+        db.insert("edge", tuple![1, 2]);
+        db.insert("edge", tuple![1, 3]);
+        db.insert("edge", tuple![3, 2]);
+        db.insert("tc", tuple![1, 2]);
+        db.insert("tc", tuple![1, 3]);
+        db.insert("tc", tuple![3, 2]);
+        let engine = Engine::default();
+        let base = CompiledRule::compile(&program.rules[0], 0).unwrap();
+        let step = CompiledRule::compile(&program.rules[1], 1).unwrap();
+        // tc(1,2) is directly supported by edge(1,2)…
+        let empty = Database::new();
+        assert!(engine.derives_fact(&base, &db, &empty, &tuple![1, 2]).unwrap());
+        // …and still derivable via 1→3→2 when edge(1,2) is dead
+        let mut dead = Database::new();
+        dead.insert("edge", tuple![1, 2]);
+        assert!(!engine.derives_fact(&base, &db, &dead, &tuple![1, 2]).unwrap());
+        assert!(engine.derives_fact(&step, &db, &dead, &tuple![1, 2]).unwrap());
+        // kill the alternative path too
+        dead.insert("tc", tuple![1, 3]);
+        assert!(!engine.derives_fact(&step, &db, &dead, &tuple![1, 2]).unwrap());
+        // a fact the rule could never produce
+        assert!(!engine.derives_fact(&base, &db, &empty, &tuple![9, 9]).unwrap());
     }
 
     #[test]

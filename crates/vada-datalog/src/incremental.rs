@@ -15,7 +15,48 @@
 //! randomized edit scripts, at every [`Parallelism`] level (delta passes
 //! reuse the engine's independent-rule batching, so they parallelise too).
 //!
-//! ## Order-safety analysis
+//! ## Retractions
+//!
+//! [`IncrementalSession::retract`] removes extensional facts and maintains
+//! the materialization in O(change) using two classic algorithms, chosen
+//! per predicate:
+//!
+//! - **Counting** for non-recursive derived predicates: the session keeps
+//!   per-fact, per-rule derivation counts (captured lazily on the first
+//!   retraction after a full run — append-only workloads never pay for
+//!   them — then maintained by both the append and the deletion path). A
+//!   deletion
+//!   enumerates exactly the destroyed derivations — each rule runs once
+//!   per shrunk body occurrence with that occurrence bound to the removed
+//!   facts, earlier occurrences reading the post-removal view and later
+//!   ones the pre-removal view — and decrements counts; a fact leaves the
+//!   materialization exactly when its count reaches zero.
+//! - **DRed** (over-delete, then re-derive) for predicates on a positive
+//!   cycle, where counting is unsound: phase 1 transitively over-deletes
+//!   every fact with a destroyed derivation; phase 2 probes each
+//!   over-deleted fact for an alternative derivation from the surviving
+//!   view (head-bound, index-driven — O(probe), not O(stratum)) and
+//!   restores the supported ones.
+//!
+//! Deletion preserves the byte-identity contract through an **order
+//! repair** step: counting alone cannot reproduce scratch insertion order,
+//! because a fact that loses its *first* derivation but keeps a later one
+//! moves to the position of its first *surviving* derivation in a scratch
+//! run. Removing facts whose support vanished entirely is order-safe (the
+//! surviving enumeration is a subsequence of the old one), so the session
+//! tracks exactly the predicates holding a partially-supported fact —
+//! plus everything downstream of them — and re-establishes their scratch
+//! order by re-enumerating their defining rules over the repaired
+//! database. Repair is exact only for initial-pass-only heads (validated
+//! against the scratch order at capture time); a partially-supported fact
+//! in a recursive or otherwise non-reconstructible predicate falls back
+//! to a full re-derivation, as does any DRed phase-2 restoration (the
+//! restored fact's scratch position is unknowable without counts).
+//! Deletions under negation, deletions reaching an aggregate input, and
+//! deletions affecting a predicate that mixes ground facts with rules
+//! also fall back — same contract, reason recorded in the history.
+//!
+//! ## Order-safety analysis (appends)
 //!
 //! A delta (a batch of new extensional facts) takes the fast path only
 //! when every condition below holds; each names the fallback reason it
@@ -66,16 +107,25 @@
 //! let out = session.last_outcome().unwrap();
 //! assert_eq!(out.mode, DeltaMode::Incremental);
 //! assert_eq!(session.database().facts("big"), &[tuple![15], tuple![25]]);
+//!
+//! // …and so does a retraction: counting removes exactly the consequences
+//! session.retract(vec![("n".into(), tuple![15])]).unwrap();
+//! let out = session.last_outcome().unwrap();
+//! assert_eq!(out.mode, DeltaMode::Incremental);
+//! assert_eq!(out.retracted_facts, 1);
+//! assert_eq!(session.database().facts("big"), &[tuple![25]]);
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use vada_common::par::{self, Parallelism};
 use vada_common::{Result, Tuple, VadaError};
 
 use crate::analysis::{stratify, Stratification};
 use crate::ast::{Literal, Program};
-use crate::engine::{independent_batches, CompiledRule, Database, Engine, EngineConfig, FactSet};
+use crate::engine::{
+    independent_batches, CompiledRule, Database, DeltaSpec, Engine, EngineConfig, FactSet,
+};
 use crate::parser::parse_program;
 
 /// How one call to [`IncrementalSession::apply`] (or
@@ -100,12 +150,40 @@ pub struct DeltaOutcome {
     pub fallback_reason: Option<String>,
     /// Number of genuinely new extensional facts fed in.
     pub delta_facts: usize,
+    /// Number of extensional facts retracted (input side of a
+    /// [`retract`](IncrementalSession::retract) step).
+    pub removed_facts: usize,
     /// Facts newly derived by this step (for full runs: all derived facts).
     pub derived_facts: usize,
-    /// Predicates whose fact order was re-established from segments (their
-    /// extension is *not* an append to the previous state; consumers that
-    /// mirror fact order must rebuild these, and may append for the rest).
+    /// Derived facts that left the materialization (counting decrements
+    /// reaching zero, plus DRed's net over-deletions).
+    pub retracted_facts: usize,
+    /// Derivations re-enumerated by the order-repair step — the deletion
+    /// path's re-derivation work. Together with `retracted_facts` this is
+    /// the total deletion-side work, the quantity the O(change) benchmark
+    /// pins against full re-derivation.
+    pub rederived_facts: usize,
+    /// Predicates whose fact order was re-established from segments or by
+    /// order repair (their extension is *not* an append to the previous
+    /// state; consumers that mirror fact order must rebuild these, and may
+    /// append for the rest).
     pub reordered: BTreeSet<String>,
+}
+
+impl DeltaOutcome {
+    /// An incremental step that changed nothing.
+    fn noop() -> DeltaOutcome {
+        DeltaOutcome {
+            mode: DeltaMode::Incremental,
+            fallback_reason: None,
+            delta_facts: 0,
+            removed_facts: 0,
+            derived_facts: 0,
+            retracted_facts: 0,
+            rederived_facts: 0,
+            reordered: BTreeSet::new(),
+        }
+    }
 }
 
 /// Per-rule static info the eligibility analysis consults.
@@ -134,6 +212,17 @@ struct ProgramInfo {
     rules: Vec<Option<RuleInfo>>,
     /// Multi-rule terminal heads eligible for segment tracking.
     tracked_candidates: BTreeSet<String>,
+    /// Heads maintained by derivation counting under retractions:
+    /// non-cyclic, no aggregate rule, no ground facts.
+    counted: BTreeSet<String>,
+    /// Heads whose scratch insertion order equals the emission order of
+    /// their defining rules over the final database — every rule is
+    /// *initial-complete*: each same-stratum derived body predicate is
+    /// fully populated (by earlier initial-complete rules) before the rule
+    /// first fires, so the initial pass emits everything in final order
+    /// and the semi-naive re-passes derive only duplicates. The heads the
+    /// order-repair step may rebuild by re-enumeration.
+    order_reconstructible: BTreeSet<String>,
 }
 
 impl ProgramInfo {
@@ -223,7 +312,57 @@ impl ProgramInfo {
                 tracked_candidates.insert(head.clone());
             }
         }
-        Ok(ProgramInfo { defining, read_neg, cyclic, fact_heads, rules, tracked_candidates })
+        let mut counted = BTreeSet::new();
+        for (head, ris) in &defining {
+            if cyclic.contains(head) || fact_heads.contains(head) {
+                continue;
+            }
+            let has_agg = ris
+                .iter()
+                .any(|&ri| rules[ri].as_ref().is_some_and(|i| i.has_aggregate));
+            if !has_agg {
+                counted.insert(head.clone());
+            }
+        }
+        // initial-complete rules, in program order: every same-stratum
+        // derived body predicate is fully emitted by strictly earlier
+        // initial-complete rules (lower strata are complete regardless)
+        let mut initial_complete = vec![false; program.rules.len()];
+        for ri in 0..program.rules.len() {
+            let Some(info) = &rules[ri] else { continue };
+            let head_stratum = strat.stratum_of(&info.head);
+            initial_complete[ri] = info.positive.iter().all(|p| {
+                let Some(djs) = defining.get(p) else {
+                    return true; // extensional (or ground-only): fixed input
+                };
+                if fact_heads.contains(p) {
+                    return strat.stratum_of(p) < head_stratum;
+                }
+                if strat.stratum_of(p) < head_stratum {
+                    return true;
+                }
+                djs.iter().all(|&rj| rj < ri && initial_complete[rj])
+            });
+        }
+        let mut order_reconstructible = BTreeSet::new();
+        for (head, ris) in &defining {
+            if fact_heads.contains(head) {
+                continue;
+            }
+            if ris.iter().all(|&ri| initial_complete[ri]) {
+                order_reconstructible.insert(head.clone());
+            }
+        }
+        Ok(ProgramInfo {
+            defining,
+            read_neg,
+            cyclic,
+            fact_heads,
+            rules,
+            tracked_candidates,
+            counted,
+            order_reconstructible,
+        })
     }
 }
 
@@ -253,6 +392,40 @@ impl HeadSegments {
     }
 }
 
+/// One node of the retraction plan: the affected predicates partitioned
+/// into lone extensional predicates, counting-maintained heads, and
+/// positive-cycle SCCs (DRed units), in topological order.
+enum RetractUnit {
+    /// An extensional predicate — its removals seed the plan.
+    Extensional,
+    /// A non-recursive derived head maintained by derivation counting.
+    Counted(String),
+    /// A positive-cycle SCC maintained by DRed.
+    Scc(Vec<String>),
+}
+
+/// What one DRed pass concluded.
+enum DredVerdict {
+    /// Every over-deleted fact was truly underivable: survivor order is
+    /// untouched and the deletions commit.
+    PureRemoval,
+    /// Phase 2 found a restorable fact (probing stops at the first hit —
+    /// the caller falls back either way, because a restored fact's
+    /// scratch position is unknowable without counts).
+    Rederived,
+}
+
+/// One head's re-enumeration over a database: its scratch-order fact set
+/// (input prefix + per-rule emissions), per-rule derivation counts and
+/// emission segments (slot-aligned with `info.defining[head]`), and the
+/// total emission count. Produced by `IncrementalSession::enumerate_head`.
+struct HeadEnumeration {
+    rebuilt: FactSet,
+    counts: Vec<(usize, HashMap<Tuple, u64>)>,
+    segments: Vec<(usize, FactSet)>,
+    emissions: usize,
+}
+
 /// A persistent evaluation session for one program. See the module docs.
 pub struct IncrementalSession {
     engine: Engine,
@@ -267,11 +440,25 @@ pub struct IncrementalSession {
     db: Database,
     /// Emission segments for tracked multi-rule terminal heads.
     segments: BTreeMap<String, HeadSegments>,
+    /// Per counted head, aligned with its defining rules in program order:
+    /// derivation counts over the current materialization. Captured
+    /// *lazily* on the first retraction after a full run (append-only
+    /// workloads never pay for them), incremented by append deltas,
+    /// decremented by retractions; a fact leaves exactly when its total
+    /// reaches zero. `None` until captured.
+    counts: Option<BTreeMap<String, Vec<(usize, HashMap<Tuple, u64>)>>>,
+    /// Counted heads whose captured per-rule emission order reproduced the
+    /// scratch insertion order exactly — the heads the order-repair step
+    /// may rebuild by re-enumeration. Captured together with `counts`.
+    order_exact: BTreeSet<String>,
     history: Vec<DeltaOutcome>,
-    /// Set while a failed `apply` may have left `db` half-updated; every
-    /// later `apply` refuses until `run_full` re-materializes.
+    /// Set while a failed `apply`/`retract` may have left `db`
+    /// half-updated; every later delta refuses until `run_full`
+    /// re-materializes.
     poisoned: bool,
     bootstrapped: bool,
+    /// Armed failure point for fault-injection tests (`None` in production).
+    fault: Option<&'static str>,
 }
 
 impl std::fmt::Debug for IncrementalSession {
@@ -302,10 +489,36 @@ impl IncrementalSession {
             base: Database::new(),
             db: Database::new(),
             segments: BTreeMap::new(),
+            counts: None,
+            order_exact: BTreeSet::new(),
             history: Vec::new(),
             poisoned: false,
             bootstrapped: false,
+            fault: None,
         })
+    }
+
+    /// Arm (or clear) an injected failure point — fault-injection hook for
+    /// the deletion-path tests; a no-op unless the retraction code reaches
+    /// the named point.
+    #[doc(hidden)]
+    pub fn inject_fault(&mut self, point: Option<&'static str>) {
+        self.fault = point;
+    }
+
+    /// Total derivation count per fact of a counted predicate (`None` when
+    /// the predicate is not maintained by counting). Test introspection
+    /// for the counting invariants.
+    #[doc(hidden)]
+    pub fn derivation_counts(&self, pred: &str) -> Option<HashMap<Tuple, u64>> {
+        let per_rule = self.counts.as_ref()?.get(pred)?;
+        let mut total: HashMap<Tuple, u64> = HashMap::new();
+        for (_, counts) in per_rule {
+            for (t, n) in counts {
+                *total.entry(t.clone()).or_insert(0) += n;
+            }
+        }
+        Some(total)
     }
 
     /// The program text this session evaluates.
@@ -339,7 +552,7 @@ impl IncrementalSession {
     /// all session state. This is both the bootstrap step and the recovery
     /// path after a poisoned `apply`.
     pub fn run_full(&mut self, input: Database) -> Result<&Database> {
-        self.full_run(input, DeltaMode::Bootstrap, None, 0)
+        self.full_run(input, DeltaMode::Bootstrap, None, 0, 0)
     }
 
     fn full_run(
@@ -348,10 +561,13 @@ impl IncrementalSession {
         mode: DeltaMode,
         fallback_reason: Option<String>,
         delta_facts: usize,
+        removed_facts: usize,
     ) -> Result<&Database> {
         let db = self.engine.run(&self.program, input.clone())?;
         let derived = db.total_facts().saturating_sub(input.total_facts());
         self.segments = self.capture_segments(&input, &db)?;
+        self.counts = None;
+        self.order_exact = BTreeSet::new();
         self.base = input;
         self.db = db;
         self.poisoned = false;
@@ -360,7 +576,10 @@ impl IncrementalSession {
             mode,
             fallback_reason,
             delta_facts,
+            removed_facts,
             derived_facts: derived,
+            retracted_facts: 0,
+            rederived_facts: 0,
             reordered: BTreeSet::new(),
         });
         Ok(&self.db)
@@ -368,7 +587,7 @@ impl IncrementalSession {
 
     /// Capture per-rule emission segments for every tracked candidate by
     /// re-evaluating its defining rules over the final database (sound
-    /// because tracked rules only read predicates finalized below their
+    /// because tracked rules only read predicates finalized before their
     /// stratum). A head whose reconstruction does not reproduce the
     /// scratch order exactly is silently dropped from tracking — deltas
     /// touching it then fall back to full runs instead of risking drift.
@@ -379,23 +598,80 @@ impl IncrementalSession {
     ) -> Result<BTreeMap<String, HeadSegments>> {
         let mut out = BTreeMap::new();
         for head in &self.info.tracked_candidates {
-            let mut segs = HeadSegments {
+            let e = self.enumerate_head(head, input, db)?;
+            let segs = HeadSegments {
                 input: input.fact_set(head).cloned().unwrap_or_default(),
-                by_rule: Vec::new(),
+                by_rule: e.segments,
             };
-            for &ri in &self.info.defining[head] {
-                let cr = CompiledRule::compile(&self.program.rules[ri], ri)?;
-                let mut seg = FactSet::default();
-                for (_, t) in self.engine.eval_rule(&cr, db, None)? {
-                    seg.insert(t);
-                }
-                segs.by_rule.push((ri, seg));
-            }
-            if segs.reconstruct().tuples() == db.facts(head) {
+            if e.rebuilt.tuples() == db.facts(head) {
                 out.insert(head.clone(), segs);
             }
         }
         Ok(out)
+    }
+
+    /// Re-enumerate the defining rules of `head` over `db`, in the slot
+    /// order of `info.defining[head]`: the prefix facts `head` holds in
+    /// `prefix` (the extensional input), then each rule's emissions in
+    /// program order. The single reconstruction primitive behind segment
+    /// capture, lazy count capture, and order repair — every consumer
+    /// indexes counts/segments by the same positional slot, so keeping
+    /// one loop keeps the alignment structural.
+    fn enumerate_head(
+        &self,
+        head: &str,
+        prefix: &Database,
+        db: &Database,
+    ) -> Result<HeadEnumeration> {
+        let mut rebuilt = FactSet::default();
+        if let Some(p) = prefix.fact_set(head) {
+            for t in p.tuples() {
+                rebuilt.insert(t.clone());
+            }
+        }
+        let mut counts: Vec<(usize, HashMap<Tuple, u64>)> = Vec::new();
+        let mut segments: Vec<(usize, FactSet)> = Vec::new();
+        let mut emissions = 0usize;
+        for &ri in &self.info.defining[head] {
+            let cr = CompiledRule::compile(&self.program.rules[ri], ri)?;
+            let mut seg = FactSet::default();
+            let mut cnt: HashMap<Tuple, u64> = HashMap::new();
+            for (_, t) in self.engine.eval_rule(&cr, db, None)? {
+                emissions += 1;
+                *cnt.entry(t.clone()).or_insert(0) += 1;
+                seg.insert(t.clone());
+                rebuilt.insert(t);
+            }
+            counts.push((ri, cnt));
+            segments.push((ri, seg));
+        }
+        Ok(HeadEnumeration { rebuilt, counts, segments, emissions })
+    }
+
+    /// Capture derivation counts for every counted head over the *current*
+    /// materialization, plus the set of heads whose reconstructed emission
+    /// order reproduces the stored insertion order exactly (the heads the
+    /// order-repair step may rebuild by re-enumeration). Lazy: runs on the
+    /// first retraction after a full run, so append-only workloads never
+    /// re-enumerate rules for bookkeeping they do not use; from then on
+    /// the append and deletion paths keep the counts in step until the
+    /// next full run drops them.
+    fn ensure_counts(&mut self) -> Result<()> {
+        if self.counts.is_some() {
+            return Ok(());
+        }
+        let mut counts = BTreeMap::new();
+        let mut order_exact = BTreeSet::new();
+        for head in self.info.counted.clone() {
+            let e = self.enumerate_head(&head, &self.base, &self.db)?;
+            if e.rebuilt.tuples() == self.db.facts(&head) {
+                order_exact.insert(head.clone());
+            }
+            counts.insert(head, e.counts);
+        }
+        self.counts = Some(counts);
+        self.order_exact = order_exact;
+        Ok(())
     }
 
     /// Feed a batch of new extensional facts through the session. Facts
@@ -432,18 +708,12 @@ impl IncrementalSession {
             }
         }
         if fresh.is_empty() {
-            self.history.push(DeltaOutcome {
-                mode: DeltaMode::Incremental,
-                fallback_reason: None,
-                delta_facts: 0,
-                derived_facts: 0,
-                reordered: BTreeSet::new(),
-            });
+            self.history.push(DeltaOutcome::noop());
             return Ok(&self.db);
         }
 
         if let Some(reason) = self.refuse_reason(&fresh) {
-            return self.fallback_rerun(reason, fresh.len());
+            return self.fallback_rerun(reason, fresh.len(), 0);
         }
         self.fast_path(fresh)
     }
@@ -504,20 +774,27 @@ impl IncrementalSession {
 
     /// Delta predicates closed under rule heads.
     fn affected_preds(&self, fresh: &[(String, Tuple)]) -> BTreeSet<String> {
-        let mut affected: BTreeSet<String> =
-            fresh.iter().map(|(p, _)| p.clone()).collect();
+        self.closure_of(fresh.iter().map(|(p, _)| p.clone()).collect())
+    }
+
+    /// `seeds` closed under rule heads: a rule with a seed (or closed)
+    /// positive body predicate adds its head. The same closure serves the
+    /// affected-set computation and the order-suspect propagation — both
+    /// flow along positive reads.
+    fn closure_of(&self, seeds: BTreeSet<String>) -> BTreeSet<String> {
+        let mut closed = seeds;
         loop {
             let mut changed = false;
             for info in self.info.rules.iter().flatten() {
-                if !affected.contains(&info.head)
-                    && info.positive.iter().any(|p| affected.contains(p))
+                if !closed.contains(&info.head)
+                    && info.positive.iter().any(|p| closed.contains(p))
                 {
-                    affected.insert(info.head.clone());
+                    closed.insert(info.head.clone());
                     changed = true;
                 }
             }
             if !changed {
-                return affected;
+                return closed;
             }
         }
     }
@@ -531,12 +808,18 @@ impl IncrementalSession {
                 fresh += 1;
             }
         }
-        self.fallback_rerun(reason, fresh)
+        self.fallback_rerun(reason, fresh, 0)
     }
 
-    fn fallback_rerun(&mut self, reason: String, delta_facts: usize) -> Result<&Database> {
+    fn fallback_rerun(
+        &mut self,
+        reason: String,
+        delta_facts: usize,
+        removed_facts: usize,
+    ) -> Result<&Database> {
         let input = self.base.clone();
-        match self.full_run(input, DeltaMode::FullFallback, Some(reason), delta_facts) {
+        match self.full_run(input, DeltaMode::FullFallback, Some(reason), delta_facts, removed_facts)
+        {
             Ok(_) => Ok(&self.db),
             Err(e) => {
                 self.poisoned = true;
@@ -629,13 +912,25 @@ impl IncrementalSession {
                             self.engine.eval_rule(
                                 &compiled[wi],
                                 &self.db,
-                                Some((&pending, occ)),
+                                Some(DeltaSpec::Insert { delta: &pending, occ }),
                             )
                         },
                     )?;
                     for (wi, out) in batch.iter().zip(outs) {
                         let (ri, _) = wave[*wi];
                         for (pred, t) in out {
+                            // every emission is one new derivation: keep
+                            // the retraction path's counts (if captured)
+                            // in step
+                            if let Some(rcs) =
+                                self.counts.as_mut().and_then(|c| c.get_mut(&pred))
+                            {
+                                let (_, cnt) = rcs
+                                    .iter_mut()
+                                    .find(|(r, _)| *r == ri)
+                                    .expect("firing rule defines this head");
+                                *cnt.entry(t.clone()).or_insert(0) += 1;
+                            }
                             if let Some(segs) = self.segments.get_mut(&pred) {
                                 // tracked head: record in the rule's
                                 // segment; db order re-established below
@@ -698,10 +993,639 @@ impl IncrementalSession {
             mode: DeltaMode::Incremental,
             fallback_reason: None,
             delta_facts,
+            removed_facts: 0,
             derived_facts: derived,
+            retracted_facts: 0,
+            rederived_facts: 0,
             reordered,
         });
         Ok(&self.db)
+    }
+
+    /// Retract a batch of extensional facts from the session. Facts not
+    /// present in the accumulated input are ignored (a scratch input build
+    /// never held them); the rest are removed and the materialization is
+    /// maintained by counting (non-recursive predicates) and DRed
+    /// (positive-cycle predicates) — see the module docs. The result is
+    /// byte-identical to a scratch run over the shrunk input; whenever
+    /// that cannot be guaranteed the session re-derives from scratch,
+    /// recording why.
+    pub fn retract(&mut self, removals: Vec<(String, Tuple)>) -> Result<&Database> {
+        if !self.bootstrapped {
+            return Err(VadaError::Eval(
+                "incremental session not bootstrapped: call run_full first".into(),
+            ));
+        }
+        if self.poisoned {
+            return Err(VadaError::Eval(
+                "incremental session poisoned by an earlier failure: run_full required".into(),
+            ));
+        }
+
+        // retractions must target extensional predicates, mirroring the
+        // append path: a derived fact's presence is a consequence, not an
+        // input, so "removing" one only makes sense against the base
+        for (pred, _) in &removals {
+            if self.info.defining.contains_key(pred) || self.info.fact_heads.contains(pred) {
+                let reason = format!("retraction targets derived predicate `{pred}`");
+                return self.fallback_retract(removals, reason);
+            }
+        }
+
+        // base mutation starts here: any later failure leaves the session
+        // poisoned until run_full re-materializes
+        self.poisoned = true;
+        let fresh = self.remove_from_base(removals);
+        if fresh.is_empty() {
+            self.poisoned = false;
+            self.history.push(DeltaOutcome::noop());
+            return Ok(&self.db);
+        }
+
+        let affected = self.closure_of(fresh.iter().map(|(p, _)| p.clone()).collect());
+        if let Some(reason) = self.refuse_retraction(&affected) {
+            return self.fallback_rerun(reason, 0, fresh.len());
+        }
+        self.retract_fast(fresh, affected)
+    }
+
+    /// Remove `removals` from the accumulated input in one batched pass
+    /// per predicate (a per-fact `remove` would rescan the base k times),
+    /// returning the facts that were actually present, deduplicated. The
+    /// order of the returned list only seeds a set-semantics removal
+    /// database, so the per-predicate grouping is safe.
+    fn remove_from_base(&mut self, removals: Vec<(String, Tuple)>) -> Vec<(String, Tuple)> {
+        let mut fresh: Vec<(String, Tuple)> = Vec::new();
+        let mut by_pred: BTreeMap<String, HashSet<Tuple>> = BTreeMap::new();
+        for (pred, t) in removals {
+            if self.base.contains(&pred, &t)
+                && by_pred.entry(pred.clone()).or_default().insert(t.clone())
+            {
+                fresh.push((pred, t));
+            }
+        }
+        for (pred, gone) in &by_pred {
+            self.base.remove_facts(pred, gone);
+        }
+        fresh
+    }
+
+    /// Full re-derivation after removing from the base a retraction that
+    /// never made it past the extensional check.
+    fn fallback_retract(
+        &mut self,
+        removals: Vec<(String, Tuple)>,
+        reason: String,
+    ) -> Result<&Database> {
+        let fresh = self.remove_from_base(removals).len();
+        self.fallback_rerun(reason, 0, fresh)
+    }
+
+    /// Static refusal conditions for the retraction path. Narrower than
+    /// the append analysis: deletion needs no outermost/single-literal
+    /// conditions (the delta-delete enumeration handles arbitrary and
+    /// multiple occurrences), but shrinking under negation grows
+    /// conclusions, aggregates change value rather than membership, and a
+    /// head mixing ground facts with rules has support the counts cannot
+    /// see.
+    fn refuse_retraction(&self, affected: &BTreeSet<String>) -> Option<String> {
+        for p in affected {
+            if self.info.read_neg.contains(p) {
+                return Some(format!("negated predicate `{p}` shrank"));
+            }
+            if self.info.fact_heads.contains(p) && self.info.defining.contains_key(p) {
+                return Some(format!("predicate `{p}` mixes ground facts and rules"));
+            }
+        }
+        for info in self.info.rules.iter().flatten() {
+            if info.has_aggregate && info.positive.iter().any(|p| affected.contains(p)) {
+                return Some(format!("aggregate input shrank (head `{}`)", info.head));
+            }
+        }
+        None
+    }
+
+    /// The retraction fast path: counting for non-recursive units, DRed
+    /// for positive-cycle SCCs, then order repair. `fresh` holds facts
+    /// already removed from `base`.
+    fn retract_fast(
+        &mut self,
+        fresh: Vec<(String, Tuple)>,
+        affected: BTreeSet<String>,
+    ) -> Result<&Database> {
+        // first retraction since the last full run: capture the counts it
+        // plans against (the capture reads only `db`, which the pending
+        // base removal has not touched)
+        self.ensure_counts()?;
+        let removed_facts = fresh.len();
+        let mut retracted = 0usize;
+        let mut rederived = 0usize;
+
+        // the removal set, grown as consequences lose their support; `db`
+        // is not touched until the whole plan is known
+        let mut removed = Database::new();
+        for (pred, t) in &fresh {
+            removed.insert(pred, t.clone());
+        }
+
+        let units = self.retraction_units(&affected)?;
+        // planned count decrements per counted head, aligned with its
+        // defining rules
+        let mut dec: BTreeMap<String, Vec<HashMap<Tuple, u64>>> = BTreeMap::new();
+        // heads left holding a partially-supported fact: their insertion
+        // order is suspect and must be repaired
+        let mut suspects: BTreeSet<String> = BTreeSet::new();
+
+        for unit in &units {
+            match unit {
+                RetractUnit::Extensional => {}
+                RetractUnit::Counted(head) => {
+                    self.plan_counted_retraction(
+                        head,
+                        &mut removed,
+                        &mut dec,
+                        &mut suspects,
+                        &mut retracted,
+                    )?;
+                }
+                RetractUnit::Scc(preds) => {
+                    match self.dred(preds, &mut removed, &mut retracted)? {
+                        DredVerdict::PureRemoval => {}
+                        DredVerdict::Rederived => {
+                            let reason = format!(
+                                "DRed re-derived fact(s) in recursive predicate(s) \
+                                 {preds:?} — scratch order not reconstructible"
+                            );
+                            return self.fallback_rerun(reason, 0, removed_facts);
+                        }
+                    }
+                }
+            }
+        }
+
+        // everything downstream of a suspect inherits its order doubt: a
+        // reader enumerates its inputs in their insertion order
+        let suspects = self.closure_of(suspects);
+        for p in &suspects {
+            if self.info.cyclic.contains(p) {
+                let reason = format!(
+                    "partially-supported retraction reaches recursive predicate `{p}` — \
+                     scratch order not reconstructible"
+                );
+                return self.fallback_rerun(reason, 0, removed_facts);
+            }
+            let multi = self.info.defining.get(p).map_or(0, |v| v.len()) >= 2;
+            let repairable = self.info.order_reconstructible.contains(p)
+                && self.order_exact.contains(p)
+                && (!multi || self.segments.contains_key(p));
+            if !repairable {
+                let reason = format!(
+                    "scratch order of `{p}` not reconstructible after partial retraction"
+                );
+                return self.fallback_rerun(reason, 0, removed_facts);
+            }
+        }
+
+        // ---- commit: everything below is pure bookkeeping plus the
+        // order-repair re-enumerations ----
+        for pred in removed.predicates() {
+            let gone: HashSet<Tuple> = removed.facts(pred).iter().cloned().collect();
+            self.db.remove_facts(pred, &gone);
+        }
+        for (head, head_dec) in &dec {
+            let per_rule = self
+                .counts
+                .as_mut()
+                .expect("counts captured before planning")
+                .get_mut(head)
+                .expect("counted head has counts");
+            for (slot, dmap) in head_dec.iter().enumerate() {
+                let (_, cmap) = &mut per_rule[slot];
+                for (t, d) in dmap {
+                    match cmap.get_mut(t) {
+                        Some(n) if *n > *d => *n -= d,
+                        Some(n) if *n == *d => {
+                            cmap.remove(t);
+                        }
+                        // n < d (per-rule over-decrement) or no entry at
+                        // all: the counts have drifted — fail loudly
+                        // instead of letting later retractions misfire
+                        _ => {
+                            return Err(VadaError::Eval(format!(
+                                "retraction decremented more derivations of `{head}` than \
+                                 were counted for one rule (internal invariant)"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // tracked segments: a tuple leaves rule `ri`'s segment when its
+        // per-rule count reaches zero
+        for (head, head_dec) in &dec {
+            if let Some(segs) = self.segments.get_mut(head) {
+                let per_rule = &self.counts.as_ref().expect("counts captured")[head];
+                for (slot, (_, seg)) in segs.by_rule.iter_mut().enumerate() {
+                    let zero: HashSet<Tuple> = head_dec[slot]
+                        .keys()
+                        .filter(|t| !per_rule[slot].1.contains_key(*t))
+                        .cloned()
+                        .collect();
+                    if !zero.is_empty() {
+                        seg.remove_all(&zero);
+                    }
+                }
+            }
+        }
+        if self.fault == Some("retract-commit") {
+            return Err(VadaError::Eval(
+                "injected fault at retract-commit (fault-injection hook)".into(),
+            ));
+        }
+
+        // ---- order repair, upstream before downstream (unit order) ----
+        let mut reordered: BTreeSet<String> = BTreeSet::new();
+        let repair_order: Vec<String> = units
+            .iter()
+            .filter_map(|u| match u {
+                RetractUnit::Counted(h) if suspects.contains(h) => Some(h.clone()),
+                _ => None,
+            })
+            .collect();
+        for head in &repair_order {
+            let (rebuilt, work) = self.repair_head_order(head)?;
+            rederived += work;
+            if rebuilt.tuples() != self.db.facts(head) {
+                reordered.insert(head.clone());
+            }
+            self.db.set_fact_set(head, rebuilt);
+        }
+
+        self.poisoned = false;
+        self.history.push(DeltaOutcome {
+            mode: DeltaMode::Incremental,
+            fallback_reason: None,
+            delta_facts: 0,
+            removed_facts,
+            derived_facts: 0,
+            retracted_facts: retracted,
+            rederived_facts: rederived,
+            reordered,
+        });
+        Ok(&self.db)
+    }
+
+    /// Enumerate the derivations destroyed by `removed` for one counted
+    /// head, plan its count decrements, extend `removed` with the facts
+    /// whose support vanished entirely, and mark the head suspect when a
+    /// fact survives on partial support.
+    fn plan_counted_retraction(
+        &self,
+        head: &str,
+        removed: &mut Database,
+        dec: &mut BTreeMap<String, Vec<HashMap<Tuple, u64>>>,
+        suspects: &mut BTreeSet<String>,
+        retracted: &mut usize,
+    ) -> Result<()> {
+        let ris = &self.info.defining[head];
+        let mut passes: Vec<(usize, usize)> = Vec::new(); // (slot, occurrence)
+        for (slot, &ri) in ris.iter().enumerate() {
+            let info = self.info.rules[ri].as_ref().expect("non-fact rule");
+            for (occ, p) in info.positive.iter().enumerate() {
+                if !removed.facts(p).is_empty() {
+                    passes.push((slot, occ));
+                }
+            }
+        }
+        if passes.is_empty() {
+            return Ok(());
+        }
+        let compiled: Vec<CompiledRule> = ris
+            .iter()
+            .map(|&ri| CompiledRule::compile(&self.program.rules[ri], ri))
+            .collect::<Result<_>>()?;
+        let level = self.engine.pass_parallelism(removed.total_facts());
+        let removed_view: &Database = removed;
+        let outs = par::par_try_map(
+            level,
+            "datalog/incremental-retract",
+            &passes,
+            |_, &(slot, occ)| {
+                if self.fault == Some("retract-enumerate") {
+                    panic!("injected fault at retract-enumerate (fault-injection hook)");
+                }
+                self.engine.eval_rule(
+                    &compiled[slot],
+                    &self.db,
+                    Some(DeltaSpec::Delete { removed: removed_view, occ }),
+                )
+            },
+        )?;
+        let mut head_dec: Vec<HashMap<Tuple, u64>> = vec![HashMap::new(); ris.len()];
+        let mut emit_order: Vec<Tuple> = Vec::new();
+        for (&(slot, _), out) in passes.iter().zip(&outs) {
+            for (_, t) in out {
+                *head_dec[slot].entry(t.clone()).or_insert(0) += 1;
+                emit_order.push(t.clone());
+            }
+        }
+        let per_rule = self
+            .counts
+            .as_ref()
+            .expect("counts captured before planning")
+            .get(head)
+            .expect("counted head has counts");
+        let mut decided: HashSet<Tuple> = HashSet::new();
+        for t in emit_order {
+            if !decided.insert(t.clone()) {
+                continue;
+            }
+            let old: u64 = per_rule
+                .iter()
+                .map(|(_, c)| c.get(&t).copied().unwrap_or(0))
+                .sum();
+            let lost: u64 = head_dec.iter().map(|c| c.get(&t).copied().unwrap_or(0)).sum();
+            if lost > old {
+                return Err(VadaError::Eval(format!(
+                    "retraction destroyed more derivations of `{head}` than were counted \
+                     (internal invariant)"
+                )));
+            }
+            if lost == old && !self.base.contains(head, &t) {
+                // support gone: the fact leaves, cascading downstream
+                removed.insert(head, t);
+                *retracted += 1;
+            } else if lost < old {
+                // partial support: the fact stays, but its first
+                // derivation may be among the destroyed ones
+                suspects.insert(head.to_string());
+            }
+        }
+        dec.insert(head.to_string(), head_dec);
+        Ok(())
+    }
+
+    /// DRed over one positive-cycle SCC: transitively over-delete every
+    /// fact with a destroyed derivation, then probe each for an
+    /// alternative derivation from the surviving view. Pure removals
+    /// commit (survivor order is untouched — no surviving fact lost any
+    /// derivation); any restoration reports back so the caller can fall
+    /// back (the restored fact's scratch position is unknowable).
+    fn dred(
+        &self,
+        preds: &[String],
+        removed: &mut Database,
+        retracted: &mut usize,
+    ) -> Result<DredVerdict> {
+        let scc: BTreeSet<&str> = preds.iter().map(|p| p.as_str()).collect();
+        let rule_list: Vec<usize> = self
+            .info
+            .rules
+            .iter()
+            .enumerate()
+            .filter_map(|(ri, info)| {
+                info.as_ref()
+                    .filter(|i| scc.contains(i.head.as_str()))
+                    .map(|_| ri)
+            })
+            .collect();
+        let compiled: Vec<CompiledRule> = rule_list
+            .iter()
+            .map(|&ri| CompiledRule::compile(&self.program.rules[ri], ri))
+            .collect::<Result<_>>()?;
+
+        // `dead` = removals visible to this SCC plus everything
+        // over-deleted so far; `frontier` = the facts that became dead in
+        // the previous wave, the only ones the next wave's delta passes
+        // enumerate (a derivation touching older dead facts only was
+        // already enumerated when those facts entered the frontier), so
+        // over-deletion stays O(destroyed derivations), not
+        // O(waves × dead)
+        let mut dead = Database::new();
+        for &ri in &rule_list {
+            let info = self.info.rules[ri].as_ref().expect("non-fact rule");
+            for p in &info.positive {
+                for t in removed.facts(p) {
+                    dead.insert(p, t.clone());
+                }
+            }
+        }
+        let mut frontier = dead.clone();
+        let mut deleted: Vec<(String, Tuple)> = Vec::new();
+
+        // phase 1: over-delete to fixpoint
+        loop {
+            let mut passes: Vec<(usize, usize)> = Vec::new(); // (compiled idx, occ)
+            for (ci, &ri) in rule_list.iter().enumerate() {
+                let info = self.info.rules[ri].as_ref().expect("non-fact rule");
+                for (occ, p) in info.positive.iter().enumerate() {
+                    if !frontier.facts(p).is_empty() {
+                        passes.push((ci, occ));
+                    }
+                }
+            }
+            if passes.is_empty() {
+                break;
+            }
+            let level = self.engine.pass_parallelism(frontier.total_facts());
+            let frontier_view: &Database = &frontier;
+            let outs = par::par_try_map(
+                level,
+                "datalog/incremental-retract",
+                &passes,
+                |_, &(ci, occ)| {
+                    if self.fault == Some("dred-overdelete") {
+                        panic!("injected fault at dred-overdelete (fault-injection hook)");
+                    }
+                    self.engine.eval_rule(
+                        &compiled[ci],
+                        &self.db,
+                        Some(DeltaSpec::Delete { removed: frontier_view, occ }),
+                    )
+                },
+            )?;
+            let mut next_frontier = Database::new();
+            for out in outs {
+                for (h, t) in out {
+                    // input-prefix facts keep extensional support the
+                    // rules cannot see: never over-delete them
+                    if self.db.contains(&h, &t)
+                        && !dead.contains(&h, &t)
+                        && !self.base.contains(&h, &t)
+                    {
+                        dead.insert(&h, t.clone());
+                        next_frontier.insert(&h, t.clone());
+                        deleted.push((h, t));
+                    }
+                }
+            }
+            if next_frontier.total_facts() == 0 {
+                break;
+            }
+            frontier = next_frontier;
+        }
+        if deleted.is_empty() {
+            return Ok(DredVerdict::PureRemoval);
+        }
+
+        if self.fault == Some("dred-rederive") {
+            return Err(VadaError::Eval(
+                "injected fault at dred-rederive (fault-injection hook)".into(),
+            ));
+        }
+
+        // phase 2: re-derivation probes against the surviving view. The
+        // caller falls back to a full re-derivation on ANY restoration
+        // (the restored fact's scratch position is unknowable without
+        // counts), so the first successful probe settles the verdict —
+        // no point finishing the restoration fixpoint just to discard it
+        for (h, t) in &deleted {
+            for &ri in &self.info.defining[h] {
+                let ci = rule_list.iter().position(|r| *r == ri).expect("SCC rule");
+                if self.engine.derives_fact(&compiled[ci], &self.db, &dead, t)? {
+                    return Ok(DredVerdict::Rederived);
+                }
+            }
+        }
+        for (h, t) in deleted {
+            removed.insert(&h, t);
+            *retracted += 1;
+        }
+        Ok(DredVerdict::PureRemoval)
+    }
+
+    /// Re-enumerate the defining rules of one suspect head over the
+    /// repaired database, rebuilding its scratch insertion order (input
+    /// prefix first, then per-rule emissions in program order) and
+    /// refreshing its counts and segments. Returns the rebuilt fact set
+    /// and the number of derivations enumerated (the repair work).
+    fn repair_head_order(&mut self, head: &str) -> Result<(FactSet, usize)> {
+        let e = self.enumerate_head(head, &self.base, &self.db)?;
+        if let Some(per_rule) = self.counts.as_mut().and_then(|c| c.get_mut(head)) {
+            *per_rule = e.counts;
+        }
+        if let Some(segs) = self.segments.get_mut(head) {
+            segs.by_rule = e.segments;
+        }
+        Ok((e.rebuilt, e.emissions))
+    }
+
+    /// Partition the affected predicates into retraction units — lone
+    /// extensional predicates, counted heads, and positive-cycle SCCs —
+    /// in a topological order of the positive dependency graph, so every
+    /// unit fires with the complete removal sets of its inputs.
+    fn retraction_units(&self, affected: &BTreeSet<String>) -> Result<Vec<RetractUnit>> {
+        // positive edges among affected predicates: body → head
+        let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for info in self.info.rules.iter().flatten() {
+            if !affected.contains(&info.head) {
+                continue;
+            }
+            for p in &info.positive {
+                if affected.contains(p) && *p != info.head {
+                    edges.entry(p.as_str()).or_default().insert(info.head.as_str());
+                }
+            }
+        }
+        let reach = |from: &str| -> BTreeSet<&str> {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut stack: Vec<&str> =
+                edges.get(from).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            while let Some(p) = stack.pop() {
+                if seen.insert(p) {
+                    if let Some(next) = edges.get(p) {
+                        stack.extend(next.iter().copied());
+                    }
+                }
+            }
+            seen
+        };
+        // group cyclic predicates into SCCs by mutual reachability
+        let cyclic_affected: Vec<&String> =
+            affected.iter().filter(|p| self.info.cyclic.contains(*p)).collect();
+        let reachable: BTreeMap<&str, BTreeSet<&str>> = cyclic_affected
+            .iter()
+            .map(|p| (p.as_str(), reach(p)))
+            .collect();
+        let mut scc_of: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut sccs: Vec<Vec<String>> = Vec::new();
+        for p in &cyclic_affected {
+            if scc_of.contains_key(p.as_str()) {
+                continue;
+            }
+            let id = sccs.len();
+            let mut members = vec![p.to_string()];
+            scc_of.insert(p.as_str(), id);
+            for q in cyclic_affected.iter().skip_while(|q| q != &p).skip(1) {
+                if !scc_of.contains_key(q.as_str())
+                    && reachable[p.as_str()].contains(q.as_str())
+                    && reachable[q.as_str()].contains(p.as_str())
+                {
+                    scc_of.insert(q.as_str(), id);
+                    members.push(q.to_string());
+                }
+            }
+            sccs.push(members);
+        }
+        // unit ids: one per non-cyclic predicate, one per SCC
+        let unit_of = |p: &str| -> String {
+            scc_of
+                .get(p)
+                .map(|id| format!("\u{0}scc{id}"))
+                .unwrap_or_else(|| p.to_string())
+        };
+        let mut unit_deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut unit_members: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for p in affected {
+            let u = unit_of(p);
+            unit_members.entry(u.clone()).or_default().push(p.clone());
+            unit_deps.entry(u).or_default();
+        }
+        for (from, tos) in &edges {
+            let fu = unit_of(from);
+            for to in tos {
+                let tu = unit_of(to);
+                if fu != tu {
+                    unit_deps.entry(tu).or_default().insert(fu.clone());
+                }
+            }
+        }
+        // Kahn, smallest unit key first (determinism)
+        let mut order: Vec<RetractUnit> = Vec::new();
+        let mut done: BTreeSet<String> = BTreeSet::new();
+        while done.len() < unit_deps.len() {
+            let mut fired = false;
+            let ready: Vec<String> = unit_deps
+                .iter()
+                .filter(|(u, deps)| !done.contains(*u) && deps.iter().all(|d| done.contains(d)))
+                .map(|(u, _)| u.clone())
+                .collect();
+            for u in ready {
+                fired = true;
+                let members = &unit_members[&u];
+                let unit = if u.starts_with('\u{0}') {
+                    RetractUnit::Scc(members.clone())
+                } else {
+                    let p = &members[0];
+                    if self.info.defining.contains_key(p) {
+                        RetractUnit::Counted(p.clone())
+                    } else {
+                        RetractUnit::Extensional
+                    }
+                };
+                order.push(unit);
+                done.insert(u);
+            }
+            if !fired {
+                // the SCC condensation should leave an acyclic unit graph;
+                // committing a partial plan would silently diverge, so fail
+                // (the session is already poisoned and run_full recovers)
+                return Err(VadaError::Eval(
+                    "retraction unit graph is cyclic (internal invariant)".into(),
+                ));
+            }
+        }
+        Ok(order)
     }
 }
 
@@ -931,6 +1855,7 @@ mod tests {
             wide(X, Y, Z) :- picked(X, Y), w(Y, Z).
         "#;
         for seed in 0..6u64 {
+            println!("randomized_edit_scripts seed {seed}");
             let mut rng = StdRng::seed_from_u64(seed);
             let mut input = Database::new();
             for i in 0..30i64 {
@@ -953,35 +1878,426 @@ mod tests {
                 })
                 .collect();
             let mut fast = 0usize;
-            for _step in 0..12 {
+            let mut fast_retract = 0usize;
+            for _step in 0..16 {
+                let retracting = rng.gen_range(0usize..3) == 0;
                 let mut delta: Vec<(String, Tuple)> = Vec::new();
-                for _ in 0..rng.gen_range(1usize..4) {
-                    let v: i64 = rng.gen_range(0i64..2000);
-                    let pred = ["a", "b", "k", "w"][rng.gen_range(0usize..4)];
-                    let t = match pred {
-                        "k" => tuple![v % 9],
-                        _ => tuple![v % 9, v],
-                    };
-                    delta.push((pred.to_string(), t));
-                }
-                for (p, t) in &delta {
-                    input.insert(p, t.clone());
+                if retracting {
+                    // retract existing facts picked structurally
+                    for _ in 0..rng.gen_range(1usize..3) {
+                        let pred = ["a", "b", "k", "w"][rng.gen_range(0usize..4)];
+                        let facts = input.facts(pred);
+                        if facts.is_empty() {
+                            continue;
+                        }
+                        let t = facts[rng.gen_range(0usize..facts.len())].clone();
+                        delta.push((pred.to_string(), t));
+                    }
+                    let mut shrunk = Database::new();
+                    for pred in input.predicates() {
+                        for t in input.facts(pred) {
+                            if !delta.iter().any(|(p, d)| p == pred && d == t) {
+                                shrunk.insert(pred, t.clone());
+                            }
+                        }
+                    }
+                    input = shrunk;
+                } else {
+                    for _ in 0..rng.gen_range(1usize..4) {
+                        let v: i64 = rng.gen_range(0i64..2000);
+                        let pred = ["a", "b", "k", "w"][rng.gen_range(0usize..4)];
+                        let t = match pred {
+                            "k" => tuple![v % 9],
+                            _ => tuple![v % 9, v],
+                        };
+                        delta.push((pred.to_string(), t));
+                    }
+                    for (p, t) in &delta {
+                        input.insert(p, t.clone());
+                    }
                 }
                 let mut dumps = Vec::new();
                 for s in &mut sessions {
-                    s.apply(delta.clone()).unwrap();
+                    if retracting {
+                        s.retract(delta.clone()).unwrap();
+                    } else {
+                        s.apply(delta.clone()).unwrap();
+                    }
                     if s.last_outcome().unwrap().mode == DeltaMode::Incremental {
-                        fast += 1;
+                        if retracting {
+                            fast_retract += 1;
+                        } else {
+                            fast += 1;
+                        }
                     }
                     dumps.push(dump(s.database()));
                 }
                 let expected = scratch(src, &input);
                 for (i, d) in dumps.iter().enumerate() {
-                    assert_eq!(d, &expected, "seed {seed} level {:?}", levels[i]);
+                    assert_eq!(
+                        d, &expected,
+                        "seed {seed} level {:?} (retracting={retracting})",
+                        levels[i]
+                    );
                 }
             }
-            assert!(fast > 0, "seed {seed}: fast path never fired");
+            assert!(fast > 0, "seed {seed}: append fast path never fired");
+            assert!(fast_retract > 0, "seed {seed}: retraction fast path never fired");
         }
+    }
+
+    #[test]
+    fn injected_panic_mid_counting_poisons_until_run_full() {
+        let src = "q(X, Y) :- p(X), r(X, Y).";
+        let mut input = Database::new();
+        input.insert("p", tuple![1]);
+        input.insert("r", tuple![1, 10]);
+        let mut s = session(src, input.clone());
+        s.inject_fault(Some("retract-enumerate"));
+        let err = s.retract(vec![("p".into(), tuple![1])]).unwrap_err();
+        assert_eq!(err.kind(), "parallel", "{err}");
+        assert!(err.message().contains("injected fault"), "{err}");
+        // poisoned: both deltas and retractions are refused…
+        assert!(s.apply(vec![("p".into(), tuple![2])]).unwrap_err().message().contains("poisoned"));
+        assert!(s
+            .retract(vec![("r".into(), tuple![1, 10])])
+            .unwrap_err()
+            .message()
+            .contains("poisoned"));
+        // …until run_full re-materializes (fault cleared first)
+        s.inject_fault(None);
+        let mut shrunk = Database::new();
+        shrunk.insert("r", tuple![1, 10]);
+        s.run_full(shrunk.clone()).unwrap();
+        s.retract(vec![("r".into(), tuple![1, 10])]).unwrap();
+        assert_eq!(dump(s.database()), scratch(src, &Database::new()));
+    }
+
+    #[test]
+    fn injected_panic_mid_dred_poisons_until_run_full() {
+        let src = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).";
+        let mut input = Database::new();
+        for i in 0..6i64 {
+            input.insert("edge", tuple![i, i + 1]);
+        }
+        for fault in ["dred-overdelete", "dred-rederive", "retract-commit"] {
+            let mut s = session(src, input.clone());
+            s.inject_fault(Some(fault));
+            let err = s.retract(vec![("edge".into(), tuple![2i64, 3i64])]).unwrap_err();
+            assert!(err.message().contains("injected fault"), "{fault}: {err}");
+            let err = s.retract(vec![("edge".into(), tuple![0i64, 1i64])]).unwrap_err();
+            assert!(err.message().contains("poisoned"), "{fault}: {err}");
+            // recovery: run_full over the post-retraction base
+            s.inject_fault(None);
+            let mut shrunk = Database::new();
+            for i in 0..6i64 {
+                if i != 2 {
+                    shrunk.insert("edge", tuple![i, i + 1]);
+                }
+            }
+            s.run_full(shrunk.clone()).unwrap();
+            assert_eq!(dump(s.database()), scratch(src, &shrunk), "{fault}");
+            // and the deletion path works again
+            s.retract(vec![("edge".into(), tuple![4i64, 5i64])]).unwrap();
+            assert_eq!(s.last_outcome().unwrap().mode, DeltaMode::Incremental, "{fault}");
+            shrunk.remove("edge", &tuple![4i64, 5i64]);
+            assert_eq!(dump(s.database()), scratch(src, &shrunk), "{fault}");
+        }
+    }
+
+    #[test]
+    fn retraction_takes_counting_path_and_matches_scratch() {
+        let src = "q(X, Y) :- p(X), r(X, Y).";
+        let mut input = Database::new();
+        for i in 0..20i64 {
+            input.insert("p", tuple![i]);
+            input.insert("r", tuple![i, i * 10]);
+        }
+        let mut s = session(src, input.clone());
+        s.retract(vec![("p".into(), tuple![7i64])]).unwrap();
+        let mut shrunk = Database::new();
+        for i in 0..20i64 {
+            if i != 7 {
+                shrunk.insert("p", tuple![i]);
+            }
+            shrunk.insert("r", tuple![i, i * 10]);
+        }
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::Incremental, "{out:?}");
+        assert_eq!(out.removed_facts, 1);
+        assert_eq!(out.retracted_facts, 1, "q(7,70) loses its only support");
+        assert_eq!(out.rederived_facts, 0);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+    }
+
+    #[test]
+    fn retraction_cascades_through_derived_chain() {
+        let src = "mid(X) :- p(X). top(X, Y) :- mid(X), k(X, Y).";
+        let mut input = Database::new();
+        input.insert("p", tuple![1]);
+        input.insert("p", tuple![2]);
+        input.insert("k", tuple![1, 10]);
+        input.insert("k", tuple![2, 20]);
+        let mut s = session(src, input);
+        s.retract(vec![("p".into(), tuple![2])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::Incremental, "{out:?}");
+        assert_eq!(out.retracted_facts, 2, "mid(2) and top(2,20)");
+        let mut shrunk = Database::new();
+        shrunk.insert("p", tuple![1]);
+        shrunk.insert("k", tuple![1, 10]);
+        shrunk.insert("k", tuple![2, 20]);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+    }
+
+    #[test]
+    fn partial_support_repairs_order_exactly() {
+        // q(X) is derived once per matching r-row: removing r(1,"a") leaves
+        // q(1) supported by r(1,"b") only — in a scratch run q(1) now
+        // appears *after* q(2), so the repair step must reorder
+        let src = "q(X) :- r(X, _).";
+        let mut input = Database::new();
+        input.insert("r", tuple![1, "a"]);
+        input.insert("r", tuple![2, "a"]);
+        input.insert("r", tuple![1, "b"]);
+        let mut s = session(src, input.clone());
+        assert_eq!(s.database().facts("q"), &[tuple![1], tuple![2]]);
+        s.retract(vec![("r".into(), tuple![1, "a"])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::Incremental, "{out:?}");
+        assert_eq!(out.retracted_facts, 0, "q(1) keeps one derivation");
+        assert!(out.rederived_facts > 0, "order repair re-enumerated q: {out:?}");
+        assert!(out.reordered.contains("q"), "{out:?}");
+        assert_eq!(s.database().facts("q"), &[tuple![2], tuple![1]]);
+        let mut shrunk = Database::new();
+        shrunk.insert("r", tuple![2, "a"]);
+        shrunk.insert("r", tuple![1, "b"]);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+        // counts follow the repair: q(1) is down to one derivation
+        let counts = s.derivation_counts("q").unwrap();
+        assert_eq!(counts.get(&tuple![1]), Some(&1));
+        assert_eq!(counts.get(&tuple![2]), Some(&1));
+    }
+
+    #[test]
+    fn multi_rule_segments_survive_retraction() {
+        let src = "all(X) :- a(X). all(X) :- b(X).";
+        let mut input = Database::new();
+        input.insert("a", tuple![1]);
+        input.insert("a", tuple![2]);
+        input.insert("b", tuple![10]);
+        input.insert("b", tuple![2]);
+        let mut s = session(src, input.clone());
+        assert_eq!(s.database().facts("all"), &[tuple![1], tuple![2], tuple![10]]);
+
+        // retract a(2): all(2) survives through rule B, but moves to B's
+        // segment position in a scratch run
+        s.retract(vec![("a".into(), tuple![2])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::Incremental, "{out:?}");
+        let mut shrunk = Database::new();
+        shrunk.insert("a", tuple![1]);
+        shrunk.insert("b", tuple![10]);
+        shrunk.insert("b", tuple![2]);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+        assert_eq!(s.database().facts("all"), &[tuple![1], tuple![10], tuple![2]]);
+
+        // and a later append still lands correctly mid-sequence
+        s.apply(vec![("a".into(), tuple![5])]).unwrap();
+        shrunk.insert("a", tuple![5]);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+    }
+
+    #[test]
+    fn recursive_pure_removal_goes_through_dred() {
+        // a chain has no alternative paths: removing an edge over-deletes
+        // a suffix of tc and re-derives nothing — pure removal, fast path
+        let src = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).";
+        let mut input = Database::new();
+        for i in 0..10i64 {
+            input.insert("edge", tuple![i, i + 1]);
+        }
+        let mut s = session(src, input);
+        s.retract(vec![("edge".into(), tuple![5i64, 6i64])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::Incremental, "{out:?}");
+        // destroyed: every path crossing 5→6, i.e. (a,b) with a<=5 < 6<=b
+        assert_eq!(out.retracted_facts, 30);
+        let mut shrunk = Database::new();
+        for i in 0..10i64 {
+            if i != 5 {
+                shrunk.insert("edge", tuple![i, i + 1]);
+            }
+        }
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+    }
+
+    #[test]
+    fn recursive_rederivation_falls_back_and_matches() {
+        // diamond: 0→1→3 and 0→2→3, so tc(0,3) survives the removal of
+        // edge(1,3) — DRed re-derives it and the session must fall back
+        let src = "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).";
+        let mut input = Database::new();
+        for (a, b) in [(0i64, 1i64), (1, 3), (0, 2), (2, 3), (3, 4)] {
+            input.insert("edge", tuple![a, b]);
+        }
+        let mut s = session(src, input);
+        s.retract(vec![("edge".into(), tuple![1i64, 3i64])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::FullFallback, "{out:?}");
+        assert!(
+            out.fallback_reason.as_deref().unwrap().contains("re-derived"),
+            "{out:?}"
+        );
+        let mut shrunk = Database::new();
+        for (a, b) in [(0i64, 1i64), (0, 2), (2, 3), (3, 4)] {
+            shrunk.insert("edge", tuple![a, b]);
+        }
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+    }
+
+    #[test]
+    fn retraction_under_negation_and_aggregates_falls_back() {
+        let src = r#"
+            lonely(X) :- node(X), not linked(X).
+            linked(X) :- edge(X, _).
+            total(count(X)) :- node(X).
+        "#;
+        let mut input = Database::new();
+        input.insert("node", tuple![1]);
+        input.insert("node", tuple![2]);
+        input.insert("edge", tuple![1, 2]);
+        let mut s = session(src, input.clone());
+
+        // shrinking edge grows lonely: negation fallback
+        s.retract(vec![("edge".into(), tuple![1, 2])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::FullFallback);
+        assert!(out.fallback_reason.as_deref().unwrap().contains("shrank"), "{out:?}");
+        let mut shrunk = Database::new();
+        shrunk.insert("node", tuple![1]);
+        shrunk.insert("node", tuple![2]);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+
+        // shrinking node changes the aggregate value: fallback
+        s.retract(vec![("node".into(), tuple![2])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::FullFallback);
+        shrunk = Database::new();
+        shrunk.insert("node", tuple![1]);
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert_round_trips() {
+        let src = "all(X) :- a(X). all(X) :- b(X). q(X, Y) :- a(X), w(X, Y).";
+        let mut input = Database::new();
+        input.insert("a", tuple![1]);
+        input.insert("a", tuple![2]);
+        input.insert("b", tuple![3]);
+        input.insert("w", tuple![1, 10]);
+        let mut s = session(src, input.clone());
+
+        // delete every extensional fact: the fixpoint empties
+        s.retract(vec![
+            ("a".into(), tuple![1]),
+            ("a".into(), tuple![2]),
+            ("b".into(), tuple![3]),
+            ("w".into(), tuple![1, 10]),
+        ])
+        .unwrap();
+        assert_eq!(s.last_outcome().unwrap().mode, DeltaMode::Incremental);
+        assert_eq!(s.database().total_facts(), 0);
+        assert_eq!(dump(s.database()), scratch(src, &Database::new()));
+
+        // re-insert in a fresh order: byte-identical to scratch over that order
+        s.apply(vec![
+            ("b".into(), tuple![3]),
+            ("a".into(), tuple![2]),
+            ("w".into(), tuple![1, 10]),
+            ("a".into(), tuple![1]),
+        ])
+        .unwrap();
+        let mut rebuilt = Database::new();
+        rebuilt.insert("b", tuple![3]);
+        rebuilt.insert("a", tuple![2]);
+        rebuilt.insert("w", tuple![1, 10]);
+        rebuilt.insert("a", tuple![1]);
+        assert_eq!(dump(s.database()), scratch(src, &rebuilt));
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_fact_moves_to_the_end() {
+        let src = "q(X) :- p(X).";
+        let mut input = Database::new();
+        input.insert("p", tuple![1]);
+        input.insert("p", tuple![2]);
+        let mut s = session(src, input);
+        s.retract(vec![("p".into(), tuple![1])]).unwrap();
+        s.apply(vec![("p".into(), tuple![1])]).unwrap();
+        // scratch over the re-ordered input puts 1 after 2
+        let mut reordered = Database::new();
+        reordered.insert("p", tuple![2]);
+        reordered.insert("p", tuple![1]);
+        assert_eq!(dump(s.database()), scratch(src, &reordered));
+        assert_eq!(s.database().facts("q"), &[tuple![2], tuple![1]]);
+    }
+
+    #[test]
+    fn retracting_missing_or_derived_facts() {
+        let src = "q(X) :- p(X).";
+        let mut input = Database::new();
+        input.insert("p", tuple![1]);
+        let mut s = session(src, input.clone());
+        // not in the base: a no-op
+        s.retract(vec![("p".into(), tuple![99])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::Incremental);
+        assert_eq!(out.removed_facts, 0);
+        // a derived predicate: fallback, like the append path
+        s.retract(vec![("q".into(), tuple![1])]).unwrap();
+        let out = s.last_outcome().unwrap();
+        assert_eq!(out.mode, DeltaMode::FullFallback);
+        assert!(out.fallback_reason.as_deref().unwrap().contains("derived"), "{out:?}");
+        assert_eq!(dump(s.database()), scratch(src, &input));
+    }
+
+    #[test]
+    fn counting_invariant_counts_are_exact_after_mixed_edits() {
+        let src = "q(X) :- r(X, _). wide(X, Z) :- q(X), w(X, Z).";
+        let mut input = Database::new();
+        for i in 0..8i64 {
+            input.insert("r", tuple![i % 4, i]);
+            input.insert("w", tuple![i % 4, i * 100]);
+        }
+        let mut s = session(src, input.clone());
+        s.apply(vec![("r".into(), tuple![1i64, 50i64])]).unwrap();
+        input.insert("r", tuple![1i64, 50i64]);
+        s.retract(vec![("r".into(), tuple![1i64, 1i64]), ("w".into(), tuple![2i64, 200i64])])
+            .unwrap();
+        // reference counts: enumerate each rule over the scratch fixpoint
+        let mut shrunk = Database::new();
+        for t in input.facts("r") {
+            if t != &tuple![1i64, 1i64] {
+                shrunk.insert("r", t.clone());
+            }
+        }
+        for t in input.facts("w") {
+            if t != &tuple![2i64, 200i64] {
+                shrunk.insert("w", t.clone());
+            }
+        }
+        let program = parse_program(src).unwrap();
+        let scratch_db = Engine::default().run(&program, shrunk.clone()).unwrap();
+        for (pred, ri) in [("q", 0usize), ("wide", 1usize)] {
+            let cr = CompiledRule::compile(&program.rules[ri], ri).unwrap();
+            let mut want: HashMap<Tuple, u64> = HashMap::new();
+            for (_, t) in Engine::default().eval_rule(&cr, &scratch_db, None).unwrap() {
+                *want.entry(t).or_insert(0) += 1;
+            }
+            assert_eq!(s.derivation_counts(pred).unwrap(), want, "counts drifted for {pred}");
+        }
+        assert_eq!(dump(s.database()), scratch(src, &shrunk));
     }
 
     #[test]

@@ -136,6 +136,121 @@ proptest! {
     }
 
     #[test]
+    fn counting_invariants_hold_under_retraction(
+        rows in proptest::collection::vec((0u8..6, 0u8..12), 1..30),
+        links in proptest::collection::vec((0u8..6, 0u8..12), 1..20),
+        kills in proptest::collection::vec((0u8..2, 0u8..30), 1..8)
+    ) {
+        // a two-level non-recursive program maintained by counting: q has
+        // one derivation per matching r row, wide multiplies q by w
+        use vada_datalog::incremental::{DeltaMode, IncrementalSession};
+        use vada_datalog::EngineConfig;
+        let src = "q(X) :- r(X, _). wide(X, Z) :- q(X), w(X, Z).";
+        let mut input = Database::new();
+        for &(x, y) in &rows {
+            input.insert("r", tuple![x as i64, y as i64]);
+        }
+        for &(x, z) in &links {
+            input.insert("w", tuple![x as i64, z as i64]);
+        }
+        let mut session = IncrementalSession::new(EngineConfig::default(), src).unwrap();
+        session.run_full(input.clone()).unwrap();
+
+        // retract a random subset of existing facts (structural pick)
+        let mut removals: Vec<(String, Tuple)> = Vec::new();
+        for &(which, nth) in &kills {
+            let pred = if which == 0 { "r" } else { "w" };
+            let facts = input.facts(pred);
+            if facts.is_empty() {
+                continue;
+            }
+            removals.push((pred.to_string(), facts[nth as usize % facts.len()].clone()));
+        }
+        let mut shrunk = Database::new();
+        for pred in input.predicates() {
+            for t in input.facts(pred) {
+                if !removals.iter().any(|(p, d)| p == pred && d == t) {
+                    shrunk.insert(pred, t.clone());
+                }
+            }
+        }
+        session.retract(removals).unwrap();
+        prop_assert_eq!(
+            session.last_outcome().unwrap().mode,
+            DeltaMode::Incremental,
+            "counting never falls back on this program: {:?}",
+            session.last_outcome()
+        );
+
+        // reference: the scratch fixpoint over the shrunk input, with
+        // derivation counts re-enumerated per rule
+        let program = parse_program(src).unwrap();
+        let scratch = Engine::default().run(&program, shrunk.clone()).unwrap();
+        for pred in ["q", "wide"] {
+            let counts = session.derivation_counts(pred).unwrap();
+            // zero iff the fact left the fixpoint (counts drop their zero
+            // entries, so the key set IS the positive-count set)
+            let alive: std::collections::BTreeSet<&Tuple> = counts.keys().collect();
+            let expect: std::collections::BTreeSet<&Tuple> = scratch.facts(pred).iter().collect();
+            prop_assert_eq!(alive, expect, "count support drifted for {}", pred);
+            prop_assert_eq!(
+                session.database().facts(pred),
+                scratch.facts(pred),
+                "facts or order drifted for {}", pred
+            );
+        }
+    }
+
+    #[test]
+    fn dred_restores_exactly_the_still_derivable_facts(
+        edges in proptest::collection::vec((0u8..8, 0u8..8), 1..24),
+        kills in proptest::collection::vec(0u8..24, 1..5)
+    ) {
+        // recursive closure under deletion: DRed over-deletes everything
+        // reachable from the removed edges, then re-derives what survives.
+        // Whatever the path taken (pure removal commits; any restoration
+        // falls back), the result must equal the scratch fixpoint — i.e.
+        // phase 2 restored exactly the still-derivable over-deletions.
+        use vada_datalog::incremental::{DeltaMode, IncrementalSession};
+        use vada_datalog::EngineConfig;
+        let mut input = edges_db(&edges);
+        let mut session = IncrementalSession::new(EngineConfig::default(), TC_PROGRAM).unwrap();
+        session.run_full(input.clone()).unwrap();
+
+        let mut removals: Vec<(String, Tuple)> = Vec::new();
+        for &nth in &kills {
+            let facts = input.facts("edge");
+            removals.push(("edge".to_string(), facts[nth as usize % facts.len()].clone()));
+        }
+        for (_, t) in &removals {
+            input.remove("edge", t);
+        }
+        session.retract(removals).unwrap();
+
+        let program = parse_program(TC_PROGRAM).unwrap();
+        let scratch = Engine::default().run(&program, input.clone()).unwrap();
+        prop_assert_eq!(
+            session.database().facts("tc"),
+            scratch.facts("tc"),
+            "tc diverged from scratch after retraction ({:?})",
+            session.last_outcome().map(|o| o.mode)
+        );
+        prop_assert_eq!(session.database().facts("edge"), scratch.facts("edge"));
+        let out = session.last_outcome().unwrap();
+        match out.mode {
+            // pure removal: nothing re-derived, every removed tc fact is
+            // genuinely underivable (it is absent from scratch)
+            DeltaMode::Incremental => prop_assert_eq!(out.rederived_facts, 0, "{:?}", out),
+            // a restoration happened: the fallback reason names DRed
+            DeltaMode::FullFallback => prop_assert!(
+                out.fallback_reason.as_deref().unwrap().contains("re-derived"),
+                "{:?}", out
+            ),
+            DeltaMode::Bootstrap => prop_assert!(false, "unexpected bootstrap"),
+        }
+    }
+
+    #[test]
     fn aggregate_counts_match_manual_grouping(
         pairs in proptest::collection::vec((0u8..6, 0i64..100), 1..40)
     ) {

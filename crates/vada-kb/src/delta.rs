@@ -39,6 +39,7 @@
 //! event, so staleness can never produce wrong results.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use vada_common::Tuple;
 
@@ -62,6 +63,34 @@ pub enum DeltaChange {
     RelationAdded {
         /// Relation name.
         relation: String,
+    },
+    /// Rows were removed from an existing relation
+    /// ([`KnowledgeBase::remove_rows`](crate::KnowledgeBase::remove_rows)):
+    /// the remaining rows keep their relative order. Not monotone, but
+    /// *row-level*: a retraction-capable consumer can feed `rows` through
+    /// its deletion path instead of re-reading the relation.
+    RowsRemoved {
+        /// Relation name.
+        relation: String,
+        /// The removed tuples, in ascending (pre-removal) row order.
+        rows: Vec<Tuple>,
+    },
+    /// Rows were rewritten in place
+    /// ([`KnowledgeBase::update_source`](crate::KnowledgeBase::update_source)).
+    /// Row-level like [`DeltaChange::RowsRemoved`]; `tail` is `true` when
+    /// every rewritten row sat in the final positions of the relation, in
+    /// which case retract-old + append-new reproduces the new scan order
+    /// exactly (a mid-relation rewrite changes the scan order, which an
+    /// append can never reproduce).
+    RowsReplaced {
+        /// Relation name.
+        relation: String,
+        /// The previous contents of the rewritten rows, ascending row order.
+        removed: Vec<Tuple>,
+        /// The new contents of the rewritten rows, ascending row order.
+        added: Vec<Tuple>,
+        /// Whether the rewritten rows were the trailing rows.
+        tail: bool,
     },
     /// A relation was replaced with content that is not an extension of
     /// what was there (rows retracted or rewritten, or the schema
@@ -91,10 +120,25 @@ impl DeltaChange {
         matches!(self, DeltaChange::RowsAppended { .. })
     }
 
+    /// Whether the change names the exact rows it touched (appends,
+    /// removals, in-place rewrites) — the granularity the retraction-capable
+    /// incremental path consumes. Relation-level events (`RelationAdded`,
+    /// `RelationReplaced`, `RelationRemoved`) are not row-level.
+    pub fn is_row_level(&self) -> bool {
+        matches!(
+            self,
+            DeltaChange::RowsAppended { .. }
+                | DeltaChange::RowsRemoved { .. }
+                | DeltaChange::RowsReplaced { .. }
+        )
+    }
+
     /// The relation this change touches, if it is relation-level.
     pub fn relation(&self) -> Option<&str> {
         match self {
             DeltaChange::RowsAppended { relation, .. }
+            | DeltaChange::RowsRemoved { relation, .. }
+            | DeltaChange::RowsReplaced { relation, .. }
             | DeltaChange::RelationAdded { relation }
             | DeltaChange::RelationReplaced { relation }
             | DeltaChange::RelationRemoved { relation } => Some(relation),
@@ -121,13 +165,20 @@ pub struct DeltaEvent {
 /// journal never dominates KB memory.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
 
+/// Process-unique lineage ids (see [`DeltaJournal::lineage`]).
+static NEXT_LINEAGE: AtomicU64 = AtomicU64::new(1);
+
 /// A bounded, monotone-sequence journal of [`DeltaEvent`]s.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeltaJournal {
     events: VecDeque<DeltaEvent>,
     /// Highest sequence number that has been pruned out of the window
     /// (0 when nothing was pruned).
     pruned_through: u64,
+    /// Highest sequence number ever recorded (0 when none).
+    last_seq: u64,
+    /// Process-unique lineage id; see [`DeltaJournal::lineage`].
+    lineage: u64,
     capacity: usize,
 }
 
@@ -136,7 +187,26 @@ impl Default for DeltaJournal {
         DeltaJournal {
             events: VecDeque::new(),
             pruned_through: 0,
+            last_seq: 0,
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
             capacity: DEFAULT_JOURNAL_CAPACITY,
+        }
+    }
+}
+
+/// Cloning a journal starts a **new lineage**: the clone's history can
+/// diverge from the original's under the same sequence numbers, so a
+/// watermark taken against one must never be replayed against the other.
+/// Consumers that cache a watermark must cache [`DeltaJournal::lineage`]
+/// beside it and fall back to a full read when it changes.
+impl Clone for DeltaJournal {
+    fn clone(&self) -> Self {
+        DeltaJournal {
+            events: self.events.clone(),
+            pruned_through: self.pruned_through,
+            last_seq: self.last_seq,
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+            capacity: self.capacity,
         }
     }
 }
@@ -156,6 +226,7 @@ impl DeltaJournal {
             "journal sequence numbers must be strictly monotone"
         );
         self.events.push_back(DeltaEvent { seq, aspect, change });
+        self.last_seq = seq;
         while self.events.len() > self.capacity {
             let dropped = self.events.pop_front().expect("len > capacity >= 1");
             self.pruned_through = dropped.seq;
@@ -163,11 +234,19 @@ impl DeltaJournal {
     }
 
     /// The events with `seq > version`, oldest first — or `None` when the
-    /// window no longer reaches back to `version` (some event with
-    /// `seq > version` has been pruned), in which case the consumer must
-    /// fall back to a full run.
+    /// journal cannot prove that slice is complete, in which case the
+    /// consumer must fall back to a full read. Two ways to lose the proof:
+    ///
+    /// - the bounded window has pruned past `version` (some event with
+    ///   `seq > version` was dropped — retraction events are as prunable as
+    ///   any other, and a consumer that misses one would silently keep
+    ///   deleted rows alive);
+    /// - `version` lies *ahead* of everything this journal ever recorded
+    ///   (a watermark taken from a different lineage, e.g. a knowledge base
+    ///   that advanced and was then rolled back to an earlier clone): the
+    ///   empty slice would falsely claim "nothing changed".
     pub fn events_since(&self, version: u64) -> Option<Vec<DeltaEvent>> {
-        if version < self.pruned_through {
+        if version < self.pruned_through || version > self.last_seq {
             return None;
         }
         Some(
@@ -192,6 +271,23 @@ impl DeltaJournal {
     /// Highest pruned sequence number (0 when nothing was pruned yet).
     pub fn pruned_through(&self) -> u64 {
         self.pruned_through
+    }
+
+    /// Highest sequence number ever recorded (0 when none).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Process-unique identity of this journal's history. Sequence numbers
+    /// alone cannot distinguish two histories that diverged from a common
+    /// clone point — the watermark guard in [`events_since`](Self::events_since)
+    /// only catches a rolled-back journal until it re-advances past the
+    /// watermark. Cloning a [`KnowledgeBase`](crate::KnowledgeBase) (and
+    /// hence its journal) therefore assigns the clone a fresh lineage;
+    /// consumers cache this beside their watermark and treat a mismatch
+    /// like a pruned window (full read).
+    pub fn lineage(&self) -> u64 {
+        self.lineage
     }
 }
 
@@ -246,5 +342,57 @@ mod tests {
             DeltaChange::AspectChanged { detail: "x".into() }.relation(),
             None
         );
+        // row-level but not monotone: the retraction shapes
+        let removed = DeltaChange::RowsRemoved { relation: "r".into(), rows: vec![tuple![1]] };
+        let replaced = DeltaChange::RowsReplaced {
+            relation: "r".into(),
+            removed: vec![tuple![1]],
+            added: vec![tuple![2]],
+            tail: true,
+        };
+        assert!(!removed.is_monotone() && removed.is_row_level());
+        assert!(!replaced.is_monotone() && replaced.is_row_level());
+        assert_eq!(removed.relation(), Some("r"));
+        assert_eq!(replaced.relation(), Some("r"));
+        assert!(append("r", 1).is_row_level());
+        assert!(!DeltaChange::RelationReplaced { relation: "r".into() }.is_row_level());
+    }
+
+    #[test]
+    fn pruned_retraction_event_returns_none_not_a_partial_slice() {
+        // regression: a consumer whose watermark predates a *pruned*
+        // retraction event must get None — a partial slice would silently
+        // keep the retracted rows alive in its materialization
+        let mut j = DeltaJournal::with_capacity(2);
+        j.record(
+            1,
+            "relations",
+            DeltaChange::RowsRemoved { relation: "a".into(), rows: vec![tuple![7]] },
+        );
+        j.record(2, "relations", append("a", 1));
+        j.record(3, "relations", append("a", 1));
+        // the retraction at seq 1 has been pruned: a consumer at version 0
+        // would miss it entirely
+        assert_eq!(j.pruned_through(), 1);
+        assert!(j.events_since(0).is_none());
+        // a consumer that already saw seq 1 is still served the appends
+        let tail = j.events_since(1).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|e| e.change.is_monotone()));
+    }
+
+    #[test]
+    fn future_watermark_returns_none_not_an_empty_slice() {
+        // regression: a watermark ahead of everything this journal recorded
+        // (e.g. taken before a knowledge base was rolled back to an earlier
+        // clone) must not be answered with Some(empty) — that would claim
+        // "nothing changed" about a base the consumer has never seen
+        let mut j = DeltaJournal::default();
+        j.record(1, "relations", append("a", 1));
+        j.record(2, "relations", append("a", 1));
+        assert_eq!(j.last_seq(), 2);
+        assert_eq!(j.events_since(2).unwrap().len(), 0);
+        assert!(j.events_since(3).is_none());
+        assert!(DeltaJournal::default().events_since(1).is_none());
     }
 }

@@ -157,6 +157,95 @@ impl KnowledgeBase {
         self.touch_with("relations", change);
     }
 
+    /// Remove the rows at the given (pre-removal) indices from a catalog
+    /// relation, preserving the relative order of the remaining rows, and
+    /// journal a row-level [`DeltaChange::RowsRemoved`] with the removed
+    /// tuples — the shape the retraction-capable incremental path consumes
+    /// without re-reading the relation. Returns the removed tuples in
+    /// ascending row order. Removing zero rows is a no-op (no version bump).
+    pub fn remove_rows(&mut self, name: &str, rows: &[usize]) -> Result<Vec<Tuple>> {
+        let kind = self
+            .catalog
+            .kind(name)
+            .ok_or_else(|| VadaError::Kb(format!("unknown relation `{name}`")))?;
+        let rel = self.catalog.get_mut(name).expect("kind implies presence");
+        let removed = rel.remove_rows(rows)?;
+        if removed.is_empty() {
+            return Ok(removed);
+        }
+        self.touch_with(
+            Self::aspect_of_kind(kind),
+            DeltaChange::RowsRemoved { relation: name.to_string(), rows: removed.clone() },
+        );
+        Ok(removed)
+    }
+
+    /// Rewrite rows of a source or context relation in place (`edits` pairs
+    /// a pre-existing row index with its new tuple), journalling a
+    /// row-level [`DeltaChange::RowsReplaced`] carrying both the previous
+    /// and the new contents. The remaining rows keep their positions; the
+    /// event's `tail` flag records whether every rewritten row sat in the
+    /// trailing positions (the only case a retract-then-append consumer can
+    /// replay without changing the scan order).
+    pub fn update_source(&mut self, name: &str, edits: &[(usize, Tuple)]) -> Result<()> {
+        let kind = self
+            .catalog
+            .kind(name)
+            .ok_or_else(|| VadaError::Kb(format!("unknown relation `{name}`")))?;
+        if edits.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<(usize, Tuple)> = edits.to_vec();
+        sorted.sort_by_key(|(row, _)| *row);
+        for pair in sorted.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(VadaError::Kb(format!(
+                    "duplicate row {} in update of `{name}`",
+                    pair[0].0
+                )));
+            }
+        }
+        let rel = self.catalog.get_mut(name).expect("kind implies presence");
+        let len = rel.len();
+        // validate everything up front: a mid-batch failure must not leave
+        // half the edits applied with no journal event
+        if let Some((row, _)) = sorted.iter().find(|(row, _)| *row >= len) {
+            return Err(VadaError::Kb(format!("row {row} out of range for `{name}`")));
+        }
+        if let Some((_, t)) = sorted.iter().find(|(_, t)| t.arity() != rel.schema().arity()) {
+            return Err(VadaError::Kb(format!(
+                "arity {} does not match `{name}` in update",
+                t.arity()
+            )));
+        }
+        let mut removed = Vec::with_capacity(sorted.len());
+        for (row, tuple) in &sorted {
+            let old = rel.tuples()[*row].clone();
+            rel.replace(*row, tuple.clone())?;
+            removed.push(old);
+        }
+        let tail = sorted
+            .iter()
+            .enumerate()
+            .all(|(i, (row, _))| *row == len - sorted.len() + i);
+        let added = sorted.into_iter().map(|(_, t)| t).collect();
+        self.touch_with(
+            Self::aspect_of_kind(kind),
+            DeltaChange::RowsReplaced { relation: name.to_string(), removed, added, tail },
+        );
+        Ok(())
+    }
+
+    /// The journal aspect a row-level mutation of a relation of this kind
+    /// bumps — the same aspect its registration path uses.
+    fn aspect_of_kind(kind: RelationKind) -> &'static str {
+        match kind {
+            RelationKind::Source | RelationKind::Context => "relations",
+            RelationKind::Result => "result",
+            RelationKind::Intermediate => "intermediates",
+        }
+    }
+
     /// Register the target schema the user wants populated (paper Fig 2(b)).
     pub fn register_target_schema(&mut self, schema: Schema) {
         self.target_schema = Some(schema);
@@ -790,6 +879,80 @@ mod tests {
         let events = kb.drain_deltas_since(seen).unwrap();
         assert_eq!(events[0].aspect, "matches");
         assert!(!events[0].change.is_monotone());
+    }
+
+    #[test]
+    fn remove_rows_journals_a_row_level_retraction() {
+        let mut kb = kb_with_scenario();
+        let mut grown = kb.relation("rightmove").unwrap().clone();
+        grown.push(tuple!["410000", "3 kings ave", "EH1 1AA"]).unwrap();
+        kb.register_source(grown);
+        let seen = kb.version();
+
+        let removed = kb.remove_rows("rightmove", &[0]).unwrap();
+        assert_eq!(removed, vec![tuple!["250000", "12 High St", "M13 9PL"]]);
+        assert_eq!(kb.relation("rightmove").unwrap().len(), 1);
+        let events = kb.drain_deltas_since(seen).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].aspect, "relations");
+        match &events[0].change {
+            DeltaChange::RowsRemoved { relation, rows } => {
+                assert_eq!(relation, "rightmove");
+                assert_eq!(rows, &removed);
+            }
+            other => panic!("expected RowsRemoved, got {other:?}"),
+        }
+        // empty removal is a no-op: no version bump, no event
+        let v = kb.version();
+        assert!(kb.remove_rows("rightmove", &[]).unwrap().is_empty());
+        assert_eq!(kb.version(), v);
+        assert!(kb.remove_rows("nope", &[0]).is_err());
+        assert!(kb.remove_rows("rightmove", &[99]).is_err());
+    }
+
+    #[test]
+    fn update_source_journals_old_and_new_rows_with_tail_flag() {
+        let mut kb = kb_with_scenario();
+        let mut grown = kb.relation("rightmove").unwrap().clone();
+        grown.push(tuple!["410000", "3 kings ave", "EH1 1AA"]).unwrap();
+        kb.register_source(grown);
+
+        // tail rewrite: the last row changes in place
+        let seen = kb.version();
+        kb.update_source("rightmove", &[(1, tuple!["420000", "3 kings ave", "EH1 1AA"])])
+            .unwrap();
+        let events = kb.drain_deltas_since(seen).unwrap();
+        match &events[0].change {
+            DeltaChange::RowsReplaced { relation, removed, added, tail } => {
+                assert_eq!(relation, "rightmove");
+                assert_eq!(removed, &[tuple!["410000", "3 kings ave", "EH1 1AA"]]);
+                assert_eq!(added, &[tuple!["420000", "3 kings ave", "EH1 1AA"]]);
+                assert!(*tail);
+            }
+            other => panic!("expected RowsReplaced, got {other:?}"),
+        }
+
+        // mid-relation rewrite: recorded, but not a tail
+        let seen = kb.version();
+        kb.update_source("rightmove", &[(0, tuple!["1", "x", "M1 1AA"])]).unwrap();
+        let events = kb.drain_deltas_since(seen).unwrap();
+        assert!(matches!(
+            &events[0].change,
+            DeltaChange::RowsReplaced { tail: false, .. }
+        ));
+        assert_eq!(kb.relation("rightmove").unwrap().tuples()[0], tuple!["1", "x", "M1 1AA"]);
+
+        // failures are atomic: nothing applied, nothing journalled
+        let v = kb.version();
+        assert!(kb
+            .update_source("rightmove", &[(0, tuple!["a", "b", "c"]), (9, tuple!["d", "e", "f"])])
+            .is_err());
+        assert!(kb.update_source("rightmove", &[(0, tuple!["too", "short"])]).is_err());
+        assert!(kb
+            .update_source("rightmove", &[(0, tuple!["a", "b", "c"]), (0, tuple!["d", "e", "f"])])
+            .is_err());
+        assert_eq!(kb.version(), v);
+        assert_eq!(kb.relation("rightmove").unwrap().tuples()[0], tuple!["1", "x", "M1 1AA"]);
     }
 
     #[test]

@@ -6,14 +6,20 @@
 //! distinct* mapping (fingerprinted by rules, source list and target
 //! schema — mapping ids regenerate on every generation pass, the
 //! structure usually does not). On re-execution it reads the journal
-//! entries since its last run; when every relevant entry is a monotone
-//! row append it feeds just those rows (plus the derived
-//! `postcode_district` helper facts) through the session's semi-naive
-//! fast path, so the derivation work is O(rows added), not O(sources).
-//! Anything else — a replaced source, a stale journal window, a schema
-//! change, a helper fact whose scratch position an append cannot
-//! reproduce — rebuilds the input from the knowledge base and
-//! re-materializes, keeping the output byte-identical to
+//! entries since its last run; when every relevant entry is *row-level*
+//! it replays just those rows through the session — appends through the
+//! semi-naive fast path, removals (`RowsRemoved`, and tail
+//! `RowsReplaced` rewrites as retract-old + append-new) through the
+//! counting/DRed retraction path — so the derivation work is O(rows
+//! changed), not O(sources). Relations are bags while the fact view is a
+//! set, so the executor tracks row multiplicities and retracts a fact
+//! only when its last occurrence disappears; likewise a
+//! `postcode_district` helper fact is retracted only when its last
+//! contributing row goes. Anything else — a replaced source, a
+//! mid-relation rewrite, a stale journal window, a schema change, a
+//! helper fact whose scratch position a replayed edit cannot reproduce —
+//! rebuilds the input from the knowledge base and re-materializes,
+//! keeping the output byte-identical to
 //! [`execute_mapping`](crate::execute_mapping) in every case.
 //!
 //! ```
@@ -80,6 +86,10 @@ struct MappingSession {
     session: IncrementalSession,
     /// KB version consumed through (journal watermark).
     last_version: u64,
+    /// Journal lineage the watermark was taken against: a mismatch means
+    /// the history may have diverged under the same sequence numbers
+    /// (e.g. work resumed on a clone), so the watermark is meaningless.
+    last_lineage: u64,
     /// Cached coerced result; extended in place on append-only deltas.
     result: Relation,
     /// Target facts already represented in `result`.
@@ -92,6 +102,17 @@ struct MappingSession {
     districts: HashMap<String, usize>,
     /// Highest first-occurrence source index present in `districts`.
     max_district_source: usize,
+    /// Row multiplicity per `(source index, tuple)`: relations are bags
+    /// while the fact view is a set, so a retraction reaches the engine
+    /// only when the *last* occurrence of a row disappears.
+    mult: HashMap<(usize, Tuple), u32>,
+    /// Contributing-row count per full postcode: the `postcode_district`
+    /// helper fact is retracted when its last contributor disappears.
+    district_support: HashMap<String, usize>,
+    /// The row that first contributes each full postcode in the scan — a
+    /// removal of any *other* contributor provably keeps the helper
+    /// fact's scratch position.
+    district_first: HashMap<String, Tuple>,
 }
 
 /// A fleet of [`IncrementalSession`]s keyed by mapping structure. See the
@@ -129,12 +150,133 @@ fn fingerprint(mapping: &MappingDef, target: &Schema) -> String {
     fp
 }
 
-/// A vetted monotone delta: facts in scratch-input order plus the
-/// helper-fact bookkeeping to persist once the apply succeeds.
+/// One engine-bound step of a planned delta, in journal order.
+enum PlannedOp {
+    /// New facts, in scratch-input order, for the semi-naive append path.
+    Append(Vec<(String, Tuple)>),
+    /// Facts whose last row occurrence disappeared, for the
+    /// counting/DRed retraction path.
+    Retract(Vec<(String, Tuple)>),
+}
+
+/// A vetted row-level delta: append/retract steps in journal order plus
+/// the bookkeeping to persist once every step succeeds. Built up row by
+/// row while vetting journal events, mirroring the scratch input
+/// construction.
 struct PlannedDelta {
-    facts: Vec<(String, Tuple)>,
+    ops: Vec<PlannedOp>,
     districts: HashMap<String, usize>,
     max_source: usize,
+    mult: HashMap<(usize, Tuple), u32>,
+    district_support: HashMap<String, usize>,
+    district_first: HashMap<String, Tuple>,
+}
+
+impl PlannedDelta {
+    fn push_append(&mut self, pred: String, t: Tuple) {
+        if let Some(PlannedOp::Append(facts)) = self.ops.last_mut() {
+            facts.push((pred, t));
+        } else {
+            self.ops.push(PlannedOp::Append(vec![(pred, t)]));
+        }
+    }
+
+    fn push_retract(&mut self, pred: String, t: Tuple) {
+        if let Some(PlannedOp::Retract(facts)) = self.ops.last_mut() {
+            facts.push((pred, t));
+        } else {
+            self.ops.push(PlannedOp::Retract(vec![(pred, t)]));
+        }
+    }
+
+    /// Vet one appended row: bump its multiplicity, place its helper
+    /// facts, and plan the fact appends.
+    fn append_row(&mut self, relation: &str, src_idx: usize, row: &Tuple) -> Result<(), String> {
+        for (full, district) in district_facts(row) {
+            let support = self.district_support.entry(full.clone()).or_insert(0);
+            *support += 1;
+            if *support > 1 {
+                // the helper predicate is shared across sources: an
+                // existing fact keeps its scratch position only when its
+                // first occurrence is in this source or an earlier one
+                match self.districts.get(&full) {
+                    Some(&first) if first <= src_idx => {}
+                    _ => {
+                        return Err(format!(
+                            "helper fact `{full}` would move before its first occurrence"
+                        ));
+                    }
+                }
+            } else if self.max_source > src_idx {
+                // brand new, but a later source already contributes
+                // districts: appending cannot be its scratch position
+                return Err(format!(
+                    "new helper fact `{full}` from source `{relation}` lands before \
+                     later sources"
+                ));
+            } else {
+                self.districts.insert(full.clone(), src_idx);
+                self.district_first.insert(full.clone(), row.clone());
+                self.max_source = self.max_source.max(src_idx);
+                self.push_append(
+                    "postcode_district".into(),
+                    Tuple::new(vec![Value::str(full), Value::str(district)]),
+                );
+            }
+        }
+        *self.mult.entry((src_idx, row.clone())).or_insert(0) += 1;
+        self.push_append(relation.to_string(), row.clone());
+        Ok(())
+    }
+
+    /// Vet one removed row: drop its multiplicity, retract facts whose
+    /// last occurrence disappeared, and retire orphaned helper facts.
+    fn remove_row(&mut self, relation: &str, src_idx: usize, row: &Tuple) -> Result<(), String> {
+        match self.mult.get_mut(&(src_idx, row.clone())) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                // a duplicate row remains: the fact view is unchanged, but
+                // helper support still shrinks below
+            }
+            Some(_) => {
+                self.mult.remove(&(src_idx, row.clone()));
+                self.push_retract(relation.to_string(), row.clone());
+            }
+            None => {
+                return Err(format!(
+                    "journal removed an untracked row from `{relation}`"
+                ));
+            }
+        }
+        for (full, district) in district_facts(row) {
+            let Some(support) = self.district_support.get_mut(&full) else {
+                return Err(format!("helper fact `{full}` has no tracked support"));
+            };
+            *support -= 1;
+            if *support == 0 {
+                // last contributor gone: the helper fact is retracted
+                // (removal keeps the surviving facts' order)
+                self.district_support.remove(&full);
+                self.districts.remove(&full);
+                self.district_first.remove(&full);
+                self.max_source = self.districts.values().copied().max().unwrap_or(0);
+                self.push_retract(
+                    "postcode_district".into(),
+                    Tuple::new(vec![Value::str(full), Value::str(district)]),
+                );
+            } else if self.district_first.get(&full) == Some(row) {
+                // survivors exist but the removed row matches the first
+                // contribution: the fact's scratch position may move
+                // within the scan — rebuild (a removal of any *other*
+                // contributor provably leaves the position alone)
+                return Err(format!(
+                    "helper fact `{full}` may lose its first contribution in \
+                     `{relation}`"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl IncrementalExecutor {
@@ -201,9 +343,9 @@ impl IncrementalExecutor {
     }
 
     /// Decide whether the journal entries since the session's watermark
-    /// form an order-safe monotone delta; returns the delta facts in
-    /// scratch-input order plus the updated helper-fact bookkeeping, or
-    /// the refusal reason.
+    /// form an order-safe row-level delta; returns the append/retract
+    /// steps in journal order plus the updated bookkeeping, or the
+    /// refusal reason.
     fn plan_delta(
         &self,
         fp: &str,
@@ -211,12 +353,20 @@ impl IncrementalExecutor {
         kb: &KnowledgeBase,
     ) -> Result<PlannedDelta, String> {
         let ms = &self.sessions[fp];
+        if kb.journal().lineage() != ms.last_lineage {
+            return Err("knowledge-base journal lineage changed since the last run".into());
+        }
         let Some(events) = kb.drain_deltas_since(ms.last_version) else {
             return Err("journal window no longer covers the last run".into());
         };
-        let mut delta: Vec<(String, Tuple)> = Vec::new();
-        let mut districts = ms.districts.clone();
-        let mut max_source = ms.max_district_source;
+        let mut plan = PlannedDelta {
+            ops: Vec::new(),
+            districts: ms.districts.clone(),
+            max_source: ms.max_district_source,
+            mult: ms.mult.clone(),
+            district_support: ms.district_support.clone(),
+            district_first: ms.district_first.clone(),
+        };
         for DeltaEvent { change, .. } in &events {
             match change {
                 DeltaChange::RowsAppended { relation, rows } => {
@@ -226,43 +376,40 @@ impl IncrementalExecutor {
                         continue;
                     };
                     for row in rows {
-                        for (full, district) in district_facts(row) {
-                            // the helper predicate is shared across
-                            // sources: an appended row's district fact is
-                            // order-safe iff (a) it is already contributed
-                            // by this source or an earlier one (its first
-                            // occurrence cannot move), or (b) it is brand
-                            // new and no later source has contributed any
-                            // district yet (so appending IS its scratch
-                            // position)
-                            match districts.get(&full) {
-                                Some(&first) if first <= src_idx => {}
-                                Some(_) => {
-                                    return Err(format!(
-                                        "helper fact `{full}` would move before its \
-                                         first occurrence"
-                                    ));
-                                }
-                                None if max_source > src_idx => {
-                                    return Err(format!(
-                                        "new helper fact `{full}` from source \
-                                         `{relation}` lands before later sources"
-                                    ));
-                                }
-                                None => {
-                                    districts.insert(full.clone(), src_idx);
-                                    max_source = max_source.max(src_idx);
-                                    delta.push((
-                                        "postcode_district".into(),
-                                        Tuple::new(vec![
-                                            Value::str(full),
-                                            Value::str(district),
-                                        ]),
-                                    ));
-                                }
-                            }
-                        }
-                        delta.push((relation.clone(), row.clone()));
+                        plan.append_row(relation, src_idx, row)?;
+                    }
+                }
+                DeltaChange::RowsRemoved { relation, rows } => {
+                    let Some(src_idx) =
+                        mapping.sources.iter().position(|s| s == relation)
+                    else {
+                        continue;
+                    };
+                    for row in rows {
+                        plan.remove_row(relation, src_idx, row)?;
+                    }
+                }
+                DeltaChange::RowsReplaced { relation, removed, added, tail } => {
+                    let Some(src_idx) =
+                        mapping.sources.iter().position(|s| s == relation)
+                    else {
+                        continue;
+                    };
+                    // retract-old + append-new replays an in-place rewrite
+                    // only when the rewritten rows were the trailing ones —
+                    // anywhere else the new rows' scan positions sit in the
+                    // middle of the relation, which an append cannot
+                    // reproduce
+                    if !tail {
+                        return Err(format!(
+                            "mid-relation rewrite of `{relation}` changes the scan order"
+                        ));
+                    }
+                    for row in removed {
+                        plan.remove_row(relation, src_idx, row)?;
+                    }
+                    for row in added {
+                        plan.append_row(relation, src_idx, row)?;
                     }
                 }
                 // a brand-new relation cannot be one of this session's
@@ -281,11 +428,12 @@ impl IncrementalExecutor {
                 DeltaChange::AspectChanged { .. } => {}
             }
         }
-        Ok(PlannedDelta { facts: delta, districts, max_source })
+        Ok(plan)
     }
 
-    /// Feed a planned delta through the session and extend (or rebuild)
-    /// the coerced result to mirror the target fact order.
+    /// Feed a planned delta through the session, step by step in journal
+    /// order, and extend (or rebuild) the coerced result to mirror the
+    /// target fact order.
     fn apply_delta(
         &mut self,
         fp: &str,
@@ -297,18 +445,43 @@ impl IncrementalExecutor {
         let ms = self.sessions.get_mut(fp).expect("caller checked presence");
         ms.districts = plan.districts;
         ms.max_district_source = plan.max_source;
-        ms.session.apply(plan.facts)?;
-        let outcome = ms.session.last_outcome().expect("apply records an outcome");
-        let fast = outcome.mode == DeltaMode::Incremental;
+        ms.mult = plan.mult;
+        ms.district_support = plan.district_support;
+        ms.district_first = plan.district_first;
+        // the run counts as incremental only when every step stayed on a
+        // fast path; the result stays append-coercible only while no step
+        // retracted anything or reordered the target
+        let mut fast = true;
+        let mut append_only = true;
+        let mut last_fallback = None;
+        for op in plan.ops {
+            match op {
+                PlannedOp::Append(facts) => {
+                    ms.session.apply(facts)?;
+                }
+                PlannedOp::Retract(facts) => {
+                    append_only = false;
+                    ms.session.retract(facts)?;
+                }
+            }
+            let outcome = ms.session.last_outcome().expect("step records an outcome");
+            if outcome.mode != DeltaMode::Incremental {
+                fast = false;
+                last_fallback = outcome.fallback_reason.clone();
+            }
+            if outcome.reordered.contains(&target.name) {
+                append_only = false;
+            }
+        }
         if fast {
             self.stats.incremental_runs += 1;
             self.stats.last_fallback = None;
         } else {
             self.stats.full_runs += 1;
-            self.stats.last_fallback = outcome.fallback_reason.clone();
+            self.stats.last_fallback = last_fallback;
         }
         let facts = ms.session.database().facts(&target.name);
-        if fast && !outcome.reordered.contains(&target.name) {
+        if fast && append_only {
             // new target facts are a suffix: append-coerce only those
             for t in &facts[ms.target_facts.min(facts.len())..] {
                 ms.result.push(coerce_fact(t, target, &mapping.id)?)?;
@@ -322,6 +495,7 @@ impl IncrementalExecutor {
         }
         ms.target_facts = facts.len();
         ms.last_version = kb.version();
+        ms.last_lineage = kb.journal().lineage();
         Ok(ms.result.clone())
     }
 
@@ -336,14 +510,21 @@ impl IncrementalExecutor {
         kb: &KnowledgeBase,
     ) -> Result<Relation> {
         let input = build_input_db(mapping, kb)?;
-        // first-occurrence source index per helper fact, in the same scan
-        // order build_input_db uses
+        // first-occurrence source index and contributor count per helper
+        // fact, and row multiplicities, in the same scan order
+        // build_input_db uses
         let mut districts: HashMap<String, usize> = HashMap::new();
+        let mut district_support: HashMap<String, usize> = HashMap::new();
+        let mut district_first: HashMap<String, Tuple> = HashMap::new();
+        let mut mult: HashMap<(usize, Tuple), u32> = HashMap::new();
         let mut max_district_source = 0usize;
         for (src_idx, source) in mapping.sources.iter().enumerate() {
             let rel = kb.relation(source)?;
             for row in rel.iter() {
+                *mult.entry((src_idx, row.clone())).or_insert(0) += 1;
                 for (full, _) in district_facts(row) {
+                    *district_support.entry(full.clone()).or_insert(0) += 1;
+                    district_first.entry(full.clone()).or_insert_with(|| row.clone());
                     districts.entry(full).or_insert_with(|| {
                         max_district_source = max_district_source.max(src_idx);
                         src_idx
@@ -360,9 +541,13 @@ impl IncrementalExecutor {
         }
         let ms = MappingSession {
             last_version: kb.version(),
+            last_lineage: kb.journal().lineage(),
             target_facts: facts.len(),
             districts,
             max_district_source,
+            mult,
+            district_support,
+            district_first,
             result,
             session,
         };
@@ -480,6 +665,168 @@ mod tests {
         let before = exec.stats().full_runs;
         check(&mut exec, &kb);
         assert_eq!(exec.stats().full_runs, before + 1);
+    }
+
+    #[test]
+    fn row_removals_take_the_retraction_path() {
+        let (mut kb, mapping) = kb_and_mapping();
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        let check = |exec: &mut IncrementalExecutor, kb: &KnowledgeBase| {
+            let inc = exec.execute(&cfg, &mapping, kb).unwrap();
+            let scratch = execute_mapping(&cfg, &mapping, kb).unwrap();
+            assert_eq!(inc.tuples(), scratch.tuples());
+        };
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().full_runs, 1);
+
+        // grow rightmove with a second M1 1AA row, then remove it again:
+        // both legs replay row-level, no rebuild
+        let mut rm = kb.relation("rightmove").unwrap().clone();
+        rm.push(tuple!["410000", "3 kings ave", "M1 1AA"]).unwrap();
+        kb.register_source(rm);
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().incremental_runs, 1, "{:?}", exec.stats());
+
+        // removing a non-first contributor of an existing postcode is a
+        // pure row retraction: counting handles it, no rebuild
+        kb.remove_rows("rightmove", &[2]).unwrap();
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().incremental_runs, 2, "{:?}", exec.stats());
+        assert_eq!(exec.stats().full_runs, 1, "{:?}", exec.stats());
+
+        // removing the only EH1 1AA row orphans its helper fact: the plan
+        // stays row-level (retract the fact and its helper), but the
+        // retraction shrinks the negated `has_crime`, so the *session*
+        // falls back — still byte-identical, reason recorded
+        kb.remove_rows("rightmove", &[1]).unwrap();
+        check(&mut exec, &kb);
+        assert_eq!(exec.stats().incremental_runs, 2, "{:?}", exec.stats());
+        assert!(
+            exec.stats()
+                .last_fallback
+                .as_deref()
+                .is_some_and(|r| r.contains("shrank")),
+            "{:?}",
+            exec.stats()
+        );
+
+        // a tail rewrite replays as retract-old + append-new (row-level,
+        // no executor rebuild; the negation again decides fast vs full
+        // inside the session)
+        kb.update_source("rightmove", &[(0, tuple!["199000", "12 high st", "M1 1AA"])])
+            .unwrap();
+        check(&mut exec, &kb);
+
+        // delete everything, then re-add: empty result, then rebuilt rows
+        kb.remove_rows("rightmove", &[0]).unwrap();
+        check(&mut exec, &kb);
+        let empty = exec.execute(&cfg, &mapping, &kb).unwrap();
+        assert!(empty.is_empty());
+        let mut rm = kb.relation("rightmove").unwrap().clone();
+        rm.push(tuple!["5000", "9 new st", "M1 1AA"]).unwrap();
+        kb.register_source(rm);
+        check(&mut exec, &kb);
+    }
+
+    #[test]
+    fn duplicate_rows_keep_the_fact_alive() {
+        let mut kb = KnowledgeBase::new();
+        let mut src = Relation::empty(Schema::all_str("s", &["a"]));
+        src.push(tuple!["x"]).unwrap();
+        src.push(tuple!["x"]).unwrap();
+        src.push(tuple!["y"]).unwrap();
+        kb.register_source(src);
+        kb.register_target_schema(Schema::new("t", [("a", AttrType::Str)]).unwrap());
+        let mapping = MappingDef {
+            id: "m".into(),
+            target: "t".into(),
+            rules: "t(X) :- s(X).".into(),
+            sources: vec!["s".into()],
+            matches_used: vec![],
+        };
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+
+        // removing ONE of the two "x" rows must not retract the fact
+        kb.remove_rows("s", &[0]).unwrap();
+        let inc = exec.execute(&cfg, &mapping, &kb).unwrap();
+        let scratch = execute_mapping(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(inc.tuples(), scratch.tuples());
+        assert_eq!(inc.len(), 2, "t(x) survives via the duplicate row");
+        assert_eq!(exec.stats().incremental_runs, 1, "{:?}", exec.stats());
+
+        // removing the last "x" retracts it
+        kb.remove_rows("s", &[0]).unwrap();
+        let inc = exec.execute(&cfg, &mapping, &kb).unwrap();
+        let scratch = execute_mapping(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(inc.tuples(), scratch.tuples());
+        assert_eq!(inc.len(), 1);
+        assert_eq!(exec.stats().incremental_runs, 2, "{:?}", exec.stats());
+    }
+
+    #[test]
+    fn diverged_clone_lineage_forces_a_rebuild() {
+        // the watermark-replay hazard: take a clone, advance BOTH the
+        // original and the clone past the executor's watermark with
+        // different content under the same sequence numbers — replaying
+        // the clone's journal against the original's watermark would
+        // silently skip the divergent events
+        let (mut kb, mapping) = kb_and_mapping();
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        let clone = kb.clone();
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+
+        // original lineage advances (the executor consumes it normally)
+        let mut rm = kb.relation("rightmove").unwrap().clone();
+        rm.push(tuple!["410000", "3 kings ave", "M1 1AA"]).unwrap();
+        kb.register_source(rm);
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+
+        // the clone's lineage advances differently, past the watermark
+        let mut kb2 = clone;
+        let mut rm2 = kb2.relation("rightmove").unwrap().clone();
+        rm2.push(tuple!["777", "7 other st", "M1 1AA"]).unwrap();
+        rm2.push(tuple!["888", "8 other st", "M1 1AA"]).unwrap();
+        kb2.register_source(rm2);
+        let full_before = exec.stats().full_runs;
+        let inc = exec.execute(&cfg, &mapping, &kb2).unwrap();
+        assert_eq!(exec.stats().full_runs, full_before + 1, "{:?}", exec.stats());
+        assert!(
+            exec.stats()
+                .last_fallback
+                .as_deref()
+                .is_some_and(|r| r.contains("lineage")),
+            "{:?}",
+            exec.stats()
+        );
+        let scratch = execute_mapping(&cfg, &mapping, &kb2).unwrap();
+        assert_eq!(inc.tuples(), scratch.tuples());
+    }
+
+    #[test]
+    fn mid_relation_rewrite_rebuilds() {
+        let (mut kb, mapping) = kb_and_mapping();
+        let cfg = ExecuteConfig::default();
+        let mut exec = IncrementalExecutor::default();
+        exec.execute(&cfg, &mapping, &kb).unwrap();
+        // rewriting row 0 of 2 is not a tail edit: scan order changes
+        kb.update_source("rightmove", &[(0, tuple!["111", "12 high st", "M1 1AA"])])
+            .unwrap();
+        let inc = exec.execute(&cfg, &mapping, &kb).unwrap();
+        let scratch = execute_mapping(&cfg, &mapping, &kb).unwrap();
+        assert_eq!(inc.tuples(), scratch.tuples());
+        assert_eq!(exec.stats().incremental_runs, 0, "{:?}", exec.stats());
+        assert!(
+            exec.stats()
+                .last_fallback
+                .as_deref()
+                .is_some_and(|r| r.contains("scan order")),
+            "{:?}",
+            exec.stats()
+        );
     }
 
     #[test]

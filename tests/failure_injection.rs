@@ -190,6 +190,93 @@ fn poisoned_incremental_session_refuses_deltas_until_rematerialized() {
 }
 
 #[test]
+fn panic_mid_dred_poisons_the_session_and_run_full_recovers() {
+    // the deletion path's failure contract: a panic injected inside DRed's
+    // over-deletion pass (captured by the parallel layer at every level)
+    // poisons the session, every further delta or retraction is refused,
+    // and the next run_full restores service
+    use vada_datalog::incremental::{DeltaMode, IncrementalSession};
+    use vada_datalog::{Database, EngineConfig};
+    let mut input = Database::new();
+    for i in 0..8i64 {
+        input.insert("edge", tuple![i, i + 1]);
+    }
+    let mut session = IncrementalSession::new(
+        EngineConfig::default(),
+        "tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z).",
+    )
+    .unwrap();
+    session.run_full(input).unwrap();
+
+    session.inject_fault(Some("dred-overdelete"));
+    let err = session.retract(vec![("edge".into(), tuple![3i64, 4i64])]).unwrap_err();
+    assert_eq!(err.kind(), "parallel", "{err}");
+    assert!(err.message().contains("injected fault"), "{err}");
+    let err = session.apply(vec![("edge".into(), tuple![20i64, 21i64])]).unwrap_err();
+    assert!(err.message().contains("poisoned"), "{err}");
+    let err = session.retract(vec![("edge".into(), tuple![0i64, 1i64])]).unwrap_err();
+    assert!(err.message().contains("poisoned"), "{err}");
+
+    // recovery: run_full over the post-retraction base (the failed retract
+    // had already removed edge(3,4) from the accumulated input)
+    session.inject_fault(None);
+    let mut shrunk = Database::new();
+    for i in 0..8i64 {
+        if i != 3 {
+            shrunk.insert("edge", tuple![i, i + 1]);
+        }
+    }
+    session.run_full(shrunk).unwrap();
+    session.retract(vec![("edge".into(), tuple![6i64, 7i64])]).unwrap();
+    assert_eq!(session.last_outcome().unwrap().mode, DeltaMode::Incremental);
+}
+
+#[test]
+fn failed_deletion_leaves_the_kb_journal_consistent() {
+    // a deletion-path failure lives entirely inside the consumer session:
+    // the knowledge-base journal records exactly the row-level retraction
+    // event and stays readable for any other consumer
+    use vada_kb::DeltaChange;
+    let mut kb = KnowledgeBase::new();
+    let mut src = Relation::empty(Schema::all_str("edges", &["a", "b"]));
+    for i in 0..5i64 {
+        src.push(tuple![format!("{i}"), format!("{}", i + 1)]).unwrap();
+    }
+    kb.register_source(src);
+    let seen = kb.version();
+    let removed = kb.remove_rows("edges", &[2]).unwrap();
+    assert_eq!(removed.len(), 1);
+
+    // a consumer session that fails mid-retraction does not touch the journal
+    use vada_datalog::incremental::IncrementalSession;
+    use vada_datalog::{Database, EngineConfig};
+    let mut input = Database::new();
+    input.insert("e", tuple![1]);
+    let mut session =
+        IncrementalSession::new(EngineConfig::default(), "q(X) :- e(X), f(X).").unwrap();
+    session.run_full(input).unwrap();
+    session.inject_fault(Some("retract-enumerate"));
+    // arm a failure and retract a fact that reaches the enumeration pass
+    let mut input2 = Database::new();
+    input2.insert("e", tuple![1]);
+    input2.insert("f", tuple![1]);
+    session.run_full(input2).unwrap();
+    assert!(session.retract(vec![("e".into(), tuple![1])]).is_err());
+
+    let events = kb.drain_deltas_since(seen).expect("window covers the removal");
+    assert_eq!(events.len(), 1, "exactly the one retraction event");
+    match &events[0].change {
+        DeltaChange::RowsRemoved { relation, rows } => {
+            assert_eq!(relation, "edges");
+            assert_eq!(rows, &removed);
+        }
+        other => panic!("expected RowsRemoved, got {other:?}"),
+    }
+    // the journal is still append-only readable from zero
+    assert!(kb.drain_deltas_since(0).is_some());
+}
+
+#[test]
 fn divergent_user_datalog_is_rejected_not_hung() {
     // a user-supplied mapping with a non-warded existential cycle must be
     // stopped by the chase guard
