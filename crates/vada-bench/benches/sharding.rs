@@ -1,0 +1,59 @@
+//! Sharded vs monolithic knowledge-base scans: the same blocking scan run
+//! as one monolithic pass and as one scheduling unit per shard (the
+//! blocking-key partitioner co-locates blocks, the ordered merge restores
+//! canonical output). The outputs are byte-identical — the differential
+//! suites pin that — so the benchmark isolates pure scheduling cost/win.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vada_bench::par_group;
+use vada_common::{HashPartitioner, Parallelism, Relation, Schema, Sharding, Tuple, Value};
+use vada_fusion::{block_by_keys_sharded, block_by_keys_with};
+use vada_kb::ShardedRelation;
+
+fn listings(n: usize) -> Relation {
+    let mut rel = Relation::empty(Schema::all_str("listings", &["street", "price", "postcode"]));
+    for i in 0..n {
+        let postcode = if i % 29 == 0 {
+            Value::Null
+        } else {
+            Value::str(format!("M{} {}AA", i % 97, i % 5))
+        };
+        rel.push(Tuple::new(vec![
+            Value::str(format!("{} high st", i / 3)),
+            Value::str(format!("{}", 100_000 + i * 7)),
+            postcode,
+        ]))
+        .unwrap();
+    }
+    rel
+}
+
+fn bench_sharded_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group(par_group("kb/sharded_scan"));
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let par = Parallelism::from_env();
+    for n in [10_000usize, 40_000] {
+        let rel = listings(n);
+        group.bench_with_input(BenchmarkId::new("block_monolithic", n), &n, |b, _| {
+            b.iter(|| block_by_keys_with(&rel, &["postcode"], par).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("block_sharded4", n), &n, |b, _| {
+            b.iter(|| {
+                block_by_keys_sharded(&rel, &["postcode"], Sharding::Shards(4), par).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("partition4", n), &n, |b, _| {
+            b.iter(|| ShardedRelation::partition(&rel, &HashPartitioner, 4, par).unwrap());
+        });
+        let sharded = ShardedRelation::partition(&rel, &HashPartitioner, 4, par).unwrap();
+        group.bench_with_input(BenchmarkId::new("merge4", n), &n, |b, _| {
+            b.iter(|| sharded.merge());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_scan);
+criterion_main!(benches);

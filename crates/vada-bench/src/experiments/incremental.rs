@@ -5,9 +5,10 @@
 
 use std::time::Instant;
 
-use vada_common::{tuple, Tuple};
+use vada_common::{tuple, Parallelism, Relation, Schema, Sharding, Tuple, Value};
 use vada_datalog::incremental::{DeltaMode, IncrementalSession};
 use vada_datalog::{parse_program, Database, Engine, EngineConfig};
+use vada_fusion::{block_by_keys_sharded, block_by_keys_with};
 
 use crate::report::table;
 
@@ -84,6 +85,56 @@ struct RetractRow {
     incremental_ms: f64,
     full_derivations: usize,
     incremental_work: usize,
+}
+
+struct ScanRow {
+    rows: usize,
+    shards: usize,
+    monolithic_ms: f64,
+    sharded_ms: f64,
+}
+
+/// The same blocking scan, monolithic vs one scheduling unit per shard —
+/// outputs are asserted byte-identical, so the timing difference is pure
+/// scheduling. Both legs run under the ambient `VADA_THREADS` level (the
+/// `workers` field of the baseline records it): on one worker the sharded
+/// path pays partitioning overhead; with workers, shards become parallel
+/// scan units.
+fn measure_sharded_scan(n: usize, shards: usize, rounds: usize) -> ScanRow {
+    let mut rel = Relation::empty(Schema::all_str("listings", &["street", "price", "postcode"]));
+    for i in 0..n {
+        let postcode = if i % 29 == 0 {
+            Value::Null
+        } else {
+            Value::str(format!("M{} {}AA", i % 97, i % 5))
+        };
+        rel.push(Tuple::new(vec![
+            Value::str(format!("{} high st", i / 3)),
+            Value::str(format!("{}", 100_000 + i * 7)),
+            postcode,
+        ]))
+        .expect("arity 3");
+    }
+    let par = Parallelism::from_env();
+    let mut mono_times = Vec::new();
+    let mut shard_times = Vec::new();
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let mono = block_by_keys_with(&rel, &["postcode"], par).expect("scan succeeds");
+        mono_times.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let sharded =
+            block_by_keys_sharded(&rel, &["postcode"], Sharding::Shards(shards), par)
+                .expect("sharded scan succeeds");
+        shard_times.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(sharded, mono, "sharded scan must be byte-identical");
+    }
+    ScanRow {
+        rows: n,
+        shards,
+        monolithic_ms: median_ms(mono_times),
+        sharded_ms: median_ms(shard_times),
+    }
 }
 
 /// The `a` facts of rounds `round*k..(round+1)*k` — disjoint per round, so
@@ -188,9 +239,9 @@ fn measure(n: usize, k: usize, rounds: usize) -> Row {
     }
 }
 
-fn to_json(rows: &[Row], retractions: &[RetractRow]) -> String {
+fn to_json(rows: &[Row], retractions: &[RetractRow], scans: &[ScanRow]) -> String {
     let workers = vada_common::Parallelism::from_env().workers();
-    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v3\",\n");
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str("  \"datalog_incremental_vs_full\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -224,6 +275,19 @@ fn to_json(rows: &[Row], retractions: &[RetractRow]) -> String {
             if i + 1 == retractions.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"kb_sharded_scan\": [\n");
+    for (i, r) in scans.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"shards\": {}, \"monolithic_ms\": {:.3}, \
+             \"sharded_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.rows,
+            r.shards,
+            r.monolithic_ms,
+            r.sharded_ms,
+            r.monolithic_ms / r.sharded_ms.max(1e-9),
+            if i + 1 == scans.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -236,7 +300,11 @@ pub fn incremental_baseline() -> String {
         measure_retraction(5_000, 64, 5),
         measure_retraction(20_000, 64, 5),
     ];
-    let json = to_json(&rows, &retractions);
+    let scans = vec![
+        measure_sharded_scan(10_000, 4, 5),
+        measure_sharded_scan(40_000, 4, 5),
+    ];
+    let json = to_json(&rows, &retractions, &scans);
     let write_note = match std::fs::write(BASELINE_PATH, &json) {
         Ok(()) => format!("baseline written to {BASELINE_PATH}"),
         Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
@@ -269,13 +337,29 @@ pub fn incremental_baseline() -> String {
             ]
         })
         .collect();
+    let scan_rows: Vec<Vec<String>> = scans
+        .iter()
+        .map(|r| {
+            vec![
+                r.rows.to_string(),
+                r.shards.to_string(),
+                format!("{:.2}", r.monolithic_ms),
+                format!("{:.2}", r.sharded_ms),
+                format!("{:.2}x", r.monolithic_ms / r.sharded_ms.max(1e-9)),
+            ]
+        })
+        .collect();
     format!(
         "== Incremental delta evaluation vs full re-derivation ==\n\
          A k-row delta against an N-row base: the full path re-derives\n\
          everything, the incremental session re-derives O(k).\n\n{}\n\n\
          == Retraction (counting/DRed) vs full re-derivation ==\n\
          A k-row retraction against an N-row base: the full path re-derives\n\
-         the shrunk base from scratch, the counting path touches O(k) facts.\n\n{}\n{}",
+         the shrunk base from scratch, the counting path touches O(k) facts.\n\n{}\n\n\
+         == Sharded vs monolithic scan (blocking over N rows) ==\n\
+         The same scan as one pass vs one scheduling unit per shard; output\n\
+         is byte-identical, the difference is pure scheduling (at the\n\
+         ambient VADA_THREADS level recorded in the baseline).\n\n{}\n{}",
         table(
             &[
                 "base rows",
@@ -300,6 +384,10 @@ pub fn incremental_baseline() -> String {
             ],
             &retract_rows,
         ),
+        table(
+            &["rows", "shards", "monolithic ms", "sharded ms", "speedup"],
+            &scan_rows,
+        ),
         write_note,
     )
 }
@@ -318,8 +406,12 @@ mod tests {
         assert!(rr.incremental_work < rr.full_derivations / 10,
             "retraction path must touch far less: {} vs {}",
             rr.incremental_work, rr.full_derivations);
-        let json = to_json(&[r], &[rr]);
+        // the scan measurement asserts byte-identity internally
+        let sr = measure_sharded_scan(2_000, 4, 2);
+        assert!(sr.monolithic_ms > 0.0 && sr.sharded_ms > 0.0);
+        let json = to_json(&[r], &[rr], &[sr]);
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"datalog_retraction_vs_full\""), "{json}");
+        assert!(json.contains("\"kb_sharded_scan\""), "{json}");
     }
 }

@@ -15,6 +15,7 @@ pub mod idgen;
 pub mod par;
 pub mod relation;
 pub mod schema;
+pub mod sharding;
 pub mod text;
 pub mod tuple;
 pub mod value;
@@ -22,6 +23,7 @@ pub mod value;
 pub use error::{Result, VadaError};
 pub use evaluation::Evaluation;
 pub use par::Parallelism;
+pub use sharding::{HashPartitioner, KeyPartitioner, Partitioner, Sharding};
 pub use relation::Relation;
 pub use schema::{AttrType, Attribute, Schema};
 pub use tuple::Tuple;

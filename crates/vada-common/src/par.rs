@@ -203,6 +203,25 @@ where
     })
 }
 
+/// Shard-indexed scheduling: run `f(shard)` for every shard in
+/// `0..shards`, one logical task per shard, and return the per-shard
+/// results **in shard order**. This is the entry point the sharded
+/// knowledge-base scans go through: a shard is a scheduling unit (unlike
+/// [`par_chunks`], whose chunk boundaries move with the worker count), so
+/// the work decomposition is a pure function of the shard layout and the
+/// same at every parallelism level. Failure discipline matches the rest of
+/// the module: the error (or captured panic, surfaced as
+/// [`VadaError::Parallel`] naming `stage` and the shard index) from the
+/// lowest-numbered failing shard wins.
+pub fn par_shards<A, F>(par: Parallelism, stage: &str, shards: usize, f: F) -> Result<Vec<A>>
+where
+    A: Send,
+    F: Fn(usize) -> Result<A> + Sync,
+{
+    let indices: Vec<usize> = (0..shards).collect();
+    par_try_map(par, stage, &indices, |_, &s| f(s))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +308,40 @@ mod tests {
             // bases ascend and the chunk sums cover everything exactly once
             assert!(sums.windows(2).all(|w| w[0].0 < w[1].0), "{par:?}");
             assert_eq!(sums.iter().map(|(_, s)| s).sum::<usize>(), 49 * 50 / 2);
+        }
+    }
+
+    #[test]
+    fn shard_results_come_back_in_shard_order() {
+        for par in all_levels() {
+            let got = par_shards(par, "t", 9, |s| Ok(s * 10)).unwrap();
+            assert_eq!(got, (0..9).map(|s| s * 10).collect::<Vec<_>>(), "{par:?}");
+            assert!(par_shards(par, "t", 0, |s| Ok(s)).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn lowest_shard_failure_wins_and_panics_name_the_stage() {
+        for par in all_levels() {
+            let err = par_shards(par, "kb/shard_scan", 8, |s| {
+                if s >= 5 {
+                    Err(VadaError::Other(format!("shard {s} failed")))
+                } else {
+                    Ok(s)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err.message(), "shard 5 failed", "{par:?}");
+            let err = par_shards(par, "kb/shard_scan", 8, |s| {
+                if s == 3 {
+                    panic!("poisoned shard");
+                }
+                Ok(s)
+            })
+            .unwrap_err();
+            assert_eq!(err.kind(), "parallel", "{par:?}");
+            assert!(err.message().contains("kb/shard_scan"), "{err}");
+            assert!(err.message().contains("item 3"), "{err}");
         }
     }
 

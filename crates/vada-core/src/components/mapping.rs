@@ -1,10 +1,10 @@
 //! Mapping transducers: generation, selection, execution.
 
-use vada_common::{Evaluation, Parallelism, Relation, Result, VadaError};
+use vada_common::{Evaluation, Parallelism, Relation, Result, Sharding, VadaError};
 use vada_context::UserContext;
-use vada_kb::KnowledgeBase;
+use vada_kb::{KnowledgeBase, ShardedStore};
 use vada_map::{
-    execute_mapping, generate_candidates, rank_mappings, ExecuteConfig, IncrementalExecutor,
+    execute_mapping_with, generate_candidates, rank_mappings, ExecuteConfig, IncrementalExecutor,
     MapGenConfig, MappingScore,
 };
 
@@ -151,6 +151,26 @@ pub struct MappingExecution {
     pub config: ExecuteConfig,
     evaluation: Evaluation,
     executor: IncrementalExecutor,
+    /// Persistent sharded views of the catalog (created on demand when
+    /// sharding is on): synced O(change) from the delta journal between
+    /// runs, consumed by the per-shard input-database scans.
+    store: Option<ShardedStore>,
+}
+
+/// The persistent [`ShardedStore`] a mapping-executing transducer scans
+/// through, (re)created when the broadcast sharding level changes.
+pub(crate) fn sharded_store(
+    store: &mut Option<ShardedStore>,
+    sharding: Sharding,
+) -> Option<&mut ShardedStore> {
+    if !sharding.is_sharded() {
+        *store = None;
+        return None;
+    }
+    if store.as_ref().map(|s| s.sharding()) != Some(sharding) {
+        *store = Some(ShardedStore::new(sharding));
+    }
+    store.as_mut()
 }
 
 impl Transducer for MappingExecution {
@@ -181,6 +201,10 @@ impl Transducer for MappingExecution {
         self.evaluation = evaluation;
     }
 
+    fn set_sharding(&mut self, sharding: Sharding) {
+        self.config.sharding = sharding;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let id = kb
             .selected_mapping()
@@ -192,14 +216,15 @@ impl Transducer for MappingExecution {
             .clone();
         // reuse the candidate materialisation when the quality transducer
         // already executed this mapping
+        let store = sharded_store(&mut self.store, self.config.sharding);
         let mut result: Relation = match kb.relation(&candidate_relation_name(&id)) {
             Ok(cached) => {
                 Relation::from_tuples(cached.schema().renamed(&mapping.target), cached.tuples().to_vec())?
             }
             Err(_) if self.evaluation.is_incremental() => {
-                self.executor.execute(&self.config, &mapping, kb)?
+                self.executor.execute_with(&self.config, &mapping, kb, store)?
             }
-            Err(_) => execute_mapping(&self.config, &mapping, kb)?,
+            Err(_) => execute_mapping_with(&self.config, &mapping, kb, store)?,
         };
         let vetoed = apply_vetoes(&mut result, kb.vetoes());
         let rows = result.len();

@@ -4,7 +4,7 @@
 use vada_common::{Evaluation, Parallelism, Relation, Result};
 use vada_context::data_context::{capabilities, cfd_training_contexts};
 use vada_kb::{KnowledgeBase, QualityFact};
-use vada_map::{execute_mapping, ExecuteConfig, ExecutorStats, IncrementalExecutor};
+use vada_map::{ExecuteConfig, ExecutorStats, IncrementalExecutor};
 use vada_quality::{accuracy_against_reference, consistency, learn_cfds_with, CfdLearnConfig};
 
 use crate::components::mapping::candidate_relation_name;
@@ -124,6 +124,10 @@ pub struct MappingQuality {
     pub config: ExecuteConfig,
     evaluation: Evaluation,
     executor: IncrementalExecutor,
+    /// Persistent sharded catalog views (see
+    /// [`crate::components::mapping::MappingExecution`]): one store serves
+    /// every candidate, synced O(change) from the journal per run.
+    store: Option<vada_kb::ShardedStore>,
 }
 
 impl MappingQuality {
@@ -159,6 +163,10 @@ impl Transducer for MappingQuality {
         self.evaluation = evaluation;
     }
 
+    fn set_sharding(&mut self, sharding: vada_common::Sharding) {
+        self.config.sharding = sharding;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let mappings: Vec<_> = kb.mappings().cloned().collect();
         let cfds: Vec<_> = kb.cfds().cloned().collect();
@@ -181,10 +189,14 @@ impl Transducer for MappingQuality {
         let mut written = 0usize;
         let mut materialised: Vec<(String, Relation)> = Vec::new();
         for mapping in &mappings {
+            let store = crate::components::mapping::sharded_store(
+                &mut self.store,
+                self.config.sharding,
+            );
             let result = if self.evaluation.is_incremental() {
-                self.executor.execute(&self.config, mapping, kb)?
+                self.executor.execute_with(&self.config, mapping, kb, store)?
             } else {
-                execute_mapping(&self.config, mapping, kb)?
+                vada_map::execute_mapping_with(&self.config, mapping, kb, store)?
             };
             // completeness per target attribute
             for attr in result.schema().attr_names().iter().map(|s| s.to_string()) {

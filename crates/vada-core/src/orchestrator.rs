@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use vada_common::{Evaluation, Parallelism, Result, VadaError};
+use vada_common::{Evaluation, Parallelism, Result, Sharding, VadaError};
 use vada_kb::KnowledgeBase;
 
 use crate::network::{GenericPolicy, SchedulingPolicy};
@@ -29,6 +29,14 @@ pub struct OrchestratorConfig {
     /// `incremental_equivalence` suite pins this). Defaults to the
     /// `VADA_INCREMENTAL` override.
     pub evaluation: Evaluation,
+    /// Sharding level broadcast to every registered transducer (see
+    /// [`Transducer::set_sharding`]). Under [`Sharding::Shards`] the
+    /// knowledge-base scans (CSV ingest, fusion blocking, the mapping
+    /// executors' input construction) partition their rows across shards
+    /// and run one scheduling unit per shard; results and traces are
+    /// byte-identical at any shard count (the `shard_equivalence` suite
+    /// pins this). Defaults to the `VADA_SHARDS` override.
+    pub sharding: Sharding,
 }
 
 impl Default for OrchestratorConfig {
@@ -37,6 +45,7 @@ impl Default for OrchestratorConfig {
             max_steps: 200,
             parallelism: Parallelism::default(),
             evaluation: Evaluation::default(),
+            sharding: Sharding::default(),
         }
     }
 }
@@ -81,23 +90,25 @@ impl Orchestrator {
             trace: Trace::default(),
             step: 0,
         };
-        // the orchestrator owns the parallelism and evaluation knobs:
-        // every registration path (constructor, add_transducer,
+        // the orchestrator owns the parallelism, evaluation and sharding
+        // knobs: every registration path (constructor, add_transducer,
         // set_config) broadcasts the current levels, so behaviour never
         // depends on how a component reached the fleet
         for t in &mut orch.transducers {
             t.set_parallelism(orch.config.parallelism);
             t.set_evaluation(orch.config.evaluation);
+            t.set_sharding(orch.config.sharding);
         }
         orch
     }
 
-    /// Override limits, broadcasting the parallelism level and evaluation
-    /// mode to the fleet.
+    /// Override limits, broadcasting the parallelism level, evaluation
+    /// mode and sharding level to the fleet.
     pub fn set_config(&mut self, config: OrchestratorConfig) {
         for t in &mut self.transducers {
             t.set_parallelism(config.parallelism);
             t.set_evaluation(config.evaluation);
+            t.set_sharding(config.sharding);
         }
         self.config = config;
     }
@@ -113,6 +124,7 @@ impl Orchestrator {
     pub fn add_transducer(&mut self, mut t: Box<dyn Transducer>) {
         t.set_parallelism(self.config.parallelism);
         t.set_evaluation(self.config.evaluation);
+        t.set_sharding(self.config.sharding);
         self.transducers.push(t);
     }
 

@@ -68,12 +68,17 @@ pub enum DeltaChange {
     /// ([`KnowledgeBase::remove_rows`](crate::KnowledgeBase::remove_rows)):
     /// the remaining rows keep their relative order. Not monotone, but
     /// *row-level*: a retraction-capable consumer can feed `rows` through
-    /// its deletion path instead of re-reading the relation.
+    /// its deletion path instead of re-reading the relation, and a
+    /// position-tracking consumer (the sharded store) can route each
+    /// removal to the exact row it hit — tuples alone cannot distinguish
+    /// which of several equal rows went.
     RowsRemoved {
         /// Relation name.
         relation: String,
         /// The removed tuples, in ascending (pre-removal) row order.
         rows: Vec<Tuple>,
+        /// The pre-removal indices of `rows` (same order, ascending).
+        positions: Vec<usize>,
     },
     /// Rows were rewritten in place
     /// ([`KnowledgeBase::update_source`](crate::KnowledgeBase::update_source)).
@@ -89,6 +94,9 @@ pub enum DeltaChange {
         removed: Vec<Tuple>,
         /// The new contents of the rewritten rows, ascending row order.
         added: Vec<Tuple>,
+        /// The indices of the rewritten rows (same order, ascending; the
+        /// rewrite is in place, so pre- and post-edit indices coincide).
+        positions: Vec<usize>,
         /// Whether the rewritten rows were the trailing rows.
         tail: bool,
     },
@@ -343,11 +351,16 @@ mod tests {
             None
         );
         // row-level but not monotone: the retraction shapes
-        let removed = DeltaChange::RowsRemoved { relation: "r".into(), rows: vec![tuple![1]] };
+        let removed = DeltaChange::RowsRemoved {
+            relation: "r".into(),
+            rows: vec![tuple![1]],
+            positions: vec![0],
+        };
         let replaced = DeltaChange::RowsReplaced {
             relation: "r".into(),
             removed: vec![tuple![1]],
             added: vec![tuple![2]],
+            positions: vec![0],
             tail: true,
         };
         assert!(!removed.is_monotone() && removed.is_row_level());
@@ -367,7 +380,11 @@ mod tests {
         j.record(
             1,
             "relations",
-            DeltaChange::RowsRemoved { relation: "a".into(), rows: vec![tuple![7]] },
+            DeltaChange::RowsRemoved {
+                relation: "a".into(),
+                rows: vec![tuple![7]],
+                positions: vec![0],
+            },
         );
         j.record(2, "relations", append("a", 1));
         j.record(3, "relations", append("a", 1));

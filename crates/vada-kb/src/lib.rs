@@ -23,10 +23,12 @@ pub mod catalog;
 pub mod delta;
 pub mod meta;
 pub mod provenance;
+pub mod shard;
 pub mod store;
 
 pub use catalog::{Catalog, RelationKind};
 pub use delta::{DeltaChange, DeltaEvent, DeltaJournal};
+pub use shard::{ShardedRelation, ShardedStore, SyncMode, SyncReport};
 pub use meta::{
     CellVeto,
     CfdRule, ContextKind, FeedbackRecord, FeedbackTarget, MappingDef, MatchDef, PairwiseStatement,

@@ -1,0 +1,865 @@
+//! The **sharded knowledge-base store**: per-relation shard views kept in
+//! step with the canonical catalog by the delta journal.
+//!
+//! A [`ShardedRelation`] splits one relation's rows across `N` shards via a
+//! pluggable [`Partitioner`] (whole-tuple hash by default; the blocking-key
+//! partitioner co-locates co-blocked rows so a per-shard fusion scan owns
+//! its blocks completely). Each shard is an ordinary
+//! [`vada_common::Relation`], so every existing scan runs unchanged against
+//! a shard; a deterministic **ordered merge** reproduces the canonical row
+//! order exactly, which is what lets the differential suites pin "any shard
+//! count is byte-identical to unsharded".
+//!
+//! A [`ShardedStore`] holds the sharded views of a whole catalog and syncs
+//! them from the knowledge-base **delta journal**: row-level events
+//! (`RowsAppended` / `RowsRemoved` / `RowsReplaced`) are routed to the
+//! owning shard in O(change of the touched shard), relation-level events
+//! repartition just the named relation, and anything the journal cannot
+//! prove complete (pruned window, diverged lineage) falls back to a full
+//! rebuild — the same discipline as the incremental evaluation layer, so
+//! staleness can never produce wrong shards.
+//!
+//! Because partitioners are pure functions of tuple *content*, a
+//! journal-maintained view and a fresh repartition of the same relation are
+//! byte-identical — the property tests pin this, and it is what makes the
+//! routed fast path safe: there is no state a replay could diverge from.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use vada_common::sharding::{assign_shards, rows_by_shard, Partitioner, Sharding};
+use vada_common::{
+    par, HashPartitioner, Parallelism, Relation, Result, Schema, Tuple, VadaError,
+};
+
+use crate::delta::DeltaChange;
+use crate::KnowledgeBase;
+
+/// One relation partitioned across `N` shards, with the canonical row
+/// order retained as the shard-ownership sequence (`order[i]` = the shard
+/// holding canonical row `i`). Within a shard, rows keep ascending
+/// canonical order, so a per-shard scan observes the same relative
+/// sequence a monolithic scan would.
+#[derive(Debug, Clone)]
+pub struct ShardedRelation {
+    schema: Schema,
+    order: Vec<usize>,
+    shards: Vec<Relation>,
+}
+
+impl ShardedRelation {
+    /// Partition `rel` across `shards` shards. Shard assignment runs under
+    /// `par` (stage `kb/shard_partition`), and each shard's rows are
+    /// collected by an independent per-shard scan (stage `kb/shard_collect`).
+    pub fn partition(
+        rel: &Relation,
+        partitioner: &(dyn Partitioner + Sync),
+        shards: usize,
+        par: Parallelism,
+    ) -> Result<ShardedRelation> {
+        let n = shards.max(1);
+        let order = assign_shards(par, "kb/shard_partition", rel.tuples(), partitioner, n)?;
+        let by_shard = rows_by_shard(&order, n);
+        let shards = par::par_shards(par, "kb/shard_collect", n, |s| {
+            let mut shard = Relation::empty(rel.schema().clone());
+            for &row in &by_shard[s] {
+                shard.push(rel.tuples()[row].clone())?;
+            }
+            Ok(shard)
+        })?;
+        Ok(ShardedRelation { schema: rel.schema().clone(), order, shards })
+    }
+
+    /// The relation's schema (shared by every shard).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard with index `s`.
+    pub fn shard(&self, s: usize) -> &Relation {
+        &self.shards[s]
+    }
+
+    /// All shards, in shard order.
+    pub fn shards(&self) -> &[Relation] {
+        &self.shards
+    }
+
+    /// Total rows across all shards.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The shard-ownership sequence: `order()[i]` is the shard holding
+    /// canonical row `i`.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Deterministic ordered merge back to the canonical relation: walks
+    /// the ownership sequence with one cursor per shard, reproducing the
+    /// exact row order of the unsharded relation.
+    pub fn merge(&self) -> Relation {
+        let mut cursors = vec![0usize; self.shards.len()];
+        let mut out = Relation::empty(self.schema.clone());
+        for &s in &self.order {
+            let row = self.shards[s].tuples()[cursors[s]].clone();
+            cursors[s] += 1;
+            out.push(row).expect("shard rows share the schema");
+        }
+        out
+    }
+
+    /// Merge per-shard scan outputs (one output per row, in each shard's
+    /// row order) back into canonical row order — the read-side companion
+    /// of [`ShardedRelation::merge`] for scans that produce derived values
+    /// instead of rows.
+    pub fn merge_scan<T>(&self, per_shard: Vec<Vec<T>>) -> Vec<T> {
+        vada_common::sharding::merge_in_order(&self.order, per_shard)
+    }
+
+    /// Route appended rows to their owning shards (the journal
+    /// `RowsAppended` event). O(rows appended); a panicking partitioner is
+    /// captured (stage `kb/shard_route`) before anything is applied.
+    pub fn append_rows(
+        &mut self,
+        rows: &[Tuple],
+        partitioner: &(dyn Partitioner + Sync),
+    ) -> Result<()> {
+        let n = self.shards.len();
+        let assigned = assign_shards(Parallelism::Sequential, "kb/shard_route", rows, partitioner, n)?;
+        for (t, &s) in rows.iter().zip(&assigned) {
+            self.shards[s].push(t.clone())?;
+            self.order.push(s);
+        }
+        Ok(())
+    }
+
+    /// Route a row-level removal (the journal `RowsRemoved` event):
+    /// `positions` are the pre-removal canonical indices, ascending,
+    /// pairing one-to-one with `rows`. Fails — without modifying anything —
+    /// if the view disagrees with the event (a diverged mirror), which the
+    /// store answers with a rebuild.
+    pub fn remove_positions(&mut self, rows: &[Tuple], positions: &[usize]) -> Result<()> {
+        if rows.len() != positions.len()
+            || positions.windows(2).any(|w| w[0] >= w[1])
+            || positions.last().is_some_and(|&p| p >= self.order.len())
+        {
+            return Err(VadaError::Kb(
+                "sharded view diverged: removal positions do not match".into(),
+            ));
+        }
+        // one pass over the ownership sequence resolves every canonical
+        // position to (shard, shard-local index) and validates the tuples
+        let mut locals: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut counts = vec![0usize; self.shards.len()];
+        let mut k = 0usize;
+        for (i, &s) in self.order.iter().enumerate() {
+            if k < positions.len() && positions[k] == i {
+                if self.shards[s].tuples()[counts[s]] != rows[k] {
+                    return Err(VadaError::Kb(
+                        "sharded view diverged: removed tuple does not match".into(),
+                    ));
+                }
+                locals[s].push(counts[s]);
+                k += 1;
+            }
+            counts[s] += 1;
+        }
+        for (s, local) in locals.iter().enumerate() {
+            if !local.is_empty() {
+                self.shards[s].remove_rows(local)?;
+            }
+        }
+        let mut keep = 0usize;
+        let mut k = 0usize;
+        self.order.retain(|_| {
+            let gone = k < positions.len() && positions[k] == keep;
+            if gone {
+                k += 1;
+            }
+            keep += 1;
+            !gone
+        });
+        Ok(())
+    }
+
+    /// Route an in-place rewrite (the journal `RowsReplaced` event). A row
+    /// whose new content hashes to a different shard **moves** there — at
+    /// the shard-local position its canonical index dictates — so the view
+    /// stays byte-identical to a fresh repartition of the updated relation.
+    pub fn replace_positions(
+        &mut self,
+        removed: &[Tuple],
+        added: &[Tuple],
+        positions: &[usize],
+        partitioner: &(dyn Partitioner + Sync),
+    ) -> Result<()> {
+        if removed.len() != positions.len()
+            || added.len() != positions.len()
+            || positions.windows(2).any(|w| w[0] >= w[1])
+            || positions.last().is_some_and(|&p| p >= self.order.len())
+        {
+            return Err(VadaError::Kb(
+                "sharded view diverged: replacement positions do not match".into(),
+            ));
+        }
+        let n = self.shards.len();
+        let assigned =
+            assign_shards(Parallelism::Sequential, "kb/shard_route", added, partitioner, n)?;
+        // validation pass (nothing is modified on failure): one scan of
+        // the ownership sequence resolves every position's pre-edit
+        // (shard, local index) via running counts and checks the tuple
+        let mut counts = vec![0usize; n];
+        let mut k = 0usize;
+        for (i, &s) in self.order.iter().enumerate() {
+            if k < positions.len() && positions[k] == i {
+                if self.shards[s].tuples()[counts[s]] != removed[k] {
+                    return Err(VadaError::Kb(
+                        "sharded view diverged: replaced tuple does not match".into(),
+                    ));
+                }
+                k += 1;
+            }
+            counts[s] += 1;
+        }
+        // apply pass: same single-scan discipline, with the counts now
+        // reflecting post-edit ownership for already-processed rows —
+        // `counts[s]` is exactly the shard-local index of canonical row
+        // `i` in shard `s` at the moment row `i` is reached
+        let mut counts = vec![0usize; n];
+        let mut k = 0usize;
+        for i in 0..self.order.len() {
+            let s_old = self.order[i];
+            if k < positions.len() && positions[k] == i {
+                let (new, s_new) = (&added[k], assigned[k]);
+                if s_new == s_old {
+                    self.shards[s_old].replace(counts[s_old], new.clone())?;
+                } else {
+                    self.shards[s_old].remove_rows(&[counts[s_old]])?;
+                    self.shards[s_new].insert(counts[s_new], new.clone())?;
+                    self.order[i] = s_new;
+                }
+                k += 1;
+            }
+            counts[self.order[i]] += 1;
+        }
+        Ok(())
+    }
+}
+
+/// How one [`ShardedStore::sync`] call brought the views up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Nothing changed since the last sync.
+    Noop,
+    /// Every change was routed from journal events (O(change)).
+    Routed,
+    /// The journal could not prove the change slice complete (first sync,
+    /// pruned window, or diverged lineage): every view was repartitioned
+    /// from the catalog.
+    Rebuild,
+}
+
+/// What one [`ShardedStore::sync`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// How the views were brought up to date.
+    pub mode: SyncMode,
+    /// Journal events consumed (0 on rebuild/noop).
+    pub routed_events: usize,
+    /// Relations repartitioned from the catalog (all of them on rebuild;
+    /// on the routed path only those hit by relation-level events).
+    pub repartitioned: usize,
+}
+
+/// Sharded views of a knowledge base's catalog, maintained from the delta
+/// journal. The store is a *cache*: the canonical catalog stays the source
+/// of truth, so any inconsistency (or any failure mid-sync) is answered by
+/// dropping the views and rebuilding on the next sync — a failed sync
+/// poisons nothing.
+pub struct ShardedStore {
+    sharding: Sharding,
+    partitioner: Arc<dyn Partitioner + Send + Sync>,
+    par: Parallelism,
+    views: BTreeMap<String, ShardedRelation>,
+    /// `None` = shard the whole catalog; `Some(names)` = maintain views
+    /// only for these relations (see [`ShardedStore::add_scope`]).
+    scope: Option<std::collections::BTreeSet<String>>,
+    /// `(journal lineage, kb version)` of the last successful sync.
+    watermark: Option<(u64, u64)>,
+    rebuilds: usize,
+    routed_events: usize,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("sharding", &self.sharding)
+            .field("partitioner", &self.partitioner.name())
+            .field("views", &self.views.keys().collect::<Vec<_>>())
+            .field("watermark", &self.watermark)
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    /// A store with the default whole-tuple hash partitioner.
+    pub fn new(sharding: Sharding) -> ShardedStore {
+        ShardedStore::with_partitioner(sharding, Arc::new(HashPartitioner))
+    }
+
+    /// A store with an explicit partitioner (e.g. the blocking-key-aware
+    /// [`vada_common::KeyPartitioner`]).
+    pub fn with_partitioner(
+        sharding: Sharding,
+        partitioner: Arc<dyn Partitioner + Send + Sync>,
+    ) -> ShardedStore {
+        ShardedStore {
+            sharding,
+            partitioner,
+            par: Parallelism::default(),
+            views: BTreeMap::new(),
+            scope: None,
+            watermark: None,
+            rebuilds: 0,
+            routed_events: 0,
+        }
+    }
+
+    /// Restrict (or extend an existing restriction of) the store to the
+    /// named relations: views are built and journal events routed only for
+    /// them, so a consumer that scans a handful of source relations never
+    /// pays to partition results and intermediates it will not read.
+    /// Scope only ever grows — relations scoped by an earlier caller stay
+    /// maintained; relations newly in scope get a view on the next
+    /// [`ShardedStore::sync`]. A store never given a scope shards the
+    /// whole catalog.
+    pub fn add_scope(&mut self, names: impl IntoIterator<Item = String>) {
+        self.scope.get_or_insert_with(Default::default).extend(names);
+    }
+
+    fn in_scope(&self, name: &str) -> bool {
+        self.scope.as_ref().is_none_or(|s| s.contains(name))
+    }
+
+    /// The configured sharding level.
+    pub fn sharding(&self) -> Sharding {
+        self.sharding
+    }
+
+    /// Set the parallelism level used by partition and collect scans.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
+    /// The sharded view of a relation, if synced.
+    pub fn view(&self, name: &str) -> Option<&ShardedRelation> {
+        self.views.get(name)
+    }
+
+    /// `(full rebuilds, journal events routed)` over the store's lifetime —
+    /// the observability hook the O(change) regression tests assert on.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.rebuilds, self.routed_events)
+    }
+
+    /// Bring every view up to date with `kb`. Routes journal events when
+    /// the journal can prove the change slice complete; otherwise
+    /// repartitions everything from the catalog. On error the store resets
+    /// itself (views dropped, watermark cleared) so the next sync starts
+    /// from a clean rebuild — never from half-applied state.
+    pub fn sync(&mut self, kb: &KnowledgeBase) -> Result<SyncReport> {
+        match self.try_sync(kb) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.views.clear();
+                self.watermark = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_sync(&mut self, kb: &KnowledgeBase) -> Result<SyncReport> {
+        let lineage = kb.journal().lineage();
+        let events = match self.watermark {
+            Some((l, v)) if l == lineage && v == kb.version() => Some(Vec::new()),
+            Some((l, v)) if l == lineage => kb.drain_deltas_since(v),
+            _ => None,
+        };
+        let mut report = match events {
+            None => {
+                self.rebuild_all(kb)?;
+                SyncReport {
+                    mode: SyncMode::Rebuild,
+                    routed_events: 0,
+                    repartitioned: self.views.len(),
+                }
+            }
+            Some(events) if events.is_empty() => {
+                SyncReport { mode: SyncMode::Noop, routed_events: 0, repartitioned: 0 }
+            }
+            Some(events) => {
+                let mut repartitioned = 0usize;
+                // relations repartitioned earlier in THIS slice: their views
+                // were read from the final catalog state, which already
+                // includes every later row-level event — routing those on
+                // top would double-apply them
+                let mut finalized: std::collections::BTreeSet<String> = Default::default();
+                for event in &events {
+                    repartitioned += self.route(kb, &event.change, &mut finalized)?;
+                }
+                self.routed_events += events.len();
+                SyncReport { mode: SyncMode::Routed, routed_events: events.len(), repartitioned }
+            }
+        };
+        // the scope may have grown since the last sync: relations newly in
+        // scope have no view yet (their creation events predate the
+        // watermark), so partition them from the current catalog now
+        let missing: Vec<String> = kb
+            .catalog()
+            .entries()
+            .filter(|(name, _, _)| self.in_scope(name) && !self.views.contains_key(*name))
+            .map(|(name, _, _)| name.to_string())
+            .collect();
+        for name in missing {
+            report.repartitioned += self.repartition(kb, &name)?;
+        }
+        self.watermark = Some((lineage, kb.version()));
+        Ok(report)
+    }
+
+    /// Apply one journal event; returns how many relations were
+    /// repartitioned (0 for the row-routed shapes). `finalized` names the
+    /// relations whose views were (re)built from the final catalog state
+    /// earlier in this sync slice — a rebuild already reflects every later
+    /// row-level event, so routing those on top would double-apply them.
+    fn route(
+        &mut self,
+        kb: &KnowledgeBase,
+        change: &DeltaChange,
+        finalized: &mut std::collections::BTreeSet<String>,
+    ) -> Result<usize> {
+        let partitioner = &*self.partitioner;
+        if let Some(relation) = change.relation() {
+            // out-of-scope relations are never materialised as views
+            if !self.in_scope(relation) {
+                return Ok(0);
+            }
+            if change.is_row_level() && finalized.contains(relation) {
+                return Ok(0);
+            }
+        }
+        match change {
+            DeltaChange::RowsAppended { relation, rows } => {
+                match self.views.get_mut(relation) {
+                    Some(view) => {
+                        view.append_rows(rows, partitioner)?;
+                        Ok(0)
+                    }
+                    // an append to a relation seen for the first time
+                    // (e.g. the store was created mid-history): the
+                    // rebuild reads final state, so later events skip
+                    None => {
+                        finalized.insert(relation.clone());
+                        self.repartition(kb, relation)
+                    }
+                }
+            }
+            DeltaChange::RowsRemoved { relation, rows, positions } => {
+                match self.views.get_mut(relation) {
+                    Some(view) => {
+                        view.remove_positions(rows, positions)?;
+                        Ok(0)
+                    }
+                    None => {
+                        finalized.insert(relation.clone());
+                        self.repartition(kb, relation)
+                    }
+                }
+            }
+            DeltaChange::RowsReplaced { relation, removed, added, positions, .. } => {
+                match self.views.get_mut(relation) {
+                    Some(view) => {
+                        view.replace_positions(removed, added, positions, partitioner)?;
+                        Ok(0)
+                    }
+                    None => {
+                        finalized.insert(relation.clone());
+                        self.repartition(kb, relation)
+                    }
+                }
+            }
+            DeltaChange::RelationAdded { relation }
+            | DeltaChange::RelationReplaced { relation } => {
+                finalized.insert(relation.clone());
+                self.repartition(kb, relation)
+            }
+            DeltaChange::RelationRemoved { relation } => {
+                // the view is gone; a later RelationAdded re-creating it
+                // re-enters `finalized` and rebuilds from final state
+                self.views.remove(relation);
+                Ok(0)
+            }
+            // metadata aspects hold no rows to shard
+            DeltaChange::AspectChanged { .. } => Ok(0),
+        }
+    }
+
+    fn repartition(&mut self, kb: &KnowledgeBase, name: &str) -> Result<usize> {
+        match kb.catalog().get(name) {
+            Some(rel) => {
+                let view = ShardedRelation::partition(
+                    rel,
+                    &*self.partitioner,
+                    self.sharding.shard_count(),
+                    self.par,
+                )?;
+                self.views.insert(name.to_string(), view);
+                Ok(1)
+            }
+            None => {
+                self.views.remove(name);
+                Ok(0)
+            }
+        }
+    }
+
+    fn rebuild_all(&mut self, kb: &KnowledgeBase) -> Result<()> {
+        self.rebuilds += 1;
+        let mut views = BTreeMap::new();
+        for (name, _, rel) in kb.catalog().entries() {
+            if !self.in_scope(name) {
+                continue;
+            }
+            views.insert(
+                name.to_string(),
+                ShardedRelation::partition(
+                    rel,
+                    &*self.partitioner,
+                    self.sharding.shard_count(),
+                    self.par,
+                )?,
+            );
+        }
+        self.views = views;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vada_common::tuple;
+
+    fn rel(n: usize) -> Relation {
+        let mut r = Relation::empty(Schema::all_str("listings", &["street", "postcode"]));
+        for i in 0..n {
+            r.push(tuple![format!("{i} high st"), format!("M{} 1AA", i % 7)]).unwrap();
+        }
+        r
+    }
+
+    fn assert_matches_fresh(view: &ShardedRelation, canonical: &Relation, n: usize) {
+        let fresh = ShardedRelation::partition(
+            canonical,
+            &HashPartitioner,
+            n,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        assert_eq!(view.order(), fresh.order(), "ownership sequence diverged");
+        for s in 0..n {
+            assert_eq!(view.shard(s).tuples(), fresh.shard(s).tuples(), "shard {s} diverged");
+        }
+        assert_eq!(view.merge().tuples(), canonical.tuples(), "merge is not canonical");
+    }
+
+    #[test]
+    fn partition_and_merge_round_trip() {
+        let r = rel(57);
+        for n in [1usize, 2, 4, 9] {
+            for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+                let sharded =
+                    ShardedRelation::partition(&r, &HashPartitioner, n, par).unwrap();
+                assert_eq!(sharded.shard_count(), n);
+                assert_eq!(sharded.len(), r.len());
+                let total: usize = sharded.shards().iter().map(|s| s.len()).sum();
+                assert_eq!(total, r.len(), "every row in exactly one shard");
+                assert_eq!(sharded.merge().tuples(), r.tuples(), "n={n} {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_scan_reproduces_monolithic_scan_order() {
+        let r = rel(40);
+        let sharded =
+            ShardedRelation::partition(&r, &HashPartitioner, 4, Parallelism::Sequential).unwrap();
+        // per-shard scan computing a derived value per row
+        let per_shard: Vec<Vec<String>> = sharded
+            .shards()
+            .iter()
+            .map(|s| s.iter().map(|t| t[0].to_string()).collect())
+            .collect();
+        let merged = sharded.merge_scan(per_shard);
+        let mono: Vec<String> = r.iter().map(|t| t[0].to_string()).collect();
+        assert_eq!(merged, mono);
+    }
+
+    #[test]
+    fn routed_appends_removals_and_rewrites_match_fresh_partition() {
+        let mut canonical = rel(30);
+        let mut view =
+            ShardedRelation::partition(&canonical, &HashPartitioner, 4, Parallelism::Sequential)
+                .unwrap();
+
+        // append
+        let appended = vec![tuple!["90 new rd", "M2 1AA"], tuple!["91 new rd", "EH1 1AA"]];
+        for t in &appended {
+            canonical.push(t.clone()).unwrap();
+        }
+        view.append_rows(&appended, &HashPartitioner).unwrap();
+        assert_matches_fresh(&view, &canonical, 4);
+
+        // removal (positions pair with tuples exactly, duplicates included)
+        let gone = canonical.remove_rows(&[3, 17, 31]).unwrap();
+        view.remove_positions(&gone, &[3, 17, 31]).unwrap();
+        assert_matches_fresh(&view, &canonical, 4);
+
+        // in-place rewrite that moves the row to a different shard
+        let new_row = tuple!["rewritten", "ZZ9 9ZZ"];
+        let old_row = canonical.tuples()[10].clone();
+        canonical.replace(10, new_row.clone()).unwrap();
+        view.replace_positions(
+            &[old_row],
+            &[new_row],
+            &[10],
+            &HashPartitioner,
+        )
+        .unwrap();
+        assert_matches_fresh(&view, &canonical, 4);
+    }
+
+    #[test]
+    fn routing_with_duplicate_rows_stays_exact() {
+        // three identical rows interleaved with others: positions make the
+        // removal exact where tuple matching alone would be ambiguous
+        let mut canonical = Relation::empty(Schema::all_str("r", &["a"]));
+        for v in ["dup", "x", "dup", "y", "dup"] {
+            canonical.push(tuple![v]).unwrap();
+        }
+        let mut view =
+            ShardedRelation::partition(&canonical, &HashPartitioner, 3, Parallelism::Sequential)
+                .unwrap();
+        let gone = canonical.remove_rows(&[2]).unwrap();
+        view.remove_positions(&gone, &[2]).unwrap();
+        assert_matches_fresh(&view, &canonical, 3);
+        assert_eq!(view.merge().tuples(), &[tuple!["dup"], tuple!["x"], tuple!["y"], tuple!["dup"]]);
+    }
+
+    #[test]
+    fn diverged_views_refuse_to_route() {
+        let canonical = rel(10);
+        let mut view =
+            ShardedRelation::partition(&canonical, &HashPartitioner, 2, Parallelism::Sequential)
+                .unwrap();
+        // wrong tuple for the position
+        let err = view.remove_positions(&[tuple!["nope", "nope"]], &[0]).unwrap_err();
+        assert!(err.message().contains("diverged"), "{err}");
+        // out-of-range position
+        let err = view
+            .remove_positions(&[canonical.tuples()[0].clone()], &[99])
+            .unwrap_err();
+        assert!(err.message().contains("diverged"), "{err}");
+        // the failed routing modified nothing
+        assert_matches_fresh(&view, &canonical, 2);
+    }
+
+    #[test]
+    fn store_routes_row_level_events_without_rebuilding() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_source(rel(40));
+        let mut store = ShardedStore::new(Sharding::Shards(4));
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Rebuild);
+
+        // grown re-registration → RowsAppended, routed
+        let mut grown = kb.relation("listings").unwrap().clone();
+        grown.push(tuple!["99 grown st", "M1 1AA"]).unwrap();
+        kb.register_source(grown);
+        // row-level removal and rewrite
+        kb.remove_rows("listings", &[5, 6]).unwrap();
+        kb.update_source("listings", &[(0, tuple!["0 rewritten", "EH1 1AA"])]).unwrap();
+
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Routed);
+        assert_eq!(report.routed_events, 3);
+        assert_eq!(report.repartitioned, 0, "row-level events must not repartition");
+        let view = store.view("listings").unwrap();
+        assert_eq!(view.merge().tuples(), kb.relation("listings").unwrap().tuples());
+        assert_eq!(store.stats().0, 1, "exactly the initial rebuild");
+
+        // a second sync with no changes is a no-op
+        assert_eq!(store.sync(&kb).unwrap().mode, SyncMode::Noop);
+    }
+
+    #[test]
+    fn row_events_after_a_relation_rebuild_in_the_same_slice_are_not_double_applied() {
+        // regression: RelationAdded (or RelationReplaced) followed by
+        // row-level events for the same relation inside ONE sync slice —
+        // the rebuild reads the FINAL catalog state, so routing the later
+        // row events on top would duplicate rows (appends) or spuriously
+        // fail validation (removals/rewrites)
+        let mut kb = KnowledgeBase::new();
+        kb.register_source(rel(8));
+        let mut store = ShardedStore::new(Sharding::Shards(3));
+        store.sync(&kb).unwrap();
+
+        // new relation + grown re-registration + removal + rewrite, unsynced
+        let mut b = Relation::empty(Schema::all_str("b", &["a"]));
+        b.push(tuple!["first"]).unwrap();
+        kb.register_source(b.clone()); // RelationAdded
+        b.push(tuple!["second"]).unwrap();
+        kb.register_source(b); // RowsAppended
+        kb.remove_rows("b", &[0]).unwrap(); // RowsRemoved
+        kb.update_source("b", &[(0, tuple!["rewritten"])]).unwrap(); // RowsReplaced
+
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Routed);
+        assert_eq!(report.repartitioned, 1, "only the added relation rebuilds");
+        assert_eq!(
+            store.view("b").unwrap().merge().tuples(),
+            kb.relation("b").unwrap().tuples(),
+            "row events after the rebuild must not re-apply"
+        );
+        // the pre-existing relation is untouched
+        assert_eq!(
+            store.view("listings").unwrap().merge().tuples(),
+            kb.relation("listings").unwrap().tuples()
+        );
+    }
+
+    #[test]
+    fn replace_positions_rejects_malformed_positions_without_modifying() {
+        let canonical = rel(6);
+        let mut view =
+            ShardedRelation::partition(&canonical, &HashPartitioner, 2, Parallelism::Sequential)
+                .unwrap();
+        let old = canonical.tuples()[5].clone();
+        let new = tuple!["x", "y"];
+        // unsorted positions with an out-of-range entry must error, not panic
+        let err = view
+            .replace_positions(&[old.clone(), old.clone()], &[new.clone(), new.clone()], &[99, 5], &HashPartitioner)
+            .unwrap_err();
+        assert!(err.message().contains("diverged"), "{err}");
+        // duplicate positions rejected too
+        let err = view
+            .replace_positions(&[old.clone(), old], &[new.clone(), new], &[5, 5], &HashPartitioner)
+            .unwrap_err();
+        assert!(err.message().contains("diverged"), "{err}");
+        assert_matches_fresh(&view, &canonical, 2);
+    }
+
+    #[test]
+    fn relation_level_events_repartition_only_the_named_relation() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_source(rel(20));
+        let mut other = Relation::empty(Schema::all_str("other", &["a"]));
+        other.push(tuple!["x"]).unwrap();
+        kb.register_source(other);
+        let mut store = ShardedStore::new(Sharding::Shards(3));
+        store.sync(&kb).unwrap();
+
+        // non-monotone replacement of one relation
+        let mut replaced = Relation::empty(Schema::all_str("listings", &["street", "postcode"]));
+        replaced.push(tuple!["only row", "M1 1AA"]).unwrap();
+        kb.register_source(replaced);
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Routed);
+        assert_eq!(report.repartitioned, 1);
+        assert_eq!(store.view("listings").unwrap().len(), 1);
+        assert_eq!(store.view("other").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scoped_store_maintains_only_scoped_relations() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_source(rel(12));
+        let mut other = Relation::empty(Schema::all_str("other", &["a"]));
+        other.push(tuple!["x"]).unwrap();
+        kb.register_source(other);
+
+        let mut store = ShardedStore::new(Sharding::Shards(2));
+        store.add_scope(["listings".to_string()]);
+        store.sync(&kb).unwrap();
+        assert!(store.view("listings").is_some());
+        assert!(store.view("other").is_none(), "out-of-scope relation has no view");
+
+        // events for out-of-scope relations route as no-ops
+        let mut grown = kb.relation("other").unwrap().clone();
+        grown.push(tuple!["y"]).unwrap();
+        kb.register_source(grown);
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Routed);
+        assert_eq!(report.repartitioned, 0);
+        assert!(store.view("other").is_none());
+
+        // growing the scope materialises the missing view on the next sync
+        store.add_scope(["other".to_string()]);
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.repartitioned, 1, "newly scoped relation partitions");
+        assert_eq!(
+            store.view("other").unwrap().merge().tuples(),
+            kb.relation("other").unwrap().tuples()
+        );
+        // and stays maintained from then on
+        kb.remove_rows("other", &[0]).unwrap();
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Routed);
+        assert_eq!(
+            store.view("other").unwrap().merge().tuples(),
+            kb.relation("other").unwrap().tuples()
+        );
+        assert_eq!(store.stats().0, 1, "scope growth never forces a full rebuild");
+    }
+
+    #[test]
+    fn lineage_change_forces_a_rebuild() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_source(rel(10));
+        let mut store = ShardedStore::new(Sharding::Shards(2));
+        store.sync(&kb).unwrap();
+        // a clone carries a fresh lineage: watermarks must not replay
+        let clone = kb.clone();
+        let report = store.sync(&clone).unwrap();
+        assert_eq!(report.mode, SyncMode::Rebuild);
+    }
+
+    #[test]
+    fn pruned_journal_window_forces_a_rebuild() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_source(rel(4));
+        let mut store = ShardedStore::new(Sharding::Shards(2));
+        store.sync(&kb).unwrap();
+        for i in 0..(crate::delta::DEFAULT_JOURNAL_CAPACITY + 8) {
+            kb.stage_document(format!("d{i}"), "a\n1\n");
+        }
+        let report = store.sync(&kb).unwrap();
+        assert_eq!(report.mode, SyncMode::Rebuild);
+        assert_eq!(
+            store.view("listings").unwrap().merge().tuples(),
+            kb.relation("listings").unwrap().tuples()
+        );
+    }
+}

@@ -1,16 +1,23 @@
 //! Mapping execution: run the Vadalog program against the source
 //! relations and coerce the answers into the typed target schema.
 
-use vada_common::{AttrType, Relation, Result, Schema, Tuple, VadaError, Value};
+use vada_common::{
+    par, AttrType, Parallelism, Relation, Result, Schema, Sharding, Tuple, VadaError, Value,
+};
 use vada_datalog::engine::{Database, Engine, EngineConfig};
 use vada_datalog::parse_program;
-use vada_kb::{KnowledgeBase, MappingDef};
+use vada_kb::{KnowledgeBase, MappingDef, ShardedStore};
 
 /// Execution configuration.
 #[derive(Debug, Clone, Default)]
 pub struct ExecuteConfig {
     /// Engine limits.
     pub engine: EngineConfig,
+    /// Sharding level for the input-database construction: the extensional
+    /// load and the `postcode_district` helper scan run per shard and merge
+    /// back in canonical row order, so the execution result is byte-identical
+    /// at any shard count. Defaults to the `VADA_SHARDS` override.
+    pub sharding: Sharding,
 }
 
 /// Extract the outward code (district) of a postcode-shaped string.
@@ -99,11 +106,92 @@ pub(crate) fn build_input_db(mapping: &MappingDef, kb: &KnowledgeBase) -> Result
     Ok(db)
 }
 
+/// [`build_input_db`] over sharded scans: the extensional rows load via the
+/// engine's per-shard load, and the `postcode_district` helper scan — the
+/// expensive per-row string analysis — runs one scheduling unit per shard
+/// of the [`ShardedStore`]'s journal-synced views, merged back to canonical
+/// row order before insertion. The resulting database (facts *and*
+/// insertion order) is byte-identical to the monolithic build.
+///
+/// Callers that execute repeatedly pass their persistent `store` so the
+/// views sync O(change) from the delta journal between runs; `None` builds
+/// an ephemeral store (one repartition, no reuse).
+pub(crate) fn build_input_db_with(
+    mapping: &MappingDef,
+    kb: &KnowledgeBase,
+    sharding: Sharding,
+    parallelism: Parallelism,
+    store: Option<&mut ShardedStore>,
+) -> Result<Database> {
+    if !sharding.is_sharded() {
+        return build_input_db(mapping, kb);
+    }
+    let mut ephemeral;
+    let store = match store {
+        Some(s) => s,
+        None => {
+            ephemeral = ShardedStore::new(sharding);
+            &mut ephemeral
+        }
+    };
+    store.set_parallelism(parallelism);
+    // only the mapping's sources are scanned here, so the store never pays
+    // to partition results or intermediates (scope only grows, so a store
+    // shared across mappings keeps every source it ever scanned synced)
+    store.add_scope(mapping.sources.iter().cloned());
+    store.sync(kb)?;
+    let mut db = Database::new();
+    for source in &mapping.sources {
+        // one per-shard scan yields both the extensional rows and the
+        // postcode_district helper facts; the ordered merge restores
+        // canonical row order, so the database is byte-identical to the
+        // monolithic build
+        let view = store
+            .view(source)
+            .ok_or_else(|| VadaError::Kb(format!("no sharded view for `{source}`")))?;
+        let per_shard = par::par_shards(
+            parallelism,
+            "map/shard_input_scan",
+            view.shard_count(),
+            |s| {
+                Ok(view
+                    .shard(s)
+                    .iter()
+                    .map(|t| (t.clone(), district_facts(t)))
+                    .collect::<Vec<_>>())
+            },
+        )?;
+        for (row, row_facts) in view.merge_scan(per_shard) {
+            db.insert(source, row);
+            for (full, district) in row_facts {
+                db.insert(
+                    "postcode_district",
+                    Tuple::new(vec![Value::str(full), Value::str(district)]),
+                );
+            }
+        }
+    }
+    Ok(db)
+}
+
 /// Execute a mapping and return the result in the target schema.
 pub fn execute_mapping(
     cfg: &ExecuteConfig,
     mapping: &MappingDef,
     kb: &KnowledgeBase,
+) -> Result<Relation> {
+    execute_mapping_with(cfg, mapping, kb, None)
+}
+
+/// [`execute_mapping`] with an optional persistent [`ShardedStore`]: under
+/// [`Sharding::Shards`] the input database is built from per-shard scans
+/// of the store's journal-synced views (see [`build_input_db_with`]); the
+/// result is byte-identical either way.
+pub fn execute_mapping_with(
+    cfg: &ExecuteConfig,
+    mapping: &MappingDef,
+    kb: &KnowledgeBase,
+    store: Option<&mut ShardedStore>,
 ) -> Result<Relation> {
     let target: &Schema = kb
         .target_schema()
@@ -115,7 +203,7 @@ pub fn execute_mapping(
         )));
     }
     let program = parse_program(&mapping.rules)?;
-    let input = build_input_db(mapping, kb)?;
+    let input = build_input_db_with(mapping, kb, cfg.sharding, cfg.engine.parallelism, store)?;
     let output = Engine::new(cfg.engine.clone()).run(&program, input)?;
 
     let mut rel = Relation::empty(target.clone());

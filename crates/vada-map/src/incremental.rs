@@ -62,7 +62,7 @@ use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
 use vada_datalog::incremental::{DeltaMode, IncrementalSession};
 use vada_kb::{DeltaChange, DeltaEvent, KnowledgeBase, MappingDef};
 
-use crate::execute::{build_input_db, coerce_fact, district_facts, ExecuteConfig};
+use crate::execute::{build_input_db_with, coerce_fact, district_facts, ExecuteConfig};
 
 /// Cap on retained sessions; the least recently used is evicted beyond it.
 pub const DEFAULT_SESSION_CAPACITY: usize = 16;
@@ -300,6 +300,21 @@ impl IncrementalExecutor {
         mapping: &MappingDef,
         kb: &KnowledgeBase,
     ) -> Result<Relation> {
+        self.execute_with(cfg, mapping, kb, None)
+    }
+
+    /// [`IncrementalExecutor::execute`] with an optional persistent
+    /// [`ShardedStore`]: under [`vada_common::Sharding::Shards`] the
+    /// bootstrap (from-scratch) input database is built from per-shard
+    /// scans of the store's journal-synced views, while the delta path is
+    /// untouched — it is already O(change) straight from the journal.
+    pub fn execute_with(
+        &mut self,
+        cfg: &ExecuteConfig,
+        mapping: &MappingDef,
+        kb: &KnowledgeBase,
+        store: Option<&mut vada_kb::ShardedStore>,
+    ) -> Result<Relation> {
         let target: Schema = kb
             .target_schema()
             .ok_or_else(|| VadaError::Kb("no target schema registered".into()))?
@@ -339,7 +354,7 @@ impl IncrementalExecutor {
                 }
             }
         }
-        self.bootstrap(&fp, cfg, mapping, &target, kb)
+        self.bootstrap(&fp, cfg, mapping, &target, kb, store)
     }
 
     /// Decide whether the journal entries since the session's watermark
@@ -379,7 +394,7 @@ impl IncrementalExecutor {
                         plan.append_row(relation, src_idx, row)?;
                     }
                 }
-                DeltaChange::RowsRemoved { relation, rows } => {
+                DeltaChange::RowsRemoved { relation, rows, .. } => {
                     let Some(src_idx) =
                         mapping.sources.iter().position(|s| s == relation)
                     else {
@@ -389,7 +404,7 @@ impl IncrementalExecutor {
                         plan.remove_row(relation, src_idx, row)?;
                     }
                 }
-                DeltaChange::RowsReplaced { relation, removed, added, tail } => {
+                DeltaChange::RowsReplaced { relation, removed, added, tail, .. } => {
                     let Some(src_idx) =
                         mapping.sources.iter().position(|s| s == relation)
                     else {
@@ -508,8 +523,10 @@ impl IncrementalExecutor {
         mapping: &MappingDef,
         target: &Schema,
         kb: &KnowledgeBase,
+        store: Option<&mut vada_kb::ShardedStore>,
     ) -> Result<Relation> {
-        let input = build_input_db(mapping, kb)?;
+        let input =
+            build_input_db_with(mapping, kb, cfg.sharding, cfg.engine.parallelism, store)?;
         // first-occurrence source index and contributor count per helper
         // fact, and row multiplicities, in the same scan order
         // build_input_db uses

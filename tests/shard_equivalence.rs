@@ -1,0 +1,298 @@
+//! Differential tests for the sharded knowledge-base store: every
+//! pipeline entry point must produce output under `Sharding::Shards(n)`
+//! that is byte-identical to `Sharding::Off` — same relations (the whole
+//! catalog, not just the result), same fact insertion order, same trace
+//! (modulo wall-clock durations) — at every parallelism level and
+//! evaluation mode, including after journal-replayed append / remove /
+//! update edits. This is the contract that makes the `VADA_SHARDS`
+//! override safe to flip in production.
+
+use std::sync::Arc;
+
+use vada::{Evaluation, OrchestratorConfig, Parallelism, Sharding, Wrangler};
+use vada_common::sharding::KeyPartitioner;
+use vada_common::{csv, tuple, HashPartitioner};
+use vada_extract::sources::target_schema;
+use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
+use vada_kb::{ShardedRelation, ShardedStore, SyncMode};
+
+/// The full configuration matrix the acceptance criteria pin.
+fn matrix() -> Vec<(Sharding, Parallelism, Evaluation)> {
+    let mut out = Vec::new();
+    for sharding in [Sharding::Off, Sharding::Shards(4)] {
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            for eval in [Evaluation::Full, Evaluation::Incremental] {
+                out.push((sharding, par, eval));
+            }
+        }
+    }
+    out
+}
+
+/// Render everything observable about a wrangle: the trace's stable
+/// fields, plus every catalog relation as one CSV section (insertion
+/// order included).
+fn observe(w: &Wrangler) -> (String, Vec<String>) {
+    let mut trace = String::new();
+    for entry in w.trace().entries() {
+        trace.push_str(&format!(
+            "#{} {} [{}] dep={} v{}->v{} writes={} {}\n",
+            entry.step,
+            entry.transducer,
+            entry.activity,
+            entry.input_dependency,
+            entry.kb_version_before,
+            entry.kb_version_after,
+            entry.writes,
+            entry.summary
+        ));
+    }
+    let sections = w
+        .kb()
+        .catalog()
+        .entries()
+        .map(|(name, kind, rel)| {
+            format!("=== {name} [{}] ===\n{}", kind.tag(), csv::write_relation(rel))
+        })
+        .collect();
+    (trace, sections)
+}
+
+/// Mapping ids (`map<N>`) come from a process-global counter, so their
+/// absolute numbers depend on how many wrangles ran earlier in this test
+/// process. Ids allocate in strictly increasing order, and two equivalent
+/// runs allocate the same number in the same event sequence — so ranking
+/// the distinct ids numerically pairs the k-th allocated id of one run
+/// with the k-th of the other, independent of where it first appears in
+/// the observation. (First-seen ordering would not: catalog sections sort
+/// by raw name, and `candidate_map12` vs `candidate_map7` sort
+/// differently than their padded successors in a later run.)
+fn map_id_ranks(s: &str) -> std::collections::BTreeMap<u64, usize> {
+    let bytes = s.as_bytes();
+    let mut ids: std::collections::BTreeSet<u64> = Default::default();
+    let mut i = 0;
+    while i < bytes.len() {
+        if s[i..].starts_with("map") && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric()) {
+            let start = i + 3;
+            let mut end = start;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            if end > start {
+                ids.insert(s[start..end].parse().unwrap());
+                i = end;
+                continue;
+            }
+        }
+        i += s[i..].chars().next().unwrap().len_utf8();
+    }
+    ids.into_iter().enumerate().map(|(rank, id)| (id, rank)).collect()
+}
+
+/// Rewrite every `map<N>` to `map#<rank>` under the given ranking.
+fn rewrite_map_ids(s: &str, ranks: &std::collections::BTreeMap<u64, usize>) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if s[i..].starts_with("map") && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric()) {
+            let start = i + 3;
+            let mut end = start;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            if end > start {
+                let id: u64 = s[start..end].parse().unwrap();
+                out.push_str(&format!("map#{}", ranks[&id]));
+                i = end;
+                continue;
+            }
+        }
+        let c = s[i..].chars().next().unwrap();
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+/// Canonicalize a whole observation: rank-rewrite the mapping ids, then
+/// sort the catalog sections by their rewritten headers so section order
+/// no longer depends on the raw id digits.
+fn canonicalize(trace: &str, sections: &[String]) -> String {
+    let all = format!("{trace}{}", sections.join(""));
+    let ranks = map_id_ranks(&all);
+    let mut sections: Vec<String> =
+        sections.iter().map(|s| rewrite_map_ids(s, &ranks)).collect();
+    sections.sort();
+    format!("{}{}", rewrite_map_ids(trace, &ranks), sections.join(""))
+}
+
+/// Drive the full pay-as-you-go pipeline (bootstrap, data context, user
+/// context), then a journal-replayed edit phase (row removals, a tail
+/// rewrite, a mid-relation rewrite, a grown re-registration) and a final
+/// re-run — under one configuration of the matrix.
+fn wrangle(sharding: Sharding, par: Parallelism, eval: Evaluation) -> String {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 90, seed: 23 },
+        ..Default::default()
+    });
+    let mut w = Wrangler::new();
+    w.set_orchestrator_config(OrchestratorConfig {
+        sharding,
+        parallelism: par,
+        evaluation: eval,
+        ..OrchestratorConfig::default()
+    });
+    w.add_source(s.rightmove.clone());
+    w.add_source(s.onthemarket.clone());
+    w.add_source(s.deprivation.clone());
+    w.set_target(target_schema());
+    w.run().expect("bootstrap succeeds");
+    w.add_data_context(
+        s.address.clone(),
+        vada_kb::ContextKind::Reference,
+        &[("street", "street"), ("postcode", "postcode")],
+    )
+    .expect("context registers");
+    w.run().expect("context step succeeds");
+    w.set_user_context(vec![vada_kb::PairwiseStatement {
+        more_important: "completeness(crimerank)".into(),
+        less_important: "completeness(bedrooms)".into(),
+        strength: "strongly".into(),
+    }]);
+    w.run().expect("user-context step succeeds");
+
+    // --- journal-replayed edit phase ---
+    // row-level removals
+    w.remove_source_rows("rightmove", &[2, 7, 11]).expect("removal applies");
+    // a tail rewrite (replayable incrementally) and a mid rewrite (forces
+    // the fallback) — equivalence must hold either way
+    let n = w.kb().relation("rightmove").unwrap().len();
+    let edited = |row: &vada_common::Tuple, price: &str| {
+        let mut vals: Vec<vada_common::Value> = row.iter().cloned().collect();
+        vals[0] = vada_common::Value::str(price);
+        vada_common::Tuple::new(vals)
+    };
+    let tail_row = edited(&w.kb().relation("rightmove").unwrap().tuples()[n - 1], "275000");
+    w.update_source_rows("rightmove", &[(n - 1, tail_row)]).expect("tail rewrite applies");
+    let mid_row = edited(&w.kb().relation("onthemarket").unwrap().tuples()[1], "999999");
+    w.update_source_rows("onthemarket", &[(1, mid_row)]).expect("mid rewrite applies");
+    // a grown re-registration → monotone RowsAppended
+    let mut grown = w.kb().relation("deprivation").unwrap().clone();
+    grown.push(tuple!["ZZ99", "42"]).unwrap();
+    w.add_source(grown);
+    w.run().expect("edit re-run succeeds");
+
+    let (trace, sections) = observe(&w);
+    canonicalize(&trace, &sections)
+}
+
+#[test]
+fn full_matrix_is_byte_identical_to_unsharded_sequential_full() {
+    let baseline = wrangle(Sharding::Off, Parallelism::Sequential, Evaluation::Full);
+    assert!(baseline.contains("=== property"), "pipeline materialised a result");
+    for (sharding, par, eval) in matrix() {
+        if (sharding, par, eval)
+            == (Sharding::Off, Parallelism::Sequential, Evaluation::Full)
+        {
+            continue;
+        }
+        let got = wrangle(sharding, par, eval);
+        assert_eq!(
+            got, baseline,
+            "{sharding:?} × {par:?} × {eval:?} diverged from Off × Sequential × Full"
+        );
+    }
+}
+
+#[test]
+fn any_shard_count_partitions_and_merges_identically() {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 150, seed: 7 },
+        ..Default::default()
+    });
+    let rel = &s.rightmove;
+    let key_cols = vec![rel.schema().require("postcode").unwrap()];
+    for shards in [2usize, 3, 4, 8, 16] {
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let hashed =
+                ShardedRelation::partition(rel, &HashPartitioner, shards, par).unwrap();
+            assert_eq!(hashed.merge().tuples(), rel.tuples(), "hash n={shards} {par:?}");
+            let keyed = ShardedRelation::partition(
+                rel,
+                &KeyPartitioner { cols: key_cols.clone() },
+                shards,
+                par,
+            )
+            .unwrap();
+            assert_eq!(keyed.merge().tuples(), rel.tuples(), "key n={shards} {par:?}");
+        }
+    }
+}
+
+/// The journal-routing half of the determinism guarantee, pinned directly
+/// on the store: a scripted append / remove / update history syncs
+/// O(change) (routed, no repartition) and every intermediate merged view
+/// is byte-identical to the canonical relation.
+#[test]
+fn journal_replayed_edits_keep_the_store_byte_identical() {
+    let s = Scenario::generate(ScenarioConfig {
+        universe: UniverseConfig { properties: 60, seed: 3 },
+        ..Default::default()
+    });
+    let mut kb = vada_kb::KnowledgeBase::new();
+    kb.register_source(s.rightmove.clone());
+    kb.register_source(s.deprivation.clone());
+
+    for partitioner in [
+        Arc::new(HashPartitioner) as Arc<dyn vada_common::Partitioner + Send + Sync>,
+        Arc::new(KeyPartitioner {
+            cols: vec![s.rightmove.schema().require("postcode").unwrap()],
+        }),
+    ] {
+        let mut store = ShardedStore::with_partitioner(Sharding::Shards(4), partitioner);
+        assert_eq!(store.sync(&kb).unwrap().mode, SyncMode::Rebuild);
+
+        let check = |store: &mut ShardedStore, kb: &vada_kb::KnowledgeBase| {
+            let report = store.sync(kb).unwrap();
+            assert_eq!(report.mode, SyncMode::Routed, "row-level edits must route");
+            assert_eq!(report.repartitioned, 0, "row-level edits must not repartition");
+            for (name, _, rel) in kb.catalog().entries() {
+                assert_eq!(
+                    store.view(name).unwrap().merge().tuples(),
+                    rel.tuples(),
+                    "merged view of `{name}` diverged"
+                );
+            }
+        };
+
+        // appends (grown re-registration)
+        let mut grown = kb.relation("rightmove").unwrap().clone();
+        grown.push(tuple!["300000", "9 new st", "M1 1AA", "3", "semi", "nice"]).unwrap();
+        grown.push(tuple!["310000", "10 new st", "EH1 1AA", "2", "flat", "ok"]).unwrap();
+        kb.register_source(grown);
+        check(&mut store, &kb);
+
+        // removals, duplicates-safe by position
+        kb.remove_rows("rightmove", &[0, 5, 6]).unwrap();
+        check(&mut store, &kb);
+
+        // in-place rewrites: tail and mid
+        let n = kb.relation("rightmove").unwrap().len();
+        kb.update_source(
+            "rightmove",
+            &[(n - 1, tuple!["1", "rewritten tail", "ZZ1 1ZZ", "9", "x", "d1"])],
+        )
+        .unwrap();
+        check(&mut store, &kb);
+        kb.update_source(
+            "rightmove",
+            &[(1, tuple!["2", "rewritten mid", "M9 9AA", "1", "y", "d2"])],
+        )
+        .unwrap();
+        check(&mut store, &kb);
+
+        // the whole history cost exactly one rebuild (the initial sync)
+        assert_eq!(store.stats().0, 1, "row-level history must stay routed");
+    }
+}
