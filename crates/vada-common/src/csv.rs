@@ -20,6 +20,11 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>> {
     let mut chars = text.chars().peekable();
     let mut in_quotes = false;
     let mut saw_any = false;
+    // Whether the current (last) field was explicitly opened by a quote.
+    // `field` alone can't tell `""` (a present-but-empty field) apart from
+    // "nothing on this line", so the final flush needs this bit to keep a
+    // trailing `""` without a newline from being dropped.
+    let mut field_started = false;
 
     while let Some(c) = chars.next() {
         saw_any = true;
@@ -40,6 +45,7 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>> {
                 '"' => {
                     if field.is_empty() {
                         in_quotes = true;
+                        field_started = true;
                     } else {
                         return Err(VadaError::Csv(
                             "quote in the middle of an unquoted field".into(),
@@ -55,10 +61,12 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>> {
                     }
                     row.push(std::mem::take(&mut field));
                     rows.push(std::mem::take(&mut row));
+                    field_started = false;
                 }
                 '\n' => {
                     row.push(std::mem::take(&mut field));
                     rows.push(std::mem::take(&mut row));
+                    field_started = false;
                 }
                 _ => field.push(c),
             }
@@ -67,7 +75,7 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>> {
     if in_quotes {
         return Err(VadaError::Csv("unterminated quoted field".into()));
     }
-    if saw_any && (!field.is_empty() || !row.is_empty()) {
+    if saw_any && (field_started || !field.is_empty() || !row.is_empty()) {
         row.push(field);
         rows.push(row);
     }
@@ -261,6 +269,35 @@ mod tests {
     #[test]
     fn rejects_unterminated_quote() {
         assert!(parse("\"oops").is_err());
+    }
+
+    #[test]
+    fn final_quoted_empty_field_without_newline_kept() {
+        // regression: the final flush used to drop a last line that is a
+        // single quoted empty field with no trailing newline
+        assert_eq!(parse("\"\"").unwrap(), vec![vec![String::new()]]);
+        // consistent with the trailing-newline spelling of the same data
+        assert_eq!(parse("\"\"\n").unwrap(), parse("\"\"").unwrap());
+        // and as the last row of a larger file
+        assert_eq!(
+            parse("a,b\n\"\"").unwrap(),
+            vec![vec!["a".to_string(), "b".to_string()], vec![String::new()]]
+        );
+        // a quoted-empty final *cell* after a comma was already kept; pin it
+        assert_eq!(
+            parse("x,\"\"").unwrap(),
+            vec![vec!["x".to_string(), String::new()]]
+        );
+    }
+
+    #[test]
+    fn final_quoted_empty_field_round_trips() {
+        // serialize always emits a trailing newline, so the round trip goes
+        // through the newline spelling — both spellings must agree
+        let data = vec![vec!["x".to_string()], vec![String::new()]];
+        assert_eq!(parse(&serialize(&data)).unwrap(), data);
+        let quoted = "x\n\"\"";
+        assert_eq!(parse(quoted).unwrap(), vec![vec!["x".to_string()], vec![String::new()]]);
     }
 
     #[test]

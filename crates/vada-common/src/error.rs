@@ -33,6 +33,9 @@ pub enum VadaError {
     Context(String),
     /// A parallel stage failed (captured worker panic, named stage).
     Parallel(String),
+    /// Durable storage failed (WAL/snapshot I/O, corrupt or truncated
+    /// records, codec mismatches).
+    Storage(String),
     /// Anything else.
     Other(String),
 }
@@ -51,6 +54,7 @@ impl VadaError {
             | VadaError::Transducer(m)
             | VadaError::Context(m)
             | VadaError::Parallel(m)
+            | VadaError::Storage(m)
             | VadaError::Other(m) => m,
         }
     }
@@ -68,6 +72,7 @@ impl VadaError {
             VadaError::Transducer(_) => "transducer",
             VadaError::Context(_) => "context",
             VadaError::Parallel(_) => "parallel",
+            VadaError::Storage(_) => "storage",
             VadaError::Other(_) => "other",
         }
     }
@@ -120,6 +125,7 @@ mod tests {
             VadaError::Transducer(String::new()).kind(),
             VadaError::Context(String::new()).kind(),
             VadaError::Parallel(String::new()).kind(),
+            VadaError::Storage(String::new()).kind(),
             VadaError::Other(String::new()).kind(),
         ];
         let set: std::collections::HashSet<_> = kinds.iter().collect();

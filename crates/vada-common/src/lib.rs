@@ -8,7 +8,9 @@
 //! Every other crate in the workspace builds on these types; keeping them in
 //! one dependency-free crate avoids cycles between the wrangling components.
 
+pub mod codec;
 pub mod csv;
+pub mod durability;
 pub mod error;
 pub mod evaluation;
 pub mod idgen;
@@ -20,6 +22,7 @@ pub mod text;
 pub mod tuple;
 pub mod value;
 
+pub use durability::Durability;
 pub use error::{Result, VadaError};
 pub use evaluation::Evaluation;
 pub use par::Parallelism;

@@ -141,7 +141,9 @@ impl Value {
             (Value::Null, _) => Ok(Value::Null),
             (v, t) if v.attr_type() == Some(t) => Ok(v.clone()),
             (Value::Int(i), AttrType::Float) => Ok(Value::Float(*i as f64)),
-            (Value::Float(f), AttrType::Int) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
+            (Value::Float(f), AttrType::Int) if f.fract() == 0.0 && in_i64_range(*f) => {
+                Ok(Value::Int(*f as i64))
+            }
             (Value::Str(s), t) => Value::parse_as(s, t),
             (v, AttrType::Str) => Ok(Value::str(v.to_string())),
             (v, t) => Err(VadaError::Type(format!("cannot coerce {v} to {t}"))),
@@ -158,7 +160,11 @@ impl Value {
         }
     }
 
-    fn canonical_f64(f: f64) -> u64 {
+    /// The canonical bit pattern of a float: all NaN payloads unify, `-0.0`
+    /// folds into `+0.0`. This is the representation hashing uses, and the
+    /// one the binary codec persists, so equal values stay byte-identical
+    /// across the serialization boundary.
+    pub fn canonical_f64(f: f64) -> u64 {
         if f.is_nan() {
             f64::NAN.to_bits()
         } else if f == 0.0 {
@@ -167,6 +173,15 @@ impl Value {
             f.to_bits()
         }
     }
+}
+
+/// Whether `f` is exactly representable as an `i64`: `[-2^63, 2^63)`.
+/// `2^63` itself is the first excluded value — `as i64` would saturate it
+/// (and everything larger, e.g. `1e300`) to `i64::MAX` silently. The lower
+/// bound is inclusive because `-2^63 == i64::MIN` is an exact double.
+fn in_i64_range(f: f64) -> bool {
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0; // 2^63
+    (-TWO_POW_63..TWO_POW_63).contains(&f)
 }
 
 /// `f64::total_cmp` with `-0.0` unified to `+0.0` and all NaN payloads
@@ -367,6 +382,29 @@ mod tests {
         );
         assert!(Value::Float(3.5).coerce(AttrType::Int).is_err());
         assert_eq!(Value::Null.coerce(AttrType::Int).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn coerce_rejects_floats_outside_i64_range() {
+        // regression: these have fract() == 0.0 but `as i64` would saturate
+        for f in [1e300, 9_223_372_036_854_775_808.0, -1e300, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Value::Float(f).coerce(AttrType::Int).unwrap_err();
+            assert_eq!(err.kind(), "type", "{f}");
+        }
+        // boundary: i64::MIN is an exact double and must still convert...
+        assert_eq!(
+            Value::Float(-9_223_372_036_854_775_808.0)
+                .coerce(AttrType::Int)
+                .unwrap(),
+            Value::Int(i64::MIN)
+        );
+        // ...and the largest double strictly below 2^63 converts exactly
+        let below = 9_223_372_036_854_774_784.0f64; // 2^63 - 1024
+        assert_eq!(
+            Value::Float(below).coerce(AttrType::Int).unwrap(),
+            Value::Int(below as i64)
+        );
+        assert!(Value::Float(f64::NAN).coerce(AttrType::Int).is_err());
     }
 
     #[test]

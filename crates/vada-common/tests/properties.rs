@@ -192,3 +192,71 @@ fn partitioners() -> Vec<Box<dyn sharding::Partitioner + Sync>> {
         Box::new(sharding::KeyPartitioner { cols: vec![0, 2] }),
     ]
 }
+
+/// `arb_value` plus the canonical codec's hard cases: every NaN payload,
+/// negative zero, the infinities, the extreme integers, and strings with
+/// embedded NULs, newlines, quotes, and non-ASCII.
+fn arb_adversarial_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_value(),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(-f64::NAN)),
+        Just(Value::Float(f64::from_bits(0x7FF8_0000_0000_1234))), // payloaded NaN
+        Just(Value::Float(-0.0)),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(f64::NEG_INFINITY)),
+        Just(Value::Float(f64::MIN_POSITIVE)),
+        Just(Value::Float(f64::MAX)),
+        Just(Value::Int(i64::MIN)),
+        Just(Value::Int(i64::MAX)),
+        Just(Value::str("embedded\nnewline")),
+        Just(Value::str("embedded\0nul")),
+        Just(Value::str("quote\"comma, — ünïcode")),
+        Just(Value::str("")),
+    ]
+}
+
+proptest! {
+    /// The storage codec is total and canonical over every value,
+    /// including the ones CSV cannot carry: decode∘encode is the
+    /// identity under value equality (which unifies NaN payloads and
+    /// `-0.0` exactly like the codec does), and re-encoding the decoded
+    /// value is *byte*-identical — encoded bytes are a stable canonical
+    /// form fit for CRC-framed logs.
+    #[test]
+    fn value_codec_round_trips_canonically(v in arb_adversarial_value()) {
+        use vada_common::codec::{decode_value, encode_value, Reader};
+        let mut bytes = Vec::new();
+        encode_value(&v, &mut bytes);
+        let mut r = Reader::new(&bytes);
+        let back = decode_value(&mut r).unwrap();
+        prop_assert!(r.is_done(), "decode must consume exactly the encoding");
+        prop_assert_eq!(&back, &v, "decode∘encode must be identity modulo canonicalisation");
+        let mut again = Vec::new();
+        encode_value(&back, &mut again);
+        prop_assert_eq!(again, bytes, "the decoded value must re-encode byte-identically");
+    }
+
+    /// Same at tuple granularity, plus: every strict prefix of the
+    /// encoding is rejected, never misread — the property the WAL's
+    /// torn-tail handling builds on.
+    #[test]
+    fn tuple_codec_round_trips_and_rejects_every_prefix(
+        vals in proptest::collection::vec(arb_adversarial_value(), 0..6)
+    ) {
+        use vada_common::codec::{decode_tuple, encode_tuple, Reader};
+        let t = vada_common::Tuple::new(vals);
+        let mut bytes = Vec::new();
+        encode_tuple(&t, &mut bytes);
+        let back = decode_tuple(&mut Reader::new(&bytes)).unwrap();
+        prop_assert_eq!(&back, &t);
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            prop_assert!(
+                decode_tuple(&mut r).is_err() || !r.is_done(),
+                "a strict prefix (cut {}) must not silently decode to a whole tuple",
+                cut
+            );
+        }
+    }
+}

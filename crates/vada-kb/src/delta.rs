@@ -225,6 +225,38 @@ impl DeltaJournal {
         DeltaJournal { capacity: capacity.max(1), ..DeltaJournal::default() }
     }
 
+    /// Rebuild a journal from persisted state — the storage recovery path.
+    ///
+    /// Unlike [`Clone`], this restores the **persisted lineage**: the point
+    /// of recovery is that watermarks consumers took before the crash keep
+    /// resolving against the reopened base. The process-wide lineage
+    /// counter is advanced past it so journals created later in this
+    /// process can never collide with the restored identity. (The converse
+    /// hazard — reopening a directory while the original instance still
+    /// appends to the same lineage — is excluded by the storage layer's
+    /// single-writer contract.)
+    pub(crate) fn restore(
+        lineage: u64,
+        pruned_through: u64,
+        last_seq: u64,
+        capacity: usize,
+        events: Vec<DeltaEvent>,
+    ) -> DeltaJournal {
+        NEXT_LINEAGE.fetch_max(lineage + 1, Ordering::Relaxed);
+        DeltaJournal {
+            events: events.into(),
+            pruned_through,
+            last_seq,
+            lineage,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The retention capacity of the bounded window.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Record a mutation. `seq` must be strictly greater than any
     /// previously recorded sequence (the KB version counter guarantees
     /// this).
@@ -396,6 +428,66 @@ mod tests {
         let tail = j.events_since(1).unwrap();
         assert_eq!(tail.len(), 2);
         assert!(tail.iter().all(|e| e.change.is_monotone()));
+    }
+
+    #[test]
+    fn window_arithmetic_at_the_exact_default_capacity_boundary() {
+        // Audit pin for the 4096-event window (issue: suspected
+        // `events_since`/`pruned_through` off-by-one at the boundary).
+        // The audited invariants, pinned at window, window-1, window+1:
+        //  - pruning starts with event `capacity + 1`, not `capacity`;
+        //  - after pruning, `pruned_through` equals the dropped seq, and a
+        //    consumer *at* that watermark is still served (it already saw
+        //    the dropped event), while one strictly below it is not;
+        //  - the retained window is exactly `capacity` events.
+        let cap = DEFAULT_JOURNAL_CAPACITY as u64;
+        let mut j = DeltaJournal::default();
+        for s in 1..cap {
+            j.record(s, "staged", DeltaChange::AspectChanged { detail: "staged".into() });
+        }
+        // window - 1 events: nothing pruned, watermark 0 fully served
+        assert_eq!(j.pruned_through(), 0);
+        assert_eq!(j.events_since(0).unwrap().len(), (cap - 1) as usize);
+
+        // exactly `window` events: still nothing pruned
+        j.record(cap, "staged", DeltaChange::AspectChanged { detail: "staged".into() });
+        assert_eq!(j.pruned_through(), 0);
+        assert_eq!(j.len(), cap as usize);
+        assert_eq!(j.events_since(0).unwrap().len(), cap as usize);
+
+        // window + 1: seq 1 is dropped; watermark 0 loses service, the
+        // watermark equal to pruned_through keeps it
+        j.record(cap + 1, "staged", DeltaChange::AspectChanged { detail: "staged".into() });
+        assert_eq!(j.pruned_through(), 1);
+        assert_eq!(j.len(), cap as usize);
+        assert!(j.events_since(0).is_none());
+        assert_eq!(j.events_since(1).unwrap().len(), cap as usize);
+        assert_eq!(j.events_since(2).unwrap().len(), (cap - 1) as usize);
+    }
+
+    #[test]
+    fn restore_rebuilds_watermarks_and_advances_the_lineage_counter() {
+        let mut j = DeltaJournal::with_capacity(2);
+        for s in 1..=3 {
+            j.record(s, "relations", append("a", 1));
+        }
+        let events: Vec<DeltaEvent> = j.events_since(j.pruned_through()).unwrap();
+        let restored = DeltaJournal::restore(
+            j.lineage(),
+            j.pruned_through(),
+            j.last_seq(),
+            2,
+            events,
+        );
+        assert_eq!(restored.lineage(), j.lineage());
+        assert_eq!(restored.pruned_through(), j.pruned_through());
+        assert_eq!(restored.last_seq(), j.last_seq());
+        assert_eq!(restored.capacity(), 2);
+        for v in 0..=4 {
+            assert_eq!(restored.events_since(v), j.events_since(v), "watermark {v}");
+        }
+        // new journals never reuse the restored identity
+        assert!(DeltaJournal::default().lineage() > restored.lineage());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The [`KnowledgeBase`] facade: typed state plus the Datalog fact view.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use parking_lot::Mutex;
 use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
@@ -9,6 +10,7 @@ use vada_datalog::parser::parse_query;
 
 use crate::catalog::{Catalog, RelationKind};
 use crate::delta::{DeltaChange, DeltaEvent, DeltaJournal};
+use crate::storage::{self, Snapshot, StoredRelation, WalRecord};
 use crate::meta::{
     CellVeto, CfdRule, ContextKind, FeedbackRecord, FeedbackTarget, MappingDef, MatchDef,
     PairwiseStatement, QualityFact, Verdict,
@@ -40,6 +42,13 @@ pub struct KnowledgeBase {
     /// cached dependency view, patched from journal deltas (see
     /// [`KnowledgeBase::query`]).
     dep_cache: Mutex<DepCache>,
+    /// write-ahead log + snapshot directory, when durable (see
+    /// [`KnowledgeBase::open`] / [`KnowledgeBase::persist_to`]).
+    durable: Option<storage::DurableStore>,
+    /// sticky first storage failure; set when a WAL append or compaction
+    /// fails, at which point the log is detached (see
+    /// [`KnowledgeBase::storage_health`]).
+    storage_error: Option<VadaError>,
 }
 
 /// The dependency fact view cache: the database as of `version`, plus the
@@ -136,6 +145,11 @@ impl Clone for KnowledgeBase {
             journal: self.journal.clone(),
             provenance: self.provenance.clone(),
             dep_cache: Mutex::new(DepCache::default()),
+            // a clone is a new lineage (see the journal's Clone impl), and
+            // a WAL directory has exactly one writer: the clone is
+            // in-memory only until persist_to is called on it
+            durable: None,
+            storage_error: None,
         }
     }
 }
@@ -146,14 +160,241 @@ impl KnowledgeBase {
         KnowledgeBase::default()
     }
 
+    /// An empty knowledge base with a custom journal retention window
+    /// (tests and memory-tuned deployments; the default window is
+    /// [`crate::delta::DEFAULT_JOURNAL_CAPACITY`]). The window also sets
+    /// the WAL compaction cadence — see [`KnowledgeBase::persist_to`].
+    pub fn with_journal_capacity(capacity: usize) -> KnowledgeBase {
+        KnowledgeBase {
+            journal: DeltaJournal::with_capacity(capacity),
+            ..KnowledgeBase::default()
+        }
+    }
+
     fn touch(&mut self, aspect: &'static str) {
         self.touch_with(aspect, DeltaChange::AspectChanged { detail: aspect.to_string() });
     }
 
     fn touch_with(&mut self, aspect: &'static str, change: DeltaChange) {
+        self.touch_full(aspect, change, None);
+    }
+
+    /// The single version-bump path: checkpoint if the journal window is
+    /// about to prune, make the event durable, then record it. Relation
+    /// mutators call this **before** touching the catalog (write-ahead:
+    /// the event is fsync'd before it is applied), passing the full
+    /// relation as `payload` when the change does not carry its rows.
+    /// Metadata mutators apply first — their `AspectChanged` events carry
+    /// no state, so replay has nothing to misorder.
+    fn touch_full(
+        &mut self,
+        aspect: &'static str,
+        change: DeltaChange,
+        payload: Option<(RelationKind, &Relation)>,
+    ) {
+        if self.durable.is_some() && self.journal.len() >= self.journal.capacity() {
+            // the incoming event would prune the in-memory window: compact
+            // now, so the log never holds events the journal has forgotten
+            // (recovery replays log records on top of the snapshot, and
+            // both must describe the same window)
+            let snap = self.snapshot_state();
+            if let Err(e) = self.durable.as_mut().expect("checked above").compact(&snap) {
+                self.storage_error.get_or_insert(e);
+                self.durable = None;
+            }
+        }
         self.version += 1;
         self.aspect_versions.insert(aspect, self.version);
+        if self.durable.is_some() {
+            let record = WalRecord {
+                event: DeltaEvent { seq: self.version, aspect, change: change.clone() },
+                payload: payload.map(|(kind, rel)| StoredRelation::capture(kind, rel)),
+            };
+            if let Err(e) = self.durable.as_mut().expect("checked above").append(&record) {
+                // an un-fsyncable log must not silently pretend to be
+                // durable: detach it and hold the error for
+                // storage_health; in-memory operation continues
+                self.storage_error.get_or_insert(e);
+                self.durable = None;
+            }
+        }
         self.journal.record(self.version, aspect, change);
+    }
+
+    /// The full persistent image of the current extensional state — what a
+    /// snapshot stores and what recovery restores.
+    fn snapshot_state(&self) -> Snapshot {
+        Snapshot {
+            version: self.version,
+            lineage: self.journal.lineage(),
+            pruned_through: self.journal.pruned_through(),
+            capacity: self.journal.capacity() as u64,
+            aspect_versions: self
+                .aspect_versions
+                .iter()
+                .map(|(a, v)| (a.to_string(), *v))
+                .collect(),
+            events: self
+                .journal
+                .events_since(self.journal.pruned_through())
+                .expect("a journal can always serve its own pruned-through watermark"),
+            relations: self
+                .catalog
+                .entries()
+                .map(|(_, kind, rel)| StoredRelation::capture(kind, rel))
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // durability
+    // ------------------------------------------------------------------
+
+    /// Reopen a durable knowledge base from `dir`: load the snapshot (if
+    /// any), replay the surviving WAL records on top, and keep appending
+    /// to the same directory. The recovered catalog, journal window,
+    /// watermarks, and lineage are byte-identical to the in-memory state
+    /// as of the last fsync'd event, so consumers that cached a
+    /// `(lineage, version)` watermark before the crash resume O(change).
+    ///
+    /// Derived metadata (matches, mappings, CFDs, feedback, contexts,
+    /// staged documents…) is **not** persisted — it is re-derived by
+    /// wrangling over the recovered catalog. Their `AspectChanged` events
+    /// are still journalled and replayed, so aspect versions and the
+    /// window are exact.
+    ///
+    /// A WAL directory has a single writer: do not open a directory that
+    /// another live `KnowledgeBase` is still appending to.
+    pub fn open(dir: impl AsRef<Path>) -> Result<KnowledgeBase> {
+        let (durable, snap, records) = storage::DurableStore::open(dir.as_ref())?;
+        let mut kb = KnowledgeBase::new();
+        if let Some(snap) = snap {
+            kb.load_snapshot(snap)?;
+        }
+        for record in records {
+            // records at or below the snapshot version are the overlap an
+            // interrupted compaction leaves (snapshot renamed, log not yet
+            // reset): already part of the snapshot, skip
+            if record.event.seq <= kb.version {
+                continue;
+            }
+            kb.apply_replay(record)?;
+        }
+        kb.durable = Some(durable);
+        Ok(kb)
+    }
+
+    /// Make this knowledge base durable under `dir` (created if needed):
+    /// write the current state as the base snapshot, start a fresh WAL,
+    /// and append every subsequent mutation to it. The journal's bounded
+    /// window doubles as the compaction cadence: whenever the next event
+    /// would prune the in-memory window, the log is compacted into a new
+    /// snapshot first.
+    pub fn persist_to(&mut self, dir: impl AsRef<Path>) -> Result<()> {
+        let snap = self.snapshot_state();
+        self.durable = Some(storage::DurableStore::create(dir.as_ref(), &snap)?);
+        self.storage_error = None;
+        Ok(())
+    }
+
+    /// Detach the write-ahead log (the files stay on disk; mutations stop
+    /// being persisted).
+    pub fn disable_durability(&mut self) {
+        self.durable = None;
+        self.storage_error = None;
+    }
+
+    /// The durable directory, when a WAL is attached.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir())
+    }
+
+    /// `Ok` while durability is healthy (or off). After a WAL append or
+    /// compaction failure the log is detached — acknowledging writes a
+    /// crash would lose is worse than degrading to in-memory — and this
+    /// returns the sticky first error until durability is re-established
+    /// via [`KnowledgeBase::persist_to`].
+    pub fn storage_health(&self) -> Result<()> {
+        match &self.storage_error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn load_snapshot(&mut self, snap: Snapshot) -> Result<()> {
+        for stored in snap.relations {
+            let (kind, rel) = stored.into_relation()?;
+            self.catalog.put(kind, rel);
+        }
+        self.version = snap.version;
+        self.aspect_versions = snap
+            .aspect_versions
+            .iter()
+            .map(|(a, v)| Ok((storage::codec::static_aspect(a)?, *v)))
+            .collect::<Result<_>>()?;
+        self.journal = DeltaJournal::restore(
+            snap.lineage,
+            snap.pruned_through,
+            snap.version,
+            snap.capacity as usize,
+            snap.events,
+        );
+        Ok(())
+    }
+
+    /// Re-apply one recovered WAL record: catalog effect, version,
+    /// aspect version, journal entry — the same order the original
+    /// mutation produced them.
+    fn apply_replay(&mut self, record: WalRecord) -> Result<()> {
+        let WalRecord { event, payload } = record;
+        let DeltaEvent { seq, aspect, change } = event;
+        let missing = |relation: &str| {
+            VadaError::Storage(format!(
+                "replay references unknown relation `{relation}` (log/snapshot mismatch)"
+            ))
+        };
+        match (&change, payload) {
+            (DeltaChange::RowsAppended { relation, rows }, _) => {
+                let rel = self.catalog.get_mut(relation).ok_or_else(|| missing(relation))?;
+                rel.extend(rows.iter().cloned())?;
+            }
+            (DeltaChange::RowsRemoved { relation, positions, .. }, _) => {
+                let rel = self.catalog.get_mut(relation).ok_or_else(|| missing(relation))?;
+                rel.remove_rows(positions)?;
+            }
+            (DeltaChange::RowsReplaced { relation, added, positions, .. }, _) => {
+                let rel = self.catalog.get_mut(relation).ok_or_else(|| missing(relation))?;
+                for (pos, tuple) in positions.iter().zip(added) {
+                    rel.replace(*pos, tuple.clone())?;
+                }
+            }
+            (
+                DeltaChange::RelationAdded { .. } | DeltaChange::RelationReplaced { .. },
+                Some(stored),
+            ) => {
+                let (kind, rel) = stored.into_relation()?;
+                self.catalog.put(kind, rel);
+            }
+            (
+                DeltaChange::RelationAdded { relation }
+                | DeltaChange::RelationReplaced { relation },
+                None,
+            ) => {
+                return Err(VadaError::Storage(format!(
+                    "replay record {seq} for `{relation}` is missing its relation payload"
+                )));
+            }
+            (DeltaChange::RelationRemoved { relation }, _) => {
+                self.catalog.remove(relation);
+            }
+            // metadata state is not persisted; the event still advances
+            // the version and the journal window below
+            (DeltaChange::AspectChanged { .. }, _) => {}
+        }
+        self.version = seq;
+        self.aspect_versions.insert(aspect, seq);
+        self.journal.record(seq, aspect, change);
+        Ok(())
     }
 
     /// Classify what registering `rel` under `kind` does to the catalog:
@@ -226,9 +467,18 @@ impl KnowledgeBase {
     /// is journalled as a monotone row append, which the incremental
     /// evaluation path can consume as a delta.
     pub fn register_source(&mut self, rel: Relation) {
-        let change = self.relation_change(RelationKind::Source, &rel);
-        self.catalog.put(RelationKind::Source, rel);
-        self.touch_with("relations", change);
+        self.register_relation(RelationKind::Source, "relations", rel);
+    }
+
+    /// The shared registration path: classify the change, journal it
+    /// (write-ahead), then apply it to the catalog. Row-level changes
+    /// carry their rows in the event; relation-level ones ship the full
+    /// relation as the WAL payload.
+    fn register_relation(&mut self, kind: RelationKind, aspect: &'static str, rel: Relation) {
+        let change = self.relation_change(kind, &rel);
+        let payload = if change.is_row_level() { None } else { Some((kind, &rel)) };
+        self.touch_full(aspect, change, payload);
+        self.catalog.put(kind, rel);
     }
 
     /// Remove the rows at the given (pre-removal) indices from a catalog
@@ -242,24 +492,40 @@ impl KnowledgeBase {
             .catalog
             .kind(name)
             .ok_or_else(|| VadaError::Kb(format!("unknown relation `{name}`")))?;
-        let rel = self.catalog.get_mut(name).expect("kind implies presence");
-        let removed = rel.remove_rows(rows)?;
-        if removed.is_empty() {
-            return Ok(removed);
-        }
-        // the same collapse remove_rows applied, so positions pair with
-        // the removed tuples one-to-one
+        let rel = self.catalog.get(name).expect("kind implies presence");
+        // validate and collect up front: the event must hit the log before
+        // the catalog changes (write-ahead), so the apply below cannot be
+        // allowed to fail
         let mut positions: Vec<usize> = rows.to_vec();
         positions.sort_unstable();
         positions.dedup();
-        self.touch_with(
+        if let Some(&last) = positions.last() {
+            if last >= rel.len() {
+                return Err(VadaError::Schema(format!(
+                    "row {last} out of range for `{}` ({} rows)",
+                    name,
+                    rel.len()
+                )));
+            }
+        }
+        if positions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let removed: Vec<Tuple> = positions.iter().map(|&r| rel.tuples()[r].clone()).collect();
+        self.touch_full(
             Self::aspect_of_kind(kind),
             DeltaChange::RowsRemoved {
                 relation: name.to_string(),
                 rows: removed.clone(),
-                positions,
+                positions: positions.clone(),
             },
+            None,
         );
+        self.catalog
+            .get_mut(name)
+            .expect("kind implies presence")
+            .remove_rows(&positions)
+            .expect("validated above");
         Ok(removed)
     }
 
@@ -288,10 +554,11 @@ impl KnowledgeBase {
                 )));
             }
         }
-        let rel = self.catalog.get_mut(name).expect("kind implies presence");
+        let rel = self.catalog.get(name).expect("kind implies presence");
         let len = rel.len();
-        // validate everything up front: a mid-batch failure must not leave
-        // half the edits applied with no journal event
+        // validate everything up front: the event must be durable before
+        // the first edit lands (write-ahead), and a mid-batch failure must
+        // not leave half the edits applied with no journal event
         if let Some((row, _)) = sorted.iter().find(|(row, _)| *row >= len) {
             return Err(VadaError::Kb(format!("row {row} out of range for `{name}`")));
         }
@@ -301,19 +568,14 @@ impl KnowledgeBase {
                 t.arity()
             )));
         }
-        let mut removed = Vec::with_capacity(sorted.len());
-        for (row, tuple) in &sorted {
-            let old = rel.tuples()[*row].clone();
-            rel.replace(*row, tuple.clone())?;
-            removed.push(old);
-        }
+        let removed: Vec<Tuple> = sorted.iter().map(|(row, _)| rel.tuples()[*row].clone()).collect();
         let tail = sorted
             .iter()
             .enumerate()
             .all(|(i, (row, _))| *row == len - sorted.len() + i);
         let positions: Vec<usize> = sorted.iter().map(|(row, _)| *row).collect();
-        let added = sorted.into_iter().map(|(_, t)| t).collect();
-        self.touch_with(
+        let added: Vec<Tuple> = sorted.iter().map(|(_, t)| t.clone()).collect();
+        self.touch_full(
             Self::aspect_of_kind(kind),
             DeltaChange::RowsReplaced {
                 relation: name.to_string(),
@@ -322,7 +584,12 @@ impl KnowledgeBase {
                 positions,
                 tail,
             },
+            None,
         );
+        let rel = self.catalog.get_mut(name).expect("kind implies presence");
+        for (row, tuple) in sorted {
+            rel.replace(row, tuple).expect("range and arity validated above");
+        }
         Ok(())
     }
 
@@ -360,15 +627,13 @@ impl KnowledgeBase {
             rel.schema().require(ctx_attr)?;
         }
         let name = rel.name().to_string();
-        let change = self.relation_change(RelationKind::Context, &rel);
-        self.catalog.put(RelationKind::Context, rel);
         self.context_kinds.insert(name.clone(), kind);
         for (ctx_attr, tgt_attr) in bindings {
             self.context_bindings
                 .push((name.clone(), ctx_attr.to_string(), tgt_attr.to_string()));
         }
         self.touch("data_context");
-        self.touch_with("relations", change);
+        self.register_relation(RelationKind::Context, "relations", rel);
         Ok(())
     }
 
@@ -396,28 +661,25 @@ impl KnowledgeBase {
 
     /// Store a materialised result relation (the wrangled target data).
     pub fn put_result(&mut self, rel: Relation) {
-        let change = self.relation_change(RelationKind::Result, &rel);
-        self.catalog.put(RelationKind::Result, rel);
-        self.touch_with("result", change);
+        self.register_relation(RelationKind::Result, "result", rel);
     }
 
     /// Store an intermediate relation. Intermediates bump their own aspect
     /// (`intermediates`), not `relations`, so they never re-trigger the
     /// schema-level transducers.
     pub fn put_intermediate(&mut self, rel: Relation) {
-        let change = self.relation_change(RelationKind::Intermediate, &rel);
-        self.catalog.put(RelationKind::Intermediate, rel);
-        self.touch_with("intermediates", change);
+        self.register_relation(RelationKind::Intermediate, "intermediates", rel);
     }
 
     /// Drop an intermediate relation (e.g. consumed duplicate clusters).
     pub fn remove_intermediate(&mut self, name: &str) {
         if self.catalog.kind(name) == Some(RelationKind::Intermediate) {
-            self.catalog.remove(name);
-            self.touch_with(
+            self.touch_full(
                 "intermediates",
                 DeltaChange::RelationRemoved { relation: name.to_string() },
+                None,
             );
+            self.catalog.remove(name);
         }
     }
 
