@@ -102,6 +102,85 @@ struct RecoveryRow {
     reingest_ms: f64,
 }
 
+struct MagicRow {
+    base_rows: usize,
+    full_ms: f64,
+    directed_ms: f64,
+    full_derivations: usize,
+    directed_derivations: usize,
+}
+
+/// Transitive closure over disconnected blocks: a bound-argument query
+/// only needs its own block, the full fixpoint derives every block.
+const MAGIC_PROGRAM: &str = "tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), e(Y, Z).";
+
+/// `n` edge rows forming chains of `block` nodes (block boundaries carry
+/// a self-loop so the row count stays exactly `n`).
+fn magic_base(n: usize, block: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n as i64 {
+        if (i + 1) % block as i64 != 0 {
+            db.insert("e", tuple![i, i + 1]);
+        } else {
+            db.insert("e", tuple![i, i]);
+        }
+    }
+    db
+}
+
+/// A bound-argument query (`tc(start, Y)`) answered by the demand-driven
+/// path vs the full fixpoint. Answers are asserted identical (the
+/// byte-identity guarantee), so the derivation-count gap is the pure
+/// benefit of demand: the directed run derives one chain, the full run
+/// derives all of them.
+fn measure_magic(n: usize, block: usize, rounds: usize) -> MagicRow {
+    use vada_datalog::parser::parse_query;
+    let program = parse_program(MAGIC_PROGRAM).unwrap();
+    let start_node = 3 * block as i64; // a block start well inside the base
+    let query = parse_query(&format!("tc({start_node}, Y)")).unwrap();
+    let engine = Engine::new(EngineConfig::default());
+    let input = magic_base(n, block);
+    let input_facts = input.total_facts();
+
+    let mut full_times = Vec::new();
+    let mut full_derivations = 0usize;
+    let mut full_answers = Vec::new();
+    for _ in 0..rounds {
+        let db = input.clone();
+        let start = Instant::now();
+        let out = engine.run(&program, db).expect("full run evaluates");
+        full_times.push(start.elapsed().as_secs_f64() * 1e3);
+        full_derivations = out.total_facts() - input_facts;
+        full_answers = engine.eval_query(&query, &out).expect("query evaluates");
+    }
+
+    let mut directed_times = Vec::new();
+    let mut directed_derivations = 0usize;
+    for _ in 0..rounds {
+        let db = input.clone();
+        let start = Instant::now();
+        let out = engine
+            .run_directed(&program, db, &query)
+            .expect("directed run evaluates");
+        directed_times.push(start.elapsed().as_secs_f64() * 1e3);
+        directed_derivations = out.total_facts() - input_facts;
+        let answers = engine.eval_query(&query, &out).expect("query evaluates");
+        assert_eq!(answers, full_answers, "directed answers must be byte-identical");
+    }
+
+    assert!(
+        directed_derivations * 10 <= full_derivations,
+        "demand must cut derivations >= 10x: {directed_derivations} vs {full_derivations}"
+    );
+    MagicRow {
+        base_rows: n,
+        full_ms: median_ms(full_times),
+        directed_ms: median_ms(directed_times),
+        full_derivations,
+        directed_derivations,
+    }
+}
+
 /// Crash recovery of a durable knowledge base: reopening (snapshot +
 /// WAL replay) vs re-ingesting the same history into a fresh in-memory
 /// base (the producer-side cost a crash would otherwise force, *before*
@@ -323,9 +402,10 @@ fn to_json(
     retractions: &[RetractRow],
     scans: &[ScanRow],
     recoveries: &[RecoveryRow],
+    magics: &[MagicRow],
 ) -> String {
     let workers = vada_common::Parallelism::from_env().workers();
-    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v4\",\n");
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v5\",\n");
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str("  \"datalog_incremental_vs_full\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -386,6 +466,22 @@ fn to_json(
             if i + 1 == recoveries.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"datalog_magic_vs_full\": [\n");
+    for (i, r) in magics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"base_rows\": {}, \"full_ms\": {:.3}, \"directed_ms\": {:.3}, \
+             \"full_derivations\": {}, \"directed_derivations\": {}, \
+             \"derivation_ratio\": {:.1}, \"speedup\": {:.1}}}{}\n",
+            r.base_rows,
+            r.full_ms,
+            r.directed_ms,
+            r.full_derivations,
+            r.directed_derivations,
+            r.full_derivations as f64 / (r.directed_derivations as f64).max(1.0),
+            r.full_ms / r.directed_ms.max(1e-9),
+            if i + 1 == magics.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -406,7 +502,8 @@ pub fn incremental_baseline() -> String {
         measure_wal_recovery(5_000, 128, 5),
         measure_wal_recovery(20_000, 128, 5),
     ];
-    let json = to_json(&rows, &retractions, &scans, &recoveries);
+    let magics = vec![measure_magic(20_000, 50, 5)];
+    let json = to_json(&rows, &retractions, &scans, &recoveries, &magics);
     let write_note = match std::fs::write(BASELINE_PATH, &json) {
         Ok(()) => format!("baseline written to {BASELINE_PATH}"),
         Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
@@ -451,6 +548,22 @@ pub fn incremental_baseline() -> String {
             ]
         })
         .collect();
+    let magic_rows: Vec<Vec<String>> = magics
+        .iter()
+        .map(|r| {
+            vec![
+                r.base_rows.to_string(),
+                format!("{:.2}", r.full_ms),
+                format!("{:.2}", r.directed_ms),
+                r.full_derivations.to_string(),
+                r.directed_derivations.to_string(),
+                format!(
+                    "{:.0}x",
+                    r.full_derivations as f64 / (r.directed_derivations as f64).max(1.0)
+                ),
+            ]
+        })
+        .collect();
     let recovery_rows: Vec<Vec<String>> = recoveries
         .iter()
         .map(|r| {
@@ -482,7 +595,12 @@ pub fn incremental_baseline() -> String {
          presumes the lost state is still available — after a real crash\n\
          it is not (that is why the log exists) — so the overhead column\n\
          is the whole price of durability: decoding the full state back\n\
-         from disk, a few milliseconds even at tens of thousands of rows.\n\n{}\n{}",
+         from disk, a few milliseconds even at tens of thousands of rows.\n\n{}\n\n\
+         == Demand-driven (magic) query vs full fixpoint ==\n\
+         A bound-argument query answered under QueryMode::Directed derives\n\
+         only the facts its demand set reaches; the full fixpoint derives\n\
+         every block of the base. Answers are asserted byte-identical, so\n\
+         the derivation gap is the pure benefit of demand.\n\n{}\n{}",
         table(
             &[
                 "base rows",
@@ -515,6 +633,17 @@ pub fn incremental_baseline() -> String {
             &["rows", "edit events", "wal size", "reopen ms", "in-mem rebuild ms", "overhead"],
             &recovery_rows,
         ),
+        table(
+            &[
+                "base rows",
+                "full ms",
+                "directed ms",
+                "full derivations",
+                "directed derivations",
+                "derivation ratio"
+            ],
+            &magic_rows,
+        ),
         write_note,
     )
 }
@@ -539,10 +668,16 @@ mod tests {
         // the recovery measurement asserts version equality internally
         let rec = measure_wal_recovery(500, 16, 2);
         assert!(rec.wal_bytes > 0 && rec.reopen_ms > 0.0);
-        let json = to_json(&[r], &[rr], &[sr], &[rec]);
+        // the magic measurement asserts the >=10x derivation cut and
+        // answer byte-identity internally
+        let mr = measure_magic(2_000, 50, 2);
+        assert!(mr.directed_derivations > 0, "the demanded chain must still derive");
+        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr]);
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"datalog_retraction_vs_full\""), "{json}");
         assert!(json.contains("\"kb_sharded_scan\""), "{json}");
         assert!(json.contains("\"kb_wal_recovery\""), "{json}");
+        assert!(json.contains("\"datalog_magic_vs_full\""), "{json}");
+        assert!(json.contains("vada-bench-baseline/v5"), "{json}");
     }
 }

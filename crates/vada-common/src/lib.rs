@@ -15,6 +15,7 @@ pub mod error;
 pub mod evaluation;
 pub mod idgen;
 pub mod par;
+pub mod querymode;
 pub mod relation;
 pub mod schema;
 pub mod sharding;
@@ -26,6 +27,7 @@ pub use durability::Durability;
 pub use error::{Result, VadaError};
 pub use evaluation::Evaluation;
 pub use par::Parallelism;
+pub use querymode::QueryMode;
 pub use sharding::{HashPartitioner, KeyPartitioner, Partitioner, Sharding};
 pub use relation::Relation;
 pub use schema::{AttrType, Attribute, Schema};

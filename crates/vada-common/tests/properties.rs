@@ -260,3 +260,49 @@ proptest! {
         }
     }
 }
+
+/// Pin the vendored proptest shrinker: integers halve toward zero,
+/// collections truncate, and a failing property reports the minimal
+/// counterexample the greedy loop converges to — not the raw random draw.
+#[test]
+fn proptest_stub_shrinks_failing_cases_to_minimal_counterexamples() {
+    use proptest::shrink::Shrink;
+
+    // integer candidates: zero first, then halved, then decremented
+    assert_eq!(100u8.shrink(), vec![0, 50, 99]);
+    assert_eq!(1u8.shrink(), vec![0]);
+    assert_eq!(0u8.shrink(), Vec::<u8>::new());
+    assert_eq!((-7i64).shrink(), vec![0, -3, -6]);
+
+    // collection candidates: empty, first half, all-but-last
+    assert_eq!(
+        vec![1, 2, 3, 4].shrink(),
+        vec![vec![], vec![1, 2], vec![1, 2, 3]]
+    );
+    assert_eq!(vec![9].shrink(), vec![Vec::<i32>::new()]);
+    assert_eq!("abcd".to_string().shrink(), vec!["".into(), "ab".to_string(), "abc".into()]);
+
+    // tuples shrink component-wise
+    assert!((4u8, 2u8).shrink().contains(&(0, 2)));
+    assert!((4u8, 2u8).shrink().contains(&(4, 0)));
+
+    // end-to-end: `len < 3` fails on some random draw and must shrink to a
+    // vector of exactly three elements (truncation cannot go lower without
+    // the property passing again)
+    proptest::proptest! {
+        fn vec_stays_short(xs in proptest::collection::vec(99u8..100, 0..10)) {
+            prop_assert!(xs.len() < 3);
+        }
+    }
+    let panic = std::panic::catch_unwind(vec_stays_short)
+        .expect_err("the embedded property must fail");
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("panic message is a formatted string");
+    assert!(msg.contains("minimal counterexample"), "{msg}");
+    assert_eq!(
+        msg.matches("99").count(),
+        3,
+        "expected exactly the three-element counterexample in: {msg}"
+    );
+}

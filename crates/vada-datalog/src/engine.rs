@@ -23,11 +23,12 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use vada_common::par::{self, Parallelism};
 use vada_common::sharding::{assign_shards, merge_in_order, rows_by_shard, Sharding};
-use vada_common::{HashPartitioner, Result, Tuple, VadaError, Value};
+use vada_common::{HashPartitioner, QueryMode, Result, Tuple, VadaError, Value};
 
 use crate::analysis::stratify;
 use crate::ast::{CmpOp, HeadTerm, Literal, Program, Rule, Term};
 use crate::builtins::{apply_cmp, eval_expr, resolve, Binding};
+use crate::magic::{self, Demand};
 use crate::skolem;
 
 /// A deduplicated, insertion-ordered set of facts for one predicate.
@@ -232,6 +233,16 @@ pub struct EngineConfig {
     /// every level (see [`vada_common::par`]); defaults to the
     /// `VADA_THREADS` override.
     pub parallelism: Parallelism,
+    /// How [`Engine::run_query`] answers a stand-alone query: undirected
+    /// (full fixpoint) or directed (magic-set demand restriction, see
+    /// [`crate::magic`]). Answers are byte-identical either way; defaults
+    /// to the `VADA_MAGIC` override.
+    pub query_mode: QueryMode,
+    /// Test-only fault injection: `Some("magic-rewrite")` panics inside the
+    /// demand-rewrite stage, `Some("index-build")` inside the shared-index
+    /// refresh. Both surface as [`VadaError::Parallel`] naming the stage,
+    /// exactly like a worker panic at any parallelism level.
+    pub inject_fault: Option<&'static str>,
 }
 
 impl Default for EngineConfig {
@@ -241,6 +252,8 @@ impl Default for EngineConfig {
             max_skolem_depth: 12,
             max_facts: 50_000_000,
             parallelism: Parallelism::default(),
+            query_mode: QueryMode::default(),
+            inject_fault: None,
         }
     }
 }
@@ -259,8 +272,56 @@ impl Engine {
 
     /// Evaluate `program` starting from `db` (extensional facts); returns
     /// the database extended with all derived facts.
-    pub fn run(&self, program: &Program, mut db: Database) -> Result<Database> {
+    pub fn run(&self, program: &Program, db: Database) -> Result<Database> {
+        self.run_impl(program, db, None)
+    }
+
+    /// Demand-driven evaluation: compute the [`Demand`] a query's bound
+    /// arguments seed (see [`crate::magic`]) and materialize only the
+    /// demanded portion of the fixpoint. Per query, the result is pinned
+    /// byte-identical to [`Engine::run`] — kept fact sequences are
+    /// subsequences of the full run's, and every fact a query answer can
+    /// touch is kept — so `eval_query` over either database returns the
+    /// same answers in the same order.
+    pub fn run_directed(&self, program: &Program, db: Database, query: &Rule) -> Result<Database> {
+        let demand = magic::demand_for(self, program, &db, query)?;
+        self.run_impl(program, db, Some(&demand))
+    }
+
+    /// Answer a stand-alone query over `program` + `db`, honouring
+    /// [`EngineConfig::query_mode`]. An empty program short-circuits to
+    /// [`Engine::eval_query`] against `db` as-is (no clone, no fixpoint) —
+    /// the knowledge-base dependency view takes this path.
+    pub fn run_query(&self, program: &Program, db: &Database, query: &Rule) -> Result<Vec<Tuple>> {
+        if program.rules.is_empty() {
+            return self.eval_query(query, db);
+        }
+        let full = match self.config.query_mode {
+            QueryMode::Undirected => self.run(program, db.clone())?,
+            QueryMode::Directed => self.run_directed(program, db.clone(), query)?,
+        };
+        self.eval_query(query, &full)
+    }
+
+    /// The [`Demand`] this engine would evaluate `query` under — exposed
+    /// for the property suites and the `datalog_magic_vs_full` benchmark.
+    pub fn demand(&self, program: &Program, db: &Database, query: &Rule) -> Result<Demand> {
+        magic::demand_for(self, program, db, query)
+    }
+
+    fn run_impl(
+        &self,
+        program: &Program,
+        mut db: Database,
+        demand: Option<&Demand>,
+    ) -> Result<Database> {
         let strat = stratify(program)?;
+        let fault = self.config.inject_fault;
+        // shared hash indexes over the growing database, registered from
+        // each stratum's compiled lookup shapes and refreshed incrementally
+        // before every parallel batch; identical to the per-pass lazy
+        // indexes by construction, so it only changes wall-clock
+        let mut store = IndexStore::default();
 
         // ground facts
         for rule in &program.rules {
@@ -286,6 +347,11 @@ impl Engine {
                 .iter()
                 .map(|&ri| CompiledRule::compile(&program.rules[ri], ri))
                 .collect::<Result<_>>()?;
+            for cr in &compiled {
+                for (pred, cols) in cr.indexed_lookups() {
+                    store.register(pred, cols);
+                }
+            }
             let recursive = strat.recursive_preds(program, stratum);
             // body predicates per rule, for independence batching: a rule
             // that reads a predicate written earlier in the same pass must
@@ -312,14 +378,18 @@ impl Engine {
             let all_rules: Vec<usize> = (0..compiled.len()).collect();
             let initial_par = self.pass_parallelism(db.total_facts());
             for batch in independent_batches(&all_rules, &rule_reads, &rule_heads) {
+                store.refresh(&db, fault)?;
                 let outs = par::par_try_map(
                     initial_par,
                     "datalog/stratum-initial",
                     &batch,
-                    |_, &ci| self.eval_rule(&compiled[ci], &db, None),
+                    |_, &ci| self.eval_rule_with(&compiled[ci], &db, None, Some(&store)),
                 )?;
                 for derived in outs {
                     for (pred, t) in derived {
+                        if demand.is_some_and(|d| !d.keeps(&pred, &t)) {
+                            continue;
+                        }
                         if db.insert(&pred, t.clone()) {
                             delta.insert(&pred, t);
                         }
@@ -365,21 +435,26 @@ impl Engine {
                 let pass_rules: Vec<usize> = passes.iter().map(|&(ci, _)| ci).collect();
                 let delta_par = self.pass_parallelism(delta.total_facts());
                 for batch in independent_batches(&pass_rules, &rule_reads, &rule_heads) {
+                    store.refresh(&db, fault)?;
                     let outs = par::par_try_map(
                         delta_par,
                         "datalog/stratum-delta",
                         &batch,
                         |_, &pi| {
                             let (ci, occ) = passes[pi];
-                            self.eval_rule(
+                            self.eval_rule_with(
                                 &compiled[ci],
                                 &db,
                                 Some(DeltaSpec::Insert { delta: &delta, occ }),
+                                Some(&store),
                             )
                         },
                     )?;
                     for derived in outs {
                         for (pred, t) in derived {
+                            if demand.is_some_and(|d| !d.keeps(&pred, &t)) {
+                                continue;
+                            }
                             if db.insert(&pred, t.clone()) {
                                 new_delta.insert(&pred, t);
                             }
@@ -451,7 +526,20 @@ impl Engine {
         db: &Database,
         spec: Option<DeltaSpec<'_>>,
     ) -> Result<Vec<(String, Tuple)>> {
-        let ctx = EvalCtx { db, spec, cache: RefCell::new(HashMap::new()) };
+        self.eval_rule_with(cr, db, spec, None)
+    }
+
+    /// [`Engine::eval_rule`] with an optional shared [`IndexStore`] over
+    /// `db` for full-database lookups; delta/filtered sources keep their
+    /// lazy per-call indexes either way.
+    pub(crate) fn eval_rule_with(
+        &self,
+        cr: &CompiledRule,
+        db: &Database,
+        spec: Option<DeltaSpec<'_>>,
+        shared: Option<&IndexStore>,
+    ) -> Result<Vec<(String, Tuple)>> {
+        let ctx = EvalCtx { db, spec, shared, cache: RefCell::new(HashMap::new()) };
         let mut binding: Binding = vec![None; cr.rule.var_count];
         let mut results = Vec::new();
 
@@ -530,6 +618,7 @@ impl Engine {
         let ctx = EvalCtx {
             db,
             spec: Some(DeltaSpec::Except { dead }),
+            shared: None,
             cache: RefCell::new(HashMap::new()),
         };
         let mut found = false;
@@ -840,6 +929,85 @@ impl<'a> CompiledRule<'a> {
     pub(crate) fn occurrence_of(&self, lit_idx: usize) -> Option<usize> {
         self.positive_lit_indices.iter().position(|&i| i == lit_idx)
     }
+
+    /// The `(pred, bound columns)` lookup shapes this rule performs against
+    /// the full database — the shapes worth a shared persistent index.
+    pub(crate) fn indexed_lookups(&self) -> Vec<(&str, &[usize])> {
+        self.order
+            .iter()
+            .zip(self.bound_positions.iter())
+            .filter_map(|(&li, cols)| match &self.rule.body[li] {
+                Literal::Pos(a) if !cols.is_empty() => Some((a.pred.as_str(), cols.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Persistent hash indexes over the growing fixpoint database, shared by
+/// every rule evaluation of a run: `(pred, cols) → projection → row ids`.
+/// Registered up front from the compiled lookup shapes of each stratum and
+/// refreshed *incrementally* before every parallel batch (facts only ever
+/// append during a run), it replaces the per-pass lazily rebuilt indexes
+/// for full-database sources. Row-id lists are identical to what the lazy
+/// build would produce, so it affects wall-clock only.
+#[derive(Default)]
+pub(crate) struct IndexStore {
+    indexes: HashMap<String, HashMap<Vec<usize>, SharedIndex>>,
+}
+
+#[derive(Default)]
+struct SharedIndex {
+    /// How many rows of the predicate are already indexed.
+    covered: usize,
+    map: HashMap<Tuple, Vec<usize>>,
+}
+
+impl IndexStore {
+    /// Ensure an index exists for this lookup shape (idempotent).
+    pub(crate) fn register(&mut self, pred: &str, cols: &[usize]) {
+        self.indexes
+            .entry(pred.to_string())
+            .or_default()
+            .entry(cols.to_vec())
+            .or_default();
+    }
+
+    /// Extend every registered index over the rows appended since the last
+    /// refresh. `fault` is the engine's injection knob: `"index-build"`
+    /// panics here, surfacing as a [`VadaError::Parallel`] naming the
+    /// `datalog/index_build` stage. Rows too short to project (mixed-arity
+    /// predicates) are skipped — the join's arity check would reject them
+    /// anyway.
+    pub(crate) fn refresh(&mut self, db: &Database, fault: Option<&'static str>) -> Result<()> {
+        magic::guard_stage("datalog/index_build", || {
+            if fault == Some("index-build") {
+                panic!("injected index-build fault");
+            }
+            for (pred, shapes) in self.indexes.iter_mut() {
+                let facts = db.facts(pred);
+                for (cols, index) in shapes.iter_mut() {
+                    for (row, t) in facts.iter().enumerate().skip(index.covered) {
+                        if cols.iter().all(|&c| c < t.arity()) {
+                            index.map.entry(t.project(cols)).or_default().push(row);
+                        }
+                    }
+                    index.covered = facts.len();
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Row ids matching `key`, if this shape is registered and covers the
+    /// predicate's current length (`None` falls back to the lazy index).
+    fn lookup(&self, db: &Database, pred: &str, cols: &[usize], key: &Tuple) -> Option<Vec<usize>> {
+        let index = self.indexes.get(pred)?.get(cols)?;
+        if index.covered != db.facts(pred).len() {
+            return None;
+        }
+        Some(index.map.get(key).cloned().unwrap_or_default())
+    }
 }
 
 /// How one rule evaluation sources its positive literals — the engine's
@@ -890,6 +1058,8 @@ struct SourceSel<'a> {
 struct EvalCtx<'a> {
     db: &'a Database,
     spec: Option<DeltaSpec<'a>>,
+    /// persistent indexes over `db` (full-source lookups only)
+    shared: Option<&'a IndexStore>,
     /// lazily built hash indexes: (tag, pred, cols) → key → row ids
     cache: RefCell<HashMap<IndexKey, HashMap<Tuple, Vec<usize>>>>,
 }
@@ -935,12 +1105,21 @@ impl<'a> EvalCtx<'a> {
                 .map(|(row, _)| row)
                 .collect();
         }
+        // the full-database source first consults the run's shared indexes
+        if sel.tag == 0 && sel.minus.is_none() {
+            if let Some(rows) = self
+                .shared
+                .and_then(|s| s.lookup(sel.db, pred, cols, key))
+            {
+                return rows;
+            }
+        }
         let cache_key = (sel.tag, pred.to_string(), cols.to_vec());
         let mut cache = self.cache.borrow_mut();
         let index = cache.entry(cache_key).or_insert_with(|| {
             let mut idx: HashMap<Tuple, Vec<usize>> = HashMap::new();
             for (row, t) in sel.db.facts(pred).iter().enumerate() {
-                if visible(t) {
+                if visible(t) && cols.iter().all(|&c| c < t.arity()) {
                     idx.entry(t.project(cols)).or_default().push(row);
                 }
             }

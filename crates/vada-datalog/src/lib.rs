@@ -43,6 +43,7 @@ pub mod builtins;
 pub mod engine;
 pub mod incremental;
 pub mod lexer;
+pub mod magic;
 pub mod parser;
 pub mod pretty;
 pub mod skolem;
@@ -51,7 +52,9 @@ pub use analysis::{stratify, Stratification};
 pub use ast::{Atom, CmpOp, Expr, HeadTerm, Literal, Program, Rule, Term};
 pub use engine::{Database, Engine, EngineConfig};
 pub use incremental::{DeltaMode, DeltaOutcome, IncrementalSession};
+pub use magic::Demand;
 pub use parser::parse_program;
+pub use vada_common::QueryMode;
 
 use vada_common::Result;
 

@@ -251,6 +251,60 @@ proptest! {
     }
 
     #[test]
+    fn magic_restriction_equals_full_on_demanded_atoms(
+        edges in proptest::collection::vec((0u8..10, 0u8..10), 1..40),
+        start in 0u8..10
+    ) {
+        // the demand-restricted fixpoint, projected onto the demanded
+        // atoms, must equal the undirected fixpoint projected onto the
+        // same atoms — and since the directed run keeps exactly the
+        // demanded atoms, its database IS that projection of the full run
+        // (same facts, same insertion order)
+        use vada_datalog::parser::parse_query;
+        let program = parse_program(TC_PROGRAM).unwrap();
+        let query = parse_query(&format!("tc({start}, Y)")).unwrap();
+        let engine = Engine::default();
+        let demand = engine.demand(&program, &edges_db(&edges), &query).unwrap();
+        prop_assert!(!demand.is_unrestricted(), "{:?}", demand.fallback_reason());
+        let full = engine.run(&program, edges_db(&edges)).unwrap();
+        let directed = engine.run_directed(&program, edges_db(&edges), &query).unwrap();
+        let kept: Vec<&Tuple> =
+            full.facts("tc").iter().filter(|t| demand.keeps("tc", t)).collect();
+        let got: Vec<&Tuple> = directed.facts("tc").iter().collect();
+        prop_assert_eq!(got, kept, "directed run drifted from the demand projection");
+        prop_assert_eq!(
+            engine.eval_query(&query, &directed).unwrap(),
+            engine.eval_query(&query, &full).unwrap()
+        );
+    }
+
+    #[test]
+    fn all_free_query_rewrites_to_identity(
+        edges in proptest::collection::vec((0u8..8, 0u8..8), 1..30)
+    ) {
+        // a query with no bound arguments demands everything: the rewrite
+        // reports the identity fallback and the directed run is
+        // byte-identical to the undirected one, every predicate included
+        use vada_datalog::parser::parse_query;
+        let program = parse_program(TC_PROGRAM).unwrap();
+        let query = parse_query("tc(X, Y)").unwrap();
+        let engine = Engine::default();
+        let demand = engine.demand(&program, &edges_db(&edges), &query).unwrap();
+        prop_assert!(demand.is_unrestricted());
+        prop_assert!(
+            demand.fallback_reason().unwrap().contains("identity"),
+            "{:?}", demand.fallback_reason()
+        );
+        let full = engine.run(&program, edges_db(&edges)).unwrap();
+        let directed = engine.run_directed(&program, edges_db(&edges), &query).unwrap();
+        let preds: std::collections::BTreeSet<&str> =
+            full.predicates().into_iter().chain(directed.predicates()).collect();
+        for pred in preds {
+            prop_assert_eq!(directed.facts(pred), full.facts(pred), "drift in {}", pred);
+        }
+    }
+
+    #[test]
     fn aggregate_counts_match_manual_grouping(
         pairs in proptest::collection::vec((0u8..6, 0i64..100), 1..40)
     ) {

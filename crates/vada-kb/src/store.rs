@@ -5,6 +5,7 @@ use std::path::Path;
 
 use parking_lot::Mutex;
 use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
+use vada_datalog::ast::Program;
 use vada_datalog::engine::{Database, Engine};
 use vada_datalog::parser::parse_query;
 
@@ -914,7 +915,10 @@ impl KnowledgeBase {
             }
         }
         let (_, db) = cache.entry.as_ref().expect("populated above");
-        Engine::default().eval_query(&q, db)
+        // the dependency view is a pure extensional fact base (no program
+        // rules), so run_query short-circuits to direct query evaluation:
+        // directed and undirected modes are trivially identical here
+        Engine::default().run_query(&Program { rules: Vec::new() }, db, &q)
     }
 
     /// `(from-scratch builds, journal-driven patches)` of the dependency

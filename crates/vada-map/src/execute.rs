@@ -4,6 +4,7 @@
 use vada_common::{
     par, AttrType, Parallelism, Relation, Result, Schema, Sharding, Tuple, VadaError, Value,
 };
+use vada_datalog::ast::{Atom, HeadTerm, Literal, Rule, Term};
 use vada_datalog::engine::{Database, Engine, EngineConfig};
 use vada_datalog::parse_program;
 use vada_kb::{KnowledgeBase, MappingDef, ShardedStore};
@@ -204,13 +205,40 @@ pub fn execute_mapping_with(
     }
     let program = parse_program(&mapping.rules)?;
     let input = build_input_db_with(mapping, kb, cfg.sharding, cfg.engine.parallelism, store)?;
-    let output = Engine::new(cfg.engine.clone()).run(&program, input)?;
+    let engine = Engine::new(cfg.engine.clone());
+    // A mapping run demands its *entire* target relation — an all-free
+    // access pattern — so under QueryMode::Directed the magic rewrite
+    // resolves to the identity program and the demanded fixpoint equals
+    // the full one; routing through run_directed keeps the knob live
+    // end-to-end while the result stays byte-identical by construction.
+    let output = if cfg.engine.query_mode.is_directed() {
+        engine.run_directed(&program, input, &all_free_query(&target.name, target.arity()))?
+    } else {
+        engine.run(&program, input)?
+    };
 
     let mut rel = Relation::empty(target.clone());
     for t in output.facts(&target.name) {
         rel.push(coerce_fact(t, target, &mapping.id)?)?;
     }
     Ok(rel)
+}
+
+/// The query "every row of `pred`": one positive atom with `arity`
+/// distinct free variables. This is the access pattern a mapping
+/// materialization has — no bound arguments anywhere — which the demand
+/// analysis rewrites to the identity program.
+fn all_free_query(pred: &str, arity: usize) -> Rule {
+    let names: Vec<String> = (0..arity).map(|i| format!("C{i}")).collect();
+    let terms: Vec<Term> =
+        names.iter().enumerate().map(|(i, n)| Term::Var(i, n.clone())).collect();
+    Rule {
+        head_pred: "__query".into(),
+        head_terms: terms.iter().map(|t| HeadTerm::Term(t.clone())).collect(),
+        body: vec![Literal::Pos(Atom { pred: pred.to_string(), terms })],
+        var_count: arity,
+        var_names: names,
+    }
 }
 
 /// Coerce one derived target fact into the typed target schema, shared by

@@ -1,0 +1,377 @@
+//! Differential tests for demand-driven (magic-set) query evaluation:
+//! answering a query under [`QueryMode::Directed`] must be **byte-identical**
+//! to [`QueryMode::Undirected`] — same answer set, same answer order
+//! (including deterministic skolem values), same first error — per query,
+//! across randomized programs and query workloads (bound/free argument
+//! patterns, negation, aggregates, positive cycles, multi-adornment
+//! queries, empty demand sets) and across the full knob matrix
+//! `{Sequential, Threads(4)} × {Off, Shards(4)} × {Full, Incremental}`.
+//! Failure injection drives panics into the rewrite and index-build stages
+//! and pins that the surfaced error is the same at every level. This is
+//! the contract that makes the `VADA_MAGIC` override safe to flip in
+//! production.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vada_common::{AttrType, Parallelism, QueryMode, Relation, Schema, Sharding, Tuple, Value};
+use vada_datalog::engine::{Database, Engine, EngineConfig};
+use vada_datalog::incremental::IncrementalSession;
+use vada_datalog::parser::{parse_program, parse_query};
+
+/// One randomized world: a program over extensional predicates
+/// `e(node, node)`, `n(node)`, `lab(node, int)` plus a query workload
+/// covering every rewrite shape.
+struct World {
+    program: String,
+    e_rows: Vec<Tuple>,
+    n_rows: Vec<Tuple>,
+    lab_rows: Vec<Tuple>,
+    queries: Vec<String>,
+}
+
+fn random_world(rng: &mut StdRng) -> World {
+    let node_count = rng.gen_range(6..10usize);
+    let nodes: Vec<String> = (0..node_count).map(|i| format!("v{i}")).collect();
+    let pick = |rng: &mut StdRng, nodes: &[String]| -> String {
+        nodes[rng.gen_range(0..nodes.len())].clone()
+    };
+
+    let edge_count = rng.gen_range(8..20usize);
+    let mut e_rows = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        e_rows.push(Tuple::new(vec![
+            Value::str(pick(rng, &nodes)),
+            Value::str(pick(rng, &nodes)),
+        ]));
+    }
+    let n_rows: Vec<Tuple> =
+        nodes.iter().map(|n| Tuple::new(vec![Value::str(n.clone())])).collect();
+    let lab_rows: Vec<Tuple> = nodes
+        .iter()
+        .map(|n| Tuple::new(vec![Value::str(n.clone()), Value::Int(rng.gen_range(0..30i64))]))
+        .collect();
+
+    let threshold = rng.gen_range(5..25i64);
+    let hub_min = rng.gen_range(1..4i64);
+    let neg_src = pick(rng, &nodes);
+    let seed_a = pick(rng, &nodes);
+    let seed_b = pick(rng, &nodes);
+    // every rewrite shape in one program: a positive cycle (tc), nonlinear
+    // recursion (sg), comparisons + Eq-assignment, an existential head
+    // (owner), negation over a recursive predicate (unreach), an aggregate
+    // (deg) feeding a filter (hub), a union head with a reversed-argument
+    // body (conn), and a ground fact for an IDB predicate (tc).
+    let program = format!(
+        r#"
+        tc("{seed_a}", "{seed_b}").
+        tc(X, Y) :- e(X, Y).
+        tc(X, Z) :- tc(X, Y), e(Y, Z).
+        sg(X, X) :- n(X).
+        sg(X, Y) :- e(XP, X), sg(XP, YP), e(YP, Y).
+        big(X) :- lab(X, V), V > {threshold}.
+        owner(X, Z) :- big(X).
+        price2(X, W) :- lab(X, V), W = V * 2.
+        unreach(X) :- n(X), not tc("{neg_src}", X).
+        deg(X, count(Y)) :- e(X, Y).
+        hub(X) :- deg(X, D), D >= {hub_min}.
+        conn(X, Y) :- tc(X, Y).
+        conn(X, Y) :- tc(Y, X).
+        "#
+    );
+
+    let c = |rng: &mut StdRng| pick(rng, &nodes);
+    let (q1, q2, q3, q4, q5, q6, q7, q8, q9, q10) = (
+        c(rng), c(rng), c(rng), c(rng), c(rng), c(rng), c(rng), c(rng), c(rng), c(rng),
+    );
+    let queries = vec![
+        // bound-first / bound-second / both-bound / all-free over the cycle
+        format!(r#"tc("{q1}", Y)"#),
+        format!(r#"tc(X, "{q2}")"#),
+        format!(r#"tc("{q1}", "{q3}")"#),
+        "tc(X, Y)".to_string(),
+        // nonlinear recursion with sideways demand through e
+        format!(r#"sg("{q4}", Y)"#),
+        // negation downstream of recursion (tc pinned unrestricted)
+        format!(r#"unreach("{q5}")"#),
+        // aggregate demand through the group key
+        format!(r#"deg("{q6}", D)"#),
+        format!(r#"hub("{q7}")"#),
+        // union head with a reversed body (falls back per predicate)
+        format!(r#"conn("{q8}", Y)"#),
+        // skolem-carrying answers: byte-identity covers invented values
+        format!(r#"owner("{q9}", Z)"#),
+        // Eq-assignment propagation
+        format!(r#"price2("{q10}", W)"#),
+        // all-free multi-atom query: identity rewrite
+        "big(X), lab(X, V)".to_string(),
+        // negated query atom: the negated predicate must derive fully
+        format!(r#"n(X), not tc("{q1}", X)"#),
+        // empty demand set: a constant outside the domain
+        r#"tc("zz", Y)"#.to_string(),
+        // extensional-only query: nothing needs deriving at all
+        format!(r#"lab("{q2}", V)"#),
+    ];
+
+    World { program, e_rows, n_rows, lab_rows, queries }
+}
+
+/// Build the extensional database from per-predicate row slices, loading
+/// through the sharded path when sharding is on (pinning that the directed
+/// path composes with shard-built fact orders).
+fn build_db(
+    rows: &[(&str, &[Tuple])],
+    sharding: Sharding,
+    par: Parallelism,
+) -> Database {
+    let mut db = Database::new();
+    for (pred, tuples) in rows {
+        let schema = match *pred {
+            "lab" => {
+                Schema::new("lab", [("x", AttrType::Str), ("v", AttrType::Int)]).unwrap()
+            }
+            "e" => Schema::all_str("e", &["a", "b"]),
+            _ => Schema::all_str("n", &["x"]),
+        };
+        let mut rel = Relation::empty(schema);
+        for t in *tuples {
+            rel.push(t.clone()).unwrap();
+        }
+        db.insert_relation_sharded(&rel, sharding, par).unwrap();
+    }
+    db
+}
+
+fn render(rows: &[Tuple]) -> String {
+    rows.iter().map(|t| format!("{t:?}")).collect::<Vec<_>>().join("\n")
+}
+
+fn config(par: Parallelism, mode: QueryMode) -> EngineConfig {
+    EngineConfig { parallelism: par, query_mode: mode, ..EngineConfig::default() }
+}
+
+const PARS: [Parallelism; 2] = [Parallelism::Sequential, Parallelism::Threads(4)];
+const SHARDS: [Sharding; 2] = [Sharding::Off, Sharding::Shards(4)];
+
+/// The headline pin: directed ≡ undirected per query, across the full
+/// `{parallelism} × {sharding} × {evaluation}` matrix, on seed-logged
+/// randomized worlds.
+#[test]
+fn directed_equals_undirected_across_the_knob_matrix() {
+    for seed in 0..5u64 {
+        println!("query_equivalence: seed {seed}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let world = random_world(&mut rng);
+        let program = parse_program(&world.program).unwrap();
+
+        // split each extensional relation: the tail arrives as the
+        // incremental legs' delta, everything else is the base load
+        let split = |rows: &[Tuple]| {
+            let k = rows.len().saturating_sub(rows.len() / 4).max(1).min(rows.len());
+            (rows[..k].to_vec(), rows[k..].to_vec())
+        };
+        let (e_base, e_delta) = split(&world.e_rows);
+        let (n_base, n_delta) = split(&world.n_rows);
+        let (lab_base, lab_delta) = split(&world.lab_rows);
+        let delta_pairs: Vec<(String, Tuple)> = e_delta
+            .iter()
+            .map(|t| ("e".to_string(), t.clone()))
+            .chain(n_delta.iter().map(|t| ("n".to_string(), t.clone())))
+            .chain(lab_delta.iter().map(|t| ("lab".to_string(), t.clone())))
+            .collect();
+        // the full-evaluation database loads base rows then delta rows, the
+        // same per-predicate order the incremental session sees
+        let full_rows: Vec<(&str, Vec<Tuple>)> = vec![
+            ("e", e_base.iter().chain(&e_delta).cloned().collect()),
+            ("n", n_base.iter().chain(&n_delta).cloned().collect()),
+            ("lab", lab_base.iter().chain(&lab_delta).cloned().collect()),
+        ];
+        let full_slices: Vec<(&str, &[Tuple])> =
+            full_rows.iter().map(|(p, v)| (*p, v.as_slice())).collect();
+        let base_slices: Vec<(&str, &[Tuple])> = vec![
+            ("e", e_base.as_slice()),
+            ("n", n_base.as_slice()),
+            ("lab", lab_base.as_slice()),
+        ];
+
+        for (qi, qsrc) in world.queries.iter().enumerate() {
+            let query = parse_query(qsrc).unwrap();
+            let baseline_db = build_db(&full_slices, Sharding::Off, Parallelism::Sequential);
+            let baseline = render(
+                &Engine::new(config(Parallelism::Sequential, QueryMode::Undirected))
+                    .run_query(&program, &baseline_db, &query)
+                    .unwrap(),
+            );
+
+            for par in PARS {
+                for sharding in SHARDS {
+                    // Full evaluation legs
+                    for mode in [QueryMode::Undirected, QueryMode::Directed] {
+                        let db = build_db(&full_slices, sharding, par);
+                        let got = render(
+                            &Engine::new(config(par, mode))
+                                .run_query(&program, &db, &query)
+                                .unwrap(),
+                        );
+                        assert_eq!(
+                            got, baseline,
+                            "seed {seed} query #{qi} `{qsrc}` full {par:?} {sharding:?} {mode:?}"
+                        );
+                    }
+
+                    // Incremental legs: a directed session must behave
+                    // exactly like an undirected one — same outcomes
+                    // (applied / fallback reasons), same materialization,
+                    // same query answers.
+                    let mut observed: Vec<(String, String)> = Vec::new();
+                    for mode in [QueryMode::Undirected, QueryMode::Directed] {
+                        let mut session =
+                            IncrementalSession::new(config(par, mode), &world.program).unwrap();
+                        session
+                            .run_full(build_db(&base_slices, sharding, par))
+                            .unwrap();
+                        session.apply(delta_pairs.clone()).unwrap();
+                        let answers = render(
+                            &Engine::new(config(par, mode))
+                                .eval_query(&query, session.database())
+                                .unwrap(),
+                        );
+                        assert_eq!(
+                            answers, baseline,
+                            "seed {seed} query #{qi} `{qsrc}` incr {par:?} {sharding:?} {mode:?}"
+                        );
+                        observed.push((format!("{:?}", session.history()), answers));
+                    }
+                    assert_eq!(
+                        observed[0], observed[1],
+                        "seed {seed} query #{qi}: directed session diverged from undirected \
+                         ({par:?} {sharding:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Bound queries must actually restrict: on a world where demand provably
+/// prunes, the directed run materializes strictly fewer facts while the
+/// answers stay identical. (The ≥10× bar on a large base lives in the
+/// `datalog_magic_vs_full` benchmark; this is the structural pin.)
+#[test]
+fn directed_materializes_a_subset_and_prunes_bound_queries() {
+    let mut src = String::new();
+    for i in 0..40 {
+        src.push_str(&format!("e(\"c{i}\", \"c{}\").\n", i + 1));
+    }
+    src.push_str("tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), e(Y, Z).");
+    let program = parse_program(&src).unwrap();
+    let query = parse_query(r#"tc("c35", Y)"#).unwrap();
+    let engine = Engine::default();
+    let full = engine.run(&program, Database::new()).unwrap();
+    let directed = engine.run_directed(&program, Database::new(), &query).unwrap();
+    assert!(
+        directed.facts("tc").len() < full.facts("tc").len() / 10,
+        "directed kept {} of {} tc facts",
+        directed.facts("tc").len(),
+        full.facts("tc").len()
+    );
+    // the kept sequence is a subsequence of the full sequence…
+    let full_tc = full.facts("tc");
+    let mut cursor = 0;
+    for t in directed.facts("tc") {
+        let pos = full_tc[cursor..]
+            .iter()
+            .position(|x| x == t)
+            .expect("directed fact missing from the full run");
+        cursor += pos + 1;
+    }
+    // …and the answers are byte-identical
+    assert_eq!(
+        engine.eval_query(&query, &directed).unwrap(),
+        engine.eval_query(&query, &full).unwrap()
+    );
+}
+
+/// Failure injection: a panic in the magic-rewrite stage surfaces as the
+/// same [`VadaError::Parallel`]-style error at every parallelism and
+/// sharding level, and only on the directed path (undirected never runs
+/// the rewrite). A directed *session* never runs the rewrite either — it
+/// materializes the full program — so it must stay healthy.
+#[test]
+fn injected_rewrite_fault_is_identical_at_every_level() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let world = random_world(&mut rng);
+    let program = parse_program(&world.program).unwrap();
+    let query = parse_query(&world.queries[0]).unwrap();
+    let rows: Vec<(&str, &[Tuple])> =
+        vec![("e", &world.e_rows), ("n", &world.n_rows), ("lab", &world.lab_rows)];
+
+    let mut errors: Vec<String> = Vec::new();
+    for par in PARS {
+        for sharding in SHARDS {
+            let db = build_db(&rows, sharding, par);
+            let mut cfg = config(par, QueryMode::Directed);
+            cfg.inject_fault = Some("magic-rewrite");
+            let err = Engine::new(cfg).run_query(&program, &db, &query).unwrap_err();
+            assert_eq!(err.kind(), "parallel", "{err}");
+            errors.push(err.to_string());
+
+            // undirected ignores the rewrite fault entirely
+            let mut ucfg = config(par, QueryMode::Undirected);
+            ucfg.inject_fault = Some("magic-rewrite");
+            Engine::new(ucfg).run_query(&program, &db, &query).unwrap();
+
+            // a directed session materializes the full program: no rewrite
+            // stage runs, so the fault never fires
+            let mut scfg = config(par, QueryMode::Directed);
+            scfg.inject_fault = Some("magic-rewrite");
+            let mut session = IncrementalSession::new(scfg, &world.program).unwrap();
+            session.run_full(build_db(&rows, sharding, par)).unwrap();
+        }
+    }
+    assert!(errors[0].contains("datalog/magic_rewrite"), "{}", errors[0]);
+    assert!(errors.iter().all(|e| e == &errors[0]), "{errors:?}");
+}
+
+/// Failure injection: a panic in the shared-index build stage surfaces as
+/// the same error in **both** modes (the index store serves undirected and
+/// directed runs alike), at every parallelism and sharding level, and
+/// through incremental sessions' full materialization.
+#[test]
+fn injected_index_build_fault_is_identical_at_every_level() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let world = random_world(&mut rng);
+    let program = parse_program(&world.program).unwrap();
+    let query = parse_query(&world.queries[0]).unwrap();
+    let rows: Vec<(&str, &[Tuple])> =
+        vec![("e", &world.e_rows), ("n", &world.n_rows), ("lab", &world.lab_rows)];
+
+    let mut errors: Vec<String> = Vec::new();
+    for par in PARS {
+        for sharding in SHARDS {
+            for mode in [QueryMode::Undirected, QueryMode::Directed] {
+                let db = build_db(&rows, sharding, par);
+                let mut cfg = config(par, mode);
+                cfg.inject_fault = Some("index-build");
+                let err = Engine::new(cfg).run_query(&program, &db, &query).unwrap_err();
+                assert_eq!(err.kind(), "parallel", "{err}");
+                errors.push(err.to_string());
+
+                let mut scfg = config(par, mode);
+                scfg.inject_fault = Some("index-build");
+                let mut session = IncrementalSession::new(scfg, &world.program).unwrap();
+                let serr = session.run_full(build_db(&rows, sharding, par)).unwrap_err();
+                errors.push(serr.to_string());
+            }
+        }
+    }
+    assert!(errors[0].contains("datalog/index_build"), "{}", errors[0]);
+    assert!(errors.iter().all(|e| e == &errors[0]), "{errors:?}");
+}
+
+/// The `VADA_MAGIC` env default reaches `EngineConfig` like the other
+/// knobs: unset → undirected; the all-knobs CI leg runs with it on.
+#[test]
+fn engine_config_default_honours_the_env_knob() {
+    let expect = QueryMode::from_env();
+    assert_eq!(EngineConfig::default().query_mode, expect);
+}

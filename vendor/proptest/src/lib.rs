@@ -7,15 +7,17 @@
 //!
 //! Differences from real proptest: inputs are generated from a
 //! deterministic per-case RNG (seed overridable via `PROPTEST_SEED`),
-//! failing cases are reported with their case number but **not shrunk**,
-//! and the regex-string strategy supports the subset of patterns used
-//! here (literal chars and `[...]` classes — ranges, negation, escapes —
-//! each optionally quantified by `{n}` / `{m,n}`).
+//! failing cases are shrunk by a minimal re-execution loop (integers
+//! halve toward zero, collections truncate — see [`shrink`]) rather than
+//! a value tree, and the regex-string strategy supports the subset of
+//! patterns used here (literal chars and `[...]` classes — ranges,
+//! negation, escapes — each optionally quantified by `{n}` / `{m,n}`).
 
 pub mod collection;
 pub mod option;
 pub mod prelude;
 pub mod regex;
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
@@ -32,6 +34,13 @@ pub fn cases() -> u32 {
         .unwrap_or(64)
 }
 
+/// Identity helper that pins a runner closure's argument type to the
+/// witness value's type, so the closure body type-checks before its first
+/// call (the `proptest!` macro replays the body during shrinking).
+pub fn runner<T, F: Fn(T) -> Result<(), TestCaseError>>(_witness: &T, f: F) -> F {
+    f
+}
+
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
@@ -42,17 +51,46 @@ macro_rules! proptest {
                 for case in 0..cases {
                     let mut rng = $crate::TestRng::for_case(stringify!($name), case);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                        $body
-                        #[allow(unreachable_code)]
-                        ::std::result::Result::Ok(())
-                    })();
-                    match outcome {
+                    let args = ($($arg,)+);
+                    // the body as a re-runnable function of its inputs, so
+                    // the shrinker can replay candidates after a failure
+                    let run = $crate::runner(
+                        &args,
+                        |($($arg,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        },
+                    );
+                    match run(args.clone()) {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!("property `{}` failed at case {}/{}: {}",
-                                stringify!($name), case, cases, msg);
+                            // greedy shrink over the whole argument tuple:
+                            // keep any smaller variant that still fails
+                            let mut args = args;
+                            let mut msg = msg;
+                            let mut steps = 0u32;
+                            'shrinking: while steps < $crate::shrink::MAX_STEPS {
+                                use $crate::shrink::{ViaDefault, ViaShrink};
+                                for cand in (&$crate::shrink::Wrap(&args)).candidates() {
+                                    if let ::std::result::Result::Err(
+                                        $crate::TestCaseError::Fail(m),
+                                    ) = run(cand.clone())
+                                    {
+                                        args = cand;
+                                        msg = m;
+                                        steps += 1;
+                                        continue 'shrinking;
+                                    }
+                                }
+                                break;
+                            }
+                            panic!(
+                                "property `{}` failed at case {}/{}: {}\n\
+                                 minimal counterexample ({} shrink steps): {:#?}",
+                                stringify!($name), case, cases, msg, steps, args,
+                            );
                         }
                     }
                 }

@@ -1,0 +1,180 @@
+//! Minimal shrinking: when a case fails, the runner tries strictly
+//! "smaller" variants of each argument (integers halve toward zero,
+//! collections truncate) and keeps any variant that still fails, so the
+//! reported counterexample is readable instead of the raw random draw.
+//!
+//! Unlike real proptest there is no value tree: shrinking re-runs the
+//! property body on candidate values produced *from* the failing value.
+//! Types without a [`Shrink`] impl (domain enums, opaque structs) simply
+//! produce no candidates — the autoref-specialization shim in
+//! [`candidates_of`] falls back to an empty list rather than requiring
+//! every strategy value type to opt in.
+
+/// Candidate strictly-smaller values for a failing input, most aggressive
+/// first (the runner keeps the first candidate that still fails, then
+/// shrinks again from there).
+pub trait Shrink: Sized {
+    fn shrink(&self) -> Vec<Self>;
+}
+
+/// Cap on accepted shrink steps per failure, so a pathological property
+/// (e.g. one failing on every input) terminates promptly.
+pub const MAX_STEPS: u32 = 500;
+
+macro_rules! int_shrink {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let half = v / 2; // truncates toward zero for signed values
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != half {
+                        out.push(step);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+int_shrink!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<f64> {
+        let v = *self;
+        let mut out = Vec::new();
+        if v != 0.0 {
+            out.push(0.0);
+            if v.is_finite() && v / 2.0 != 0.0 {
+                out.push(v / 2.0);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<bool> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        if !self.is_empty() {
+            out.push(Vec::new());
+            let half = self.len() / 2;
+            if half > 0 {
+                out.push(self[..half].to_vec());
+            }
+            if self.len() - 1 > half {
+                out.push(self[..self.len() - 1].to_vec());
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<String> {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = Vec::new();
+        if !chars.is_empty() {
+            out.push(String::new());
+            let half = chars.len() / 2;
+            if half > 0 {
+                out.push(chars[..half].iter().collect());
+            }
+            if chars.len() - 1 > half {
+                out.push(chars[..chars.len() - 1].iter().collect());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Option<T>> {
+        match self {
+            None => Vec::new(),
+            Some(v) => std::iter::once(None)
+                .chain(v.shrink().into_iter().map(Some))
+                .collect(),
+        }
+    }
+}
+
+macro_rules! tuple_shrink {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Clone + Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<($($name,)+)> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut next = self.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_shrink! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Autoref-specialization shim: `candidates_of!`-style dispatch without a
+/// blanket impl. `(&Wrap(&v)).candidates()` resolves to [`ViaShrink`] when
+/// the value type implements [`Shrink`] (receiver matches by value) and
+/// falls back to [`ViaDefault`] (one deref away) otherwise, so strategy
+/// value types never *have* to implement `Shrink`.
+pub struct Wrap<'a, T>(pub &'a T);
+
+// manual impls: the field is a reference, so Wrap is Copy for every T
+// (derive would wrongly demand T: Copy)
+impl<'a, T> Clone for Wrap<'a, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, T> Copy for Wrap<'a, T> {}
+
+pub trait ViaShrink {
+    type V;
+    fn candidates(self) -> Vec<Self::V>;
+}
+
+impl<'a, T: Shrink> ViaShrink for &'a Wrap<'a, T> {
+    type V = T;
+    fn candidates(self) -> Vec<T> {
+        self.0.shrink()
+    }
+}
+
+pub trait ViaDefault {
+    type V;
+    fn candidates(self) -> Vec<Self::V>;
+}
+
+impl<'a, T> ViaDefault for Wrap<'a, T> {
+    type V = T;
+    fn candidates(self) -> Vec<T> {
+        Vec::new()
+    }
+}
