@@ -3,8 +3,10 @@
 //! (`BENCH_baseline.json`) so the performance trajectory accumulates
 //! across PRs instead of living only in terminal scrollback.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
+use vada_common::obs::{json_escape, Obs};
 use vada_common::{tuple, Parallelism, Relation, Schema, Sharding, Tuple, Value};
 use vada_datalog::incremental::{DeltaMode, IncrementalSession};
 use vada_datalog::{parse_program, Database, Engine, EngineConfig};
@@ -20,9 +22,9 @@ fn median_ms(mut v: Vec<f64>) -> f64 {
 
 /// Median wall-clock of re-deriving `input` from scratch `rounds` times,
 /// plus the derivation count — the full-path half of both baselines.
-fn time_full_runs(input: &Database, rounds: usize) -> (f64, usize) {
+fn time_full_runs(input: &Database, rounds: usize, obs: &Obs) -> (f64, usize) {
     let program = parse_program(PROGRAM).unwrap();
-    let engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig { obs: obs.clone(), ..Default::default() });
     let input_facts = input.total_facts();
     let mut times = Vec::new();
     let mut derivations = 0usize;
@@ -133,12 +135,12 @@ fn magic_base(n: usize, block: usize) -> Database {
 /// byte-identity guarantee), so the derivation-count gap is the pure
 /// benefit of demand: the directed run derives one chain, the full run
 /// derives all of them.
-fn measure_magic(n: usize, block: usize, rounds: usize) -> MagicRow {
+fn measure_magic(n: usize, block: usize, rounds: usize, obs: &Obs) -> MagicRow {
     use vada_datalog::parser::parse_query;
     let program = parse_program(MAGIC_PROGRAM).unwrap();
     let start_node = 3 * block as i64; // a block start well inside the base
     let query = parse_query(&format!("tc({start_node}, Y)")).unwrap();
-    let engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig { obs: obs.clone(), ..Default::default() });
     let input = magic_base(n, block);
     let input_facts = input.total_facts();
 
@@ -186,7 +188,7 @@ fn measure_magic(n: usize, block: usize, rounds: usize) -> MagicRow {
 /// base (the producer-side cost a crash would otherwise force, *before*
 /// re-running extraction). The reopened base is asserted to land on the
 /// same version as the original, so the timing compares equal states.
-fn measure_wal_recovery(n: usize, edits: usize, rounds: usize) -> RecoveryRow {
+fn measure_wal_recovery(n: usize, edits: usize, rounds: usize, obs: &Obs) -> RecoveryRow {
     use vada_kb::KnowledgeBase;
     let dir = std::env::temp_dir().join(format!(
         "vada-bench-recovery-{}-{n}-{edits}",
@@ -218,6 +220,9 @@ fn measure_wal_recovery(n: usize, edits: usize, rounds: usize) -> RecoveryRow {
     }
     kb.storage_health().expect("log stays healthy");
     let version = kb.version();
+    // the KB's always-on local registry holds the wal.* tallies; fold them
+    // into the experiment's snapshot before the handle goes away
+    obs.merge_counters_from(kb.obs());
     drop(kb);
     let wal_bytes = std::fs::metadata(dir.join("wal.log")).expect("log exists").len();
 
@@ -310,7 +315,7 @@ fn base_rows_of(k: usize, round: usize) -> Vec<(String, Tuple)> {
 /// the shrunk base from scratch, the incremental session's counting path
 /// retracts O(k) facts. The derivation-count asymmetry is the headline
 /// O(change) claim for deletions.
-fn measure_retraction(n: usize, k: usize, rounds: usize) -> RetractRow {
+fn measure_retraction(n: usize, k: usize, rounds: usize, obs: &Obs) -> RetractRow {
     // full: median wall-clock of re-deriving base-minus-k from scratch
     let mut shrunk = Database::new();
     let gone: std::collections::HashSet<Tuple> =
@@ -326,11 +331,13 @@ fn measure_retraction(n: usize, k: usize, rounds: usize) -> RetractRow {
             }
         }
     }
-    let (full_ms, full_derivations) = time_full_runs(&shrunk, rounds);
+    let (full_ms, full_derivations) = time_full_runs(&shrunk, rounds, obs);
 
     // incremental: median wall-clock of one k-row retraction (each round
     // removes a distinct slice of the base)
-    let mut session = IncrementalSession::new(EngineConfig::default(), PROGRAM).unwrap();
+    let mut session =
+        IncrementalSession::new(EngineConfig { obs: obs.clone(), ..Default::default() }, PROGRAM)
+            .unwrap();
     session.run_full(base_db(n)).unwrap();
     let mut inc_times = Vec::new();
     let mut inc_work = 0usize;
@@ -362,16 +369,18 @@ fn measure_retraction(n: usize, k: usize, rounds: usize) -> RetractRow {
     }
 }
 
-fn measure(n: usize, k: usize, rounds: usize) -> Row {
+fn measure(n: usize, k: usize, rounds: usize, obs: &Obs) -> Row {
     // full: median wall-clock of re-deriving base+delta from scratch
     let mut grown = base_db(n);
     for (p, t) in delta(k, 0) {
         grown.insert(&p, t);
     }
-    let (full_ms, full_derivations) = time_full_runs(&grown, rounds);
+    let (full_ms, full_derivations) = time_full_runs(&grown, rounds, obs);
 
     // incremental: median wall-clock of one k-fact delta apply
-    let mut session = IncrementalSession::new(EngineConfig::default(), PROGRAM).unwrap();
+    let mut session =
+        IncrementalSession::new(EngineConfig { obs: obs.clone(), ..Default::default() }, PROGRAM)
+            .unwrap();
     session.run_full(base_db(n)).unwrap();
     session.apply(delta(k, 0)).unwrap();
     let mut inc_times = Vec::new();
@@ -403,9 +412,10 @@ fn to_json(
     scans: &[ScanRow],
     recoveries: &[RecoveryRow],
     magics: &[MagicRow],
+    counters: &[(&str, BTreeMap<String, u64>)],
 ) -> String {
     let workers = vada_common::Parallelism::from_env().workers();
-    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v5\",\n");
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v6\",\n");
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str("  \"datalog_incremental_vs_full\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -482,28 +492,56 @@ fn to_json(
             if i + 1 == magics.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    // per-experiment observability snapshots: what the substrate tallied
+    // while the family above was measured (schema v6)
+    out.push_str("  ],\n  \"counters\": {\n");
+    for (i, (family, snapshot)) in counters.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{", json_escape(family)));
+        for (j, (name, v)) in snapshot.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {v}", json_escape(name)));
+        }
+        out.push_str(if i + 1 == counters.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  }\n}\n");
     out
 }
 
 /// Run the baseline measurements, write `BENCH_baseline.json`, and return
 /// the human-readable report.
 pub fn incremental_baseline() -> String {
-    let rows = vec![measure(5_000, 64, 5), measure(20_000, 64, 5)];
+    // one registry per experiment family, so the snapshots attribute the
+    // tallies to the family that produced them
+    let inc_obs = Obs::enabled();
+    let ret_obs = Obs::enabled();
+    let rec_obs = Obs::enabled();
+    let magic_obs = Obs::enabled();
+    let rows = vec![
+        measure(5_000, 64, 5, &inc_obs),
+        measure(20_000, 64, 5, &inc_obs),
+    ];
     let retractions = vec![
-        measure_retraction(5_000, 64, 5),
-        measure_retraction(20_000, 64, 5),
+        measure_retraction(5_000, 64, 5, &ret_obs),
+        measure_retraction(20_000, 64, 5, &ret_obs),
     ];
     let scans = vec![
         measure_sharded_scan(10_000, 4, 5),
         measure_sharded_scan(40_000, 4, 5),
     ];
     let recoveries = vec![
-        measure_wal_recovery(5_000, 128, 5),
-        measure_wal_recovery(20_000, 128, 5),
+        measure_wal_recovery(5_000, 128, 5, &rec_obs),
+        measure_wal_recovery(20_000, 128, 5, &rec_obs),
     ];
-    let magics = vec![measure_magic(20_000, 50, 5)];
-    let json = to_json(&rows, &retractions, &scans, &recoveries, &magics);
+    let magics = vec![measure_magic(20_000, 50, 5, &magic_obs)];
+    let counters = [
+        ("datalog_incremental_vs_full", inc_obs.counters()),
+        ("datalog_retraction_vs_full", ret_obs.counters()),
+        ("kb_wal_recovery", rec_obs.counters()),
+        ("datalog_magic_vs_full", magic_obs.counters()),
+    ];
+    let json = to_json(&rows, &retractions, &scans, &recoveries, &magics, &counters);
     let write_note = match std::fs::write(BASELINE_PATH, &json) {
         Ok(()) => format!("baseline written to {BASELINE_PATH}"),
         Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
@@ -654,11 +692,12 @@ mod tests {
 
     #[test]
     fn baseline_rows_show_less_work() {
-        let r = measure(2_000, 32, 3);
+        let obs = Obs::enabled();
+        let r = measure(2_000, 32, 3, &obs);
         assert!(r.incremental_derivations < r.full_derivations / 10,
             "delta path must derive far less: {} vs {}",
             r.incremental_derivations, r.full_derivations);
-        let rr = measure_retraction(2_000, 32, 3);
+        let rr = measure_retraction(2_000, 32, 3, &obs);
         assert!(rr.incremental_work < rr.full_derivations / 10,
             "retraction path must touch far less: {} vs {}",
             rr.incremental_work, rr.full_derivations);
@@ -666,18 +705,27 @@ mod tests {
         let sr = measure_sharded_scan(2_000, 4, 2);
         assert!(sr.monolithic_ms > 0.0 && sr.sharded_ms > 0.0);
         // the recovery measurement asserts version equality internally
-        let rec = measure_wal_recovery(500, 16, 2);
+        let rec = measure_wal_recovery(500, 16, 2, &obs);
         assert!(rec.wal_bytes > 0 && rec.reopen_ms > 0.0);
         // the magic measurement asserts the >=10x derivation cut and
         // answer byte-identity internally
-        let mr = measure_magic(2_000, 50, 2);
+        let mr = measure_magic(2_000, 50, 2, &obs);
         assert!(mr.directed_derivations > 0, "the demanded chain must still derive");
-        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr]);
+        let snapshot = obs.counters();
+        assert!(snapshot.get("incremental.outcome.incremental").copied().unwrap_or(0) > 0);
+        assert!(snapshot.get("wal.appends").copied().unwrap_or(0) > 0);
+        assert!(snapshot.get("magic.rewrite.applied").copied().unwrap_or(0) > 0);
+        let counters = [("all", snapshot)];
+        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr], &counters);
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"datalog_retraction_vs_full\""), "{json}");
         assert!(json.contains("\"kb_sharded_scan\""), "{json}");
         assert!(json.contains("\"kb_wal_recovery\""), "{json}");
         assert!(json.contains("\"datalog_magic_vs_full\""), "{json}");
-        assert!(json.contains("vada-bench-baseline/v5"), "{json}");
+        assert!(json.contains("vada-bench-baseline/v6"), "{json}");
+        // the whole baseline must be well-formed JSON, counters included
+        let doc = vada_common::obs::Json::parse(&json).expect("baseline parses");
+        let all = doc.get("counters").unwrap().get("all").unwrap();
+        assert!(all.get("datalog.stratum.passes").unwrap().as_u64().unwrap() > 0);
     }
 }

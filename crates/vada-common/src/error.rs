@@ -36,6 +36,10 @@ pub enum VadaError {
     /// Durable storage failed (WAL/snapshot I/O, corrupt or truncated
     /// records, codec mismatches).
     Storage(String),
+    /// The observability layer failed (sink I/O, sink panic, malformed
+    /// telemetry). Never aborts a pipeline run — surfaced sticky through
+    /// `obs_health()`.
+    Obs(String),
     /// Anything else.
     Other(String),
 }
@@ -55,6 +59,7 @@ impl VadaError {
             | VadaError::Context(m)
             | VadaError::Parallel(m)
             | VadaError::Storage(m)
+            | VadaError::Obs(m)
             | VadaError::Other(m) => m,
         }
     }
@@ -73,6 +78,7 @@ impl VadaError {
             VadaError::Context(_) => "context",
             VadaError::Parallel(_) => "parallel",
             VadaError::Storage(_) => "storage",
+            VadaError::Obs(_) => "obs",
             VadaError::Other(_) => "other",
         }
     }
@@ -126,6 +132,7 @@ mod tests {
             VadaError::Context(String::new()).kind(),
             VadaError::Parallel(String::new()).kind(),
             VadaError::Storage(String::new()).kind(),
+            VadaError::Obs(String::new()).kind(),
             VadaError::Other(String::new()).kind(),
         ];
         let set: std::collections::HashSet<_> = kinds.iter().collect();

@@ -14,6 +14,7 @@ pub mod durability;
 pub mod error;
 pub mod evaluation;
 pub mod idgen;
+pub mod obs;
 pub mod par;
 pub mod querymode;
 pub mod relation;
@@ -26,6 +27,7 @@ pub mod value;
 pub use durability::Durability;
 pub use error::{Result, VadaError};
 pub use evaluation::Evaluation;
+pub use obs::{Obs, ObsReport, ObsSink, SpanGuard};
 pub use par::Parallelism;
 pub use querymode::QueryMode;
 pub use sharding::{HashPartitioner, KeyPartitioner, Partitioner, Sharding};

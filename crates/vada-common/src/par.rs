@@ -222,6 +222,44 @@ where
     par_try_map(par, stage, &indices, |_, &s| f(s))
 }
 
+/// [`par_try_map`] with scheduling telemetry: the stage dispatch and its
+/// item count are recorded on the *coordinating* thread before any worker
+/// runs, so the counters depend only on what was submitted — never on how
+/// the workers were scheduled — and are identical at every thread count.
+pub fn par_try_map_obs<T, R, F>(
+    obs: &crate::obs::Obs,
+    par: Parallelism,
+    stage: &str,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R> + Sync,
+{
+    obs.incr(crate::obs::key::PAR_STAGES);
+    obs.add(crate::obs::key::PAR_ITEMS, items.len() as u64);
+    par_try_map(par, stage, items, f)
+}
+
+/// [`par_shards`] with scheduling telemetry (see [`par_try_map_obs`]).
+pub fn par_shards_obs<A, F>(
+    obs: &crate::obs::Obs,
+    par: Parallelism,
+    stage: &str,
+    shards: usize,
+    f: F,
+) -> Result<Vec<A>>
+where
+    A: Send,
+    F: Fn(usize) -> Result<A> + Sync,
+{
+    obs.incr(crate::obs::key::PAR_STAGES);
+    obs.add(crate::obs::key::PAR_ITEMS, shards as u64);
+    par_shards(par, stage, shards, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

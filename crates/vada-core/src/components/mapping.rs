@@ -205,6 +205,10 @@ impl Transducer for MappingExecution {
         self.config.sharding = sharding;
     }
 
+    fn set_obs(&mut self, obs: vada_common::Obs) {
+        self.config.engine.obs = obs;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let id = kb
             .selected_mapping()

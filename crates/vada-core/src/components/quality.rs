@@ -167,6 +167,10 @@ impl Transducer for MappingQuality {
         self.config.sharding = sharding;
     }
 
+    fn set_obs(&mut self, obs: vada_common::Obs) {
+        self.config.engine.obs = obs;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let mappings: Vec<_> = kb.mappings().cloned().collect();
         let cfds: Vec<_> = kb.cfds().cloned().collect();

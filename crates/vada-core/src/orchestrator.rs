@@ -4,7 +4,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use vada_common::{Evaluation, Parallelism, Result, Sharding, VadaError};
+use vada_common::obs::key as obs_key;
+use vada_common::{Evaluation, Obs, Parallelism, Result, Sharding, VadaError};
 use vada_kb::KnowledgeBase;
 
 use crate::network::{GenericPolicy, SchedulingPolicy};
@@ -59,6 +60,10 @@ pub struct Orchestrator {
     last_run: HashMap<String, u64>,
     trace: Trace,
     step: usize,
+    /// Observability registry: per-step spans, structural counters, and
+    /// whatever the fleet's substrates tally. Disabled (a no-op stub) by
+    /// default; [`set_obs`](Orchestrator::set_obs) broadcasts a live one.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for Orchestrator {
@@ -89,6 +94,7 @@ impl Orchestrator {
             last_run: HashMap::new(),
             trace: Trace::default(),
             step: 0,
+            obs: Obs::disabled(),
         };
         // the orchestrator owns the parallelism, evaluation and sharding
         // knobs: every registration path (constructor, add_transducer,
@@ -125,7 +131,24 @@ impl Orchestrator {
         t.set_parallelism(self.config.parallelism);
         t.set_evaluation(self.config.evaluation);
         t.set_sharding(self.config.sharding);
+        t.set_obs(self.obs.clone());
         self.transducers.push(t);
+    }
+
+    /// Broadcast an observability registry to the fleet. Like the other
+    /// knobs the registry never influences results — it only observes —
+    /// so this is safe at any point; a disabled handle turns collection
+    /// back off everywhere.
+    pub fn set_obs(&mut self, obs: Obs) {
+        for t in &mut self.transducers {
+            t.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The orchestrator's observability registry.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The execution trace so far.
@@ -181,12 +204,35 @@ impl Orchestrator {
             }
             let chosen = self.policy.choose(&eligible, &self.transducers);
             let before = kb.version();
+            // before/after counter snapshots bracket the whole step, so
+            // the trace entry's delta includes everything the substrate
+            // tallied on the step's behalf (engine passes, WAL appends, …)
+            let counters_before = self.obs.counters();
+            let span = self.obs.span("orchestrator/step");
             let started = Instant::now();
             let t = &mut self.transducers[chosen];
             let outcome = t.run(kb).map_err(|e| {
                 VadaError::Transducer(format!("{} failed: {e}", t.name()))
             })?;
             let after = kb.version();
+            self.obs.incr(obs_key::ORCH_STEPS);
+            self.obs.add(obs_key::ORCH_WRITES, outcome.writes as u64);
+            self.obs
+                .incr(&format!("{}{}", obs_key::ACTIVITY_PREFIX, t.activity().tag()));
+            span.attr("step", self.step);
+            span.attr("transducer", t.name());
+            span.attr("activity", t.activity().tag());
+            span.attr("writes", outcome.writes);
+            drop(span);
+            let counters = self
+                .obs
+                .counters()
+                .into_iter()
+                .filter_map(|(name, v)| {
+                    let delta = v - counters_before.get(&name).copied().unwrap_or(0);
+                    (delta > 0).then_some((name, delta))
+                })
+                .collect();
             self.last_run.insert(t.name().to_string(), after);
             self.trace.push(TraceEntry {
                 step: self.step,
@@ -198,6 +244,7 @@ impl Orchestrator {
                 summary: outcome.summary,
                 writes: outcome.writes,
                 duration: started.elapsed(),
+                counters,
             });
             self.step += 1;
             executed += 1;

@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use vada_common::{Evaluation, Parallelism, Result, Sharding};
+use vada_common::{Evaluation, Obs, Parallelism, Result, Sharding};
 use vada_kb::KnowledgeBase;
 
 /// The wrangling activity a transducer belongs to (paper Table 1 column
@@ -129,6 +129,13 @@ pub trait Transducer {
     /// the default ignores it, which is always correct because sharded and
     /// monolithic scans produce identical output.
     fn set_sharding(&mut self, _sharding: Sharding) {}
+
+    /// Adopt the orchestrator's observability registry (see
+    /// [`crate::Orchestrator::set_obs`]). Components whose substrate emits
+    /// counters (the mapping executors, anything holding an
+    /// `EngineConfig`) override this; the default ignores it, which is
+    /// always correct because the registry never influences results.
+    fn set_obs(&mut self, _obs: Obs) {}
 
     /// Execute against the knowledge base.
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome>;

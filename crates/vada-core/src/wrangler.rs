@@ -3,7 +3,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use vada_common::{Durability, Evaluation, Parallelism, Relation, Result, Schema, Sharding};
+use vada_common::{
+    Durability, Evaluation, Obs, ObsReport, Parallelism, Relation, Result, Schema, Sharding,
+};
 use vada_kb::{ContextKind, FeedbackRecord, KnowledgeBase, PairwiseStatement};
 
 use crate::network::SchedulingPolicy;
@@ -72,12 +74,25 @@ fn kb_from_env() -> KnowledgeBase {
 }
 
 impl Wrangler {
+    /// Honour the `VADA_OBS` env default: wire the orchestrator, the
+    /// fleet, and the knowledge base to one shared registry (with the
+    /// configured sink, if any). When the env leaves observability off,
+    /// everything keeps its no-op/local default.
+    fn finish(mut self) -> Wrangler {
+        let obs = Obs::from_env();
+        if obs.is_enabled() {
+            self.set_obs(obs);
+        }
+        self
+    }
+
     /// A wrangler with the default transducer fleet and generic policy.
     pub fn new() -> Wrangler {
         Wrangler {
             kb: kb_from_env(),
             orchestrator: Orchestrator::new(default_transducers()),
         }
+        .finish()
     }
 
     /// A wrangler with an explicit network-transducer policy.
@@ -86,17 +101,49 @@ impl Wrangler {
             kb: kb_from_env(),
             orchestrator: Orchestrator::with_policy(default_transducers(), policy),
         }
+        .finish()
     }
 
     /// A wrangler with a custom fleet (e.g. extended with user transducers).
     pub fn with_transducers(transducers: Vec<Box<dyn Transducer>>) -> Wrangler {
-        Wrangler { kb: kb_from_env(), orchestrator: Orchestrator::new(transducers) }
+        Wrangler { kb: kb_from_env(), orchestrator: Orchestrator::new(transducers) }.finish()
     }
 
     /// A wrangler over an existing knowledge base — typically one recovered
     /// via [`KnowledgeBase::open`] — with the default fleet.
     pub fn with_kb(kb: KnowledgeBase) -> Wrangler {
-        Wrangler { kb, orchestrator: Orchestrator::new(default_transducers()) }
+        Wrangler { kb, orchestrator: Orchestrator::new(default_transducers()) }.finish()
+    }
+
+    /// Attach an observability registry: the orchestrator records a span
+    /// per step, the fleet's substrates tally counters into it, and the
+    /// knowledge base migrates its accumulated local tallies over. The
+    /// registry observes — it never influences results, and a sink that
+    /// fails or panics is detached rather than poisoning the run (see
+    /// [`obs_health`](Wrangler::obs_health)).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.kb.set_obs(obs.clone());
+        self.orchestrator.set_obs(obs);
+    }
+
+    /// The active observability registry (the disabled stub unless
+    /// [`set_obs`](Wrangler::set_obs) or `VADA_OBS` wired a live one).
+    pub fn obs(&self) -> &Obs {
+        self.orchestrator.obs()
+    }
+
+    /// Counters, spans, and timings collected so far. With observability
+    /// disabled this is the empty report; the knowledge base's always-on
+    /// local tallies are still available via [`Wrangler::kb`].
+    pub fn obs_report(&self) -> ObsReport {
+        self.orchestrator.obs().report()
+    }
+
+    /// First sink failure, if any — sticky, mirroring
+    /// [`KnowledgeBase::storage_health`]. A failing sink is detached and
+    /// the run continues unchanged; this is where the detachment surfaces.
+    pub fn obs_health(&self) -> Result<()> {
+        self.orchestrator.obs().health()
     }
 
     /// Set the durability mode. [`Durability::Wal`] makes the knowledge
@@ -216,6 +263,9 @@ impl Wrangler {
     /// available.
     pub fn run(&mut self) -> Result<RunReport> {
         let executed = self.orchestrator.run_to_fixpoint(&mut self.kb)?;
+        // push the counter snapshot out through the sink (if one is
+        // attached) so an exported JSON stream is complete per run
+        self.orchestrator.obs().flush();
         let trace_summary = self
             .orchestrator
             .trace()

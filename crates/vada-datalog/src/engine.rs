@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
+use vada_common::obs::{key as obs_key, Obs};
 use vada_common::par::{self, Parallelism};
 use vada_common::sharding::{assign_shards, merge_in_order, rows_by_shard, Sharding};
 use vada_common::{HashPartitioner, QueryMode, Result, Tuple, VadaError, Value};
@@ -243,6 +244,12 @@ pub struct EngineConfig {
     /// refresh. Both surface as [`VadaError::Parallel`] naming the stage,
     /// exactly like a worker panic at any parallelism level.
     pub inject_fault: Option<&'static str>,
+    /// Counter registry for evaluation telemetry (`datalog.*`, `magic.*`,
+    /// `par.*`). Defaults to the disabled stub — a single branch per
+    /// counter site — and is threaded in by the owning layer (`Wrangler`,
+    /// sessions, the bench harness); an embedded config must not open its
+    /// own export sink.
+    pub obs: Obs,
 }
 
 impl Default for EngineConfig {
@@ -254,6 +261,7 @@ impl Default for EngineConfig {
             parallelism: Parallelism::default(),
             query_mode: QueryMode::default(),
             inject_fault: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -285,6 +293,14 @@ impl Engine {
     /// same answers in the same order.
     pub fn run_directed(&self, program: &Program, db: Database, query: &Rule) -> Result<Database> {
         let demand = magic::demand_for(self, program, &db, query)?;
+        let obs = &self.config.obs;
+        if demand.is_unrestricted() {
+            obs.incr(obs_key::MAGIC_UNRESTRICTED);
+        } else {
+            obs.incr(obs_key::MAGIC_APPLIED);
+            obs.add(obs_key::MAGIC_RULES, demand.magic_rule_count() as u64);
+            obs.add(obs_key::MAGIC_DEMAND_FACTS, demand.demand_fact_count() as u64);
+        }
         self.run_impl(program, db, Some(&demand))
     }
 
@@ -317,11 +333,13 @@ impl Engine {
     ) -> Result<Database> {
         let strat = stratify(program)?;
         let fault = self.config.inject_fault;
+        let obs = &self.config.obs;
         // shared hash indexes over the growing database, registered from
         // each stratum's compiled lookup shapes and refreshed incrementally
         // before every parallel batch; identical to the per-pass lazy
         // indexes by construction, so it only changes wall-clock
         let mut store = IndexStore::default();
+        store.obs = obs.clone();
 
         // ground facts
         for rule in &program.rules {
@@ -348,6 +366,16 @@ impl Engine {
                 .map(|&ri| CompiledRule::compile(&program.rules[ri], ri))
                 .collect::<Result<_>>()?;
             for cr in &compiled {
+                // join-planner telemetry: which positive literals got an
+                // indexable lookup shape vs a scan — a per-rule compile
+                // decision, so the tallies are knob-invariant up to the
+                // program being evaluated
+                let indexed = cr.indexed_lookups().len();
+                obs.add(obs_key::JOIN_INDEXED, indexed as u64);
+                obs.add(
+                    obs_key::JOIN_SCAN,
+                    (cr.positive_lit_indices.len() - indexed) as u64,
+                );
                 for (pred, cols) in cr.indexed_lookups() {
                     store.register(pred, cols);
                 }
@@ -377,9 +405,11 @@ impl Engine {
             let mut delta = Database::new();
             let all_rules: Vec<usize> = (0..compiled.len()).collect();
             let initial_par = self.pass_parallelism(db.total_facts());
+            obs.incr(obs_key::STRATUM_PASSES);
             for batch in independent_batches(&all_rules, &rule_reads, &rule_heads) {
                 store.refresh(&db, fault)?;
-                let outs = par::par_try_map(
+                let outs = par::par_try_map_obs(
+                    obs,
                     initial_par,
                     "datalog/stratum-initial",
                     &batch,
@@ -434,9 +464,11 @@ impl Engine {
                 }
                 let pass_rules: Vec<usize> = passes.iter().map(|&(ci, _)| ci).collect();
                 let delta_par = self.pass_parallelism(delta.total_facts());
+                obs.incr(obs_key::DELTA_PASSES);
                 for batch in independent_batches(&pass_rules, &rule_reads, &rule_heads) {
                     store.refresh(&db, fault)?;
-                    let outs = par::par_try_map(
+                    let outs = par::par_try_map_obs(
+                        obs,
                         delta_par,
                         "datalog/stratum-delta",
                         &batch,
@@ -954,6 +986,9 @@ impl<'a> CompiledRule<'a> {
 #[derive(Default)]
 pub(crate) struct IndexStore {
     indexes: HashMap<String, HashMap<Vec<usize>, SharedIndex>>,
+    /// Evaluation telemetry (`datalog.index.*`); the run's registry,
+    /// cloned in by `run_impl`.
+    pub(crate) obs: Obs,
 }
 
 #[derive(Default)]
@@ -980,6 +1015,7 @@ impl IndexStore {
     /// predicates) are skipped — the join's arity check would reject them
     /// anyway.
     pub(crate) fn refresh(&mut self, db: &Database, fault: Option<&'static str>) -> Result<()> {
+        self.obs.incr(obs_key::INDEX_BUILDS);
         magic::guard_stage("datalog/index_build", || {
             if fault == Some("index-build") {
                 panic!("injected index-build fault");
@@ -1006,6 +1042,10 @@ impl IndexStore {
         if index.covered != db.facts(pred).len() {
             return None;
         }
+        // probe tallies are commutative adds: the total depends only on
+        // which (literal, binding) probes the evaluation performs — fixed
+        // by the program and database — never on worker scheduling
+        self.obs.incr(obs_key::INDEX_PROBES);
         Some(index.map.get(key).cloned().unwrap_or_default())
     }
 }

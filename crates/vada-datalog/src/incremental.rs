@@ -118,6 +118,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
+use vada_common::obs::{key as obs_key, slug, Obs};
 use vada_common::par::{self, Parallelism};
 use vada_common::{Result, Tuple, VadaError};
 
@@ -452,6 +453,13 @@ pub struct IncrementalSession {
     /// may rebuild by re-enumeration. Captured together with `counts`.
     order_exact: BTreeSet<String>,
     history: Vec<DeltaOutcome>,
+    /// Outcome tallies (bootstrap / incremental / fallback-by-reason).
+    /// Always an enabled registry so the counts are available even when the
+    /// engine config carries the disabled stub; [`set_obs`] swaps in a
+    /// shared registry, carrying accumulated tallies along.
+    ///
+    /// [`set_obs`]: IncrementalSession::set_obs
+    obs: Obs,
     /// Set while a failed `apply`/`retract` may have left `db`
     /// half-updated; every later delta refuses until `run_full`
     /// re-materializes.
@@ -480,8 +488,10 @@ impl IncrementalSession {
         let program = parse_program(source)?;
         let strat = stratify(&program)?;
         let info = ProgramInfo::build(&program, &strat)?;
+        let obs = if config.obs.is_enabled() { config.obs.clone() } else { Obs::enabled() };
         Ok(IncrementalSession {
             engine: Engine::new(config),
+            obs,
             source: source.to_string(),
             program,
             strat,
@@ -548,6 +558,41 @@ impl IncrementalSession {
         self.engine.config_mut().parallelism = parallelism;
     }
 
+    /// Attach a shared observability registry. Tallies accumulated so far
+    /// migrate into it, and both the session's outcome counters and the
+    /// engine's pass counters flow there from now on. A disabled handle is
+    /// ignored (the session keeps its always-on local registry).
+    pub fn set_obs(&mut self, obs: Obs) {
+        if obs.is_enabled() {
+            obs.merge_counters_from(&self.obs);
+            self.obs = obs.clone();
+            self.engine.config_mut().obs = obs;
+        }
+    }
+
+    /// The registry holding this session's outcome tallies.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Tally the outcome on the registry, then append it to the history.
+    /// Every history entry goes through here, so
+    /// `incremental.outcome.*` always sums to `history().len()`.
+    fn record_outcome(&mut self, outcome: DeltaOutcome) {
+        match outcome.mode {
+            DeltaMode::Bootstrap => self.obs.incr(obs_key::INC_BOOTSTRAP),
+            DeltaMode::Incremental => self.obs.incr(obs_key::INC_INCREMENTAL),
+            DeltaMode::FullFallback => {
+                self.obs.incr(obs_key::INC_FALLBACK);
+                if let Some(reason) = &outcome.fallback_reason {
+                    self.obs
+                        .incr(&format!("{}{}", obs_key::INC_FALLBACK_PREFIX, slug(reason)));
+                }
+            }
+        }
+        self.history.push(outcome);
+    }
+
     /// Materialize from scratch over a fresh extensional input, replacing
     /// all session state. This is both the bootstrap step and the recovery
     /// path after a poisoned `apply`.
@@ -572,7 +617,7 @@ impl IncrementalSession {
         self.db = db;
         self.poisoned = false;
         self.bootstrapped = true;
-        self.history.push(DeltaOutcome {
+        self.record_outcome(DeltaOutcome {
             mode,
             fallback_reason,
             delta_facts,
@@ -708,7 +753,7 @@ impl IncrementalSession {
             }
         }
         if fresh.is_empty() {
-            self.history.push(DeltaOutcome::noop());
+            self.record_outcome(DeltaOutcome::noop());
             return Ok(&self.db);
         }
 
@@ -903,7 +948,8 @@ impl IncrementalSession {
                 let all: Vec<usize> = (0..wave.len()).collect();
                 let par_level = self.engine.pass_parallelism(pending.total_facts());
                 for batch in independent_batches(&all, &reads, &heads) {
-                    let outs = par::par_try_map(
+                    let outs = par::par_try_map_obs(
+                        &self.obs,
                         par_level,
                         "datalog/incremental-delta",
                         &batch,
@@ -989,7 +1035,7 @@ impl IncrementalSession {
         }
 
         self.poisoned = false;
-        self.history.push(DeltaOutcome {
+        self.record_outcome(DeltaOutcome {
             mode: DeltaMode::Incremental,
             fallback_reason: None,
             delta_facts,
@@ -1038,7 +1084,7 @@ impl IncrementalSession {
         let fresh = self.remove_from_base(removals);
         if fresh.is_empty() {
             self.poisoned = false;
-            self.history.push(DeltaOutcome::noop());
+            self.record_outcome(DeltaOutcome::noop());
             return Ok(&self.db);
         }
 
@@ -1262,7 +1308,7 @@ impl IncrementalSession {
         }
 
         self.poisoned = false;
-        self.history.push(DeltaOutcome {
+        self.record_outcome(DeltaOutcome {
             mode: DeltaMode::Incremental,
             fallback_reason: None,
             delta_facts: 0,
@@ -1306,7 +1352,8 @@ impl IncrementalSession {
             .collect::<Result<_>>()?;
         let level = self.engine.pass_parallelism(removed.total_facts());
         let removed_view: &Database = removed;
-        let outs = par::par_try_map(
+        let outs = par::par_try_map_obs(
+            &self.obs,
             level,
             "datalog/incremental-retract",
             &passes,
@@ -1429,7 +1476,8 @@ impl IncrementalSession {
             }
             let level = self.engine.pass_parallelism(frontier.total_facts());
             let frontier_view: &Database = &frontier;
-            let outs = par::par_try_map(
+            let outs = par::par_try_map_obs(
+                &self.obs,
                 level,
                 "datalog/incremental-retract",
                 &passes,

@@ -27,6 +27,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use vada_common::obs::{key as obs_key, Obs};
 use vada_common::sharding::{assign_shards, rows_by_shard, Partitioner, Sharding};
 use vada_common::{
     par, HashPartitioner, Parallelism, Relation, Result, Schema, Tuple, VadaError,
@@ -300,6 +301,9 @@ pub struct ShardedStore {
     watermark: Option<(u64, u64)>,
     rebuilds: usize,
     routed_events: usize,
+    /// Pipeline-wide counter registry (`shard.sync.*`); disabled unless a
+    /// coordinator threads one in via [`ShardedStore::set_obs`].
+    obs: Obs,
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -334,7 +338,13 @@ impl ShardedStore {
             watermark: None,
             rebuilds: 0,
             routed_events: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Record sync telemetry into a shared registry (`shard.sync.*`).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Restrict (or extend an existing restriction of) the store to the
@@ -381,7 +391,15 @@ impl ShardedStore {
     /// from a clean rebuild — never from half-applied state.
     pub fn sync(&mut self, kb: &KnowledgeBase) -> Result<SyncReport> {
         match self.try_sync(kb) {
-            Ok(report) => Ok(report),
+            Ok(report) => {
+                self.obs.incr(match report.mode {
+                    SyncMode::Rebuild => obs_key::SHARD_SYNC_REBUILD,
+                    SyncMode::Routed => obs_key::SHARD_SYNC_ROUTED,
+                    SyncMode::Noop => obs_key::SHARD_SYNC_NOOP,
+                });
+                self.obs.add(obs_key::SHARD_ROUTED_EVENTS, report.routed_events as u64);
+                Ok(report)
+            }
             Err(e) => {
                 self.views.clear();
                 self.watermark = None;

@@ -70,8 +70,8 @@ impl DurableStore {
         Ok((DurableStore { dir, wal }, snap, records))
     }
 
-    /// Append (and fsync) one record.
-    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+    /// Append (and fsync) one record, returning the framed byte count.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
         self.wal.append(record)
     }
 

@@ -182,8 +182,9 @@ impl Wal {
     }
 
     /// Append one record: frame, write, fsync. After this returns the
-    /// record will survive a crash.
-    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+    /// record will survive a crash. Returns the framed byte count — the
+    /// observability layer's `wal.bytes` currency.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
         let mut payload = Vec::new();
         encode_record(record, &mut payload);
         let mut frame = Vec::with_capacity(payload.len() + 8);
@@ -192,7 +193,7 @@ impl Wal {
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
-        Ok(())
+        Ok(frame.len() as u64)
     }
 
     /// The log's path.

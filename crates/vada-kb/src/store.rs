@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use parking_lot::Mutex;
+use vada_common::obs::{key as obs_key, Obs};
 use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
 use vada_datalog::ast::Program;
 use vada_datalog::engine::{Database, Engine};
@@ -19,7 +20,7 @@ use crate::meta::{
 use crate::provenance::ProvenanceLog;
 
 /// The VADA knowledge base. See the crate docs for the model.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct KnowledgeBase {
     catalog: Catalog,
     target_schema: Option<Schema>,
@@ -50,18 +51,22 @@ pub struct KnowledgeBase {
     /// fails, at which point the log is detached (see
     /// [`KnowledgeBase::storage_health`]).
     storage_error: Option<VadaError>,
+    /// The counter registry this base records into: dep-cache maintenance,
+    /// query counts, journal events, WAL traffic. Starts as a local
+    /// always-on collector so the stats shims ([`dep_cache_stats`]
+    /// (KnowledgeBase::dep_cache_stats)) work stand-alone; the `Wrangler`
+    /// rebases it onto the pipeline-wide registry via
+    /// [`KnowledgeBase::set_obs`].
+    obs: Obs,
 }
 
-/// The dependency fact view cache: the database as of `version`, plus the
-/// maintenance counters the regression tests assert on.
+/// The dependency fact view cache: the database as of `version`. The
+/// rebuild/patch maintenance counters live on the [`Obs`] registry
+/// (`kb.depcache.*`).
 #[derive(Debug, Default)]
 struct DepCache {
     /// `(kb version the view reflects, the view)`.
     entry: Option<(u64, Database)>,
-    /// From-scratch builds (first query, pruned journal window).
-    rebuilds: u64,
-    /// Journal-driven patches (only changed aspects' predicates refreshed).
-    patches: u64,
 }
 
 /// Every predicate of the dependency fact view, in the canonical build
@@ -151,6 +156,41 @@ impl Clone for KnowledgeBase {
             // in-memory only until persist_to is called on it
             durable: None,
             storage_error: None,
+            // a clone is a new lineage for telemetry too: its events are
+            // bookkeeping copies, not pipeline events, so it records into
+            // a fresh local registry rather than the shared one
+            obs: Obs::enabled(),
+        }
+    }
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> KnowledgeBase {
+        KnowledgeBase {
+            catalog: Default::default(),
+            target_schema: None,
+            matches: Default::default(),
+            mappings: Default::default(),
+            cfds: Default::default(),
+            feedback: Vec::new(),
+            vetoes: Vec::new(),
+            quality: Vec::new(),
+            user_context: Vec::new(),
+            context_kinds: Default::default(),
+            context_bindings: Vec::new(),
+            selected_mapping: None,
+            staged: Default::default(),
+            version: 0,
+            aspect_versions: Default::default(),
+            journal: Default::default(),
+            provenance: Default::default(),
+            dep_cache: Mutex::new(DepCache::default()),
+            durable: None,
+            storage_error: None,
+            // always-on local registry: the stats accessors must work on a
+            // stand-alone base; counter adds on the (cold) mutation/query
+            // paths are a map increment under an uncontended lock
+            obs: Obs::enabled(),
         }
     }
 }
@@ -159,6 +199,22 @@ impl KnowledgeBase {
     /// An empty knowledge base.
     pub fn new() -> KnowledgeBase {
         KnowledgeBase::default()
+    }
+
+    /// Rebase this knowledge base onto a shared observability registry
+    /// (the pipeline-wide collector): counters recorded so far are folded
+    /// into the new registry so nothing is lost, then all further events
+    /// record there.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if obs.is_enabled() {
+            obs.merge_counters_from(&self.obs);
+            self.obs = obs;
+        }
+    }
+
+    /// The observability registry this base records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// An empty knowledge base with a custom journal retention window
@@ -199,9 +255,13 @@ impl KnowledgeBase {
             // (recovery replays log records on top of the snapshot, and
             // both must describe the same window)
             let snap = self.snapshot_state();
-            if let Err(e) = self.durable.as_mut().expect("checked above").compact(&snap) {
-                self.storage_error.get_or_insert(e);
-                self.durable = None;
+            match self.durable.as_mut().expect("checked above").compact(&snap) {
+                Ok(()) => self.obs.incr(obs_key::WAL_COMPACTIONS),
+                Err(e) => {
+                    self.obs.incr(obs_key::STORAGE_ERRORS);
+                    self.storage_error.get_or_insert(e);
+                    self.durable = None;
+                }
             }
         }
         self.version += 1;
@@ -211,15 +271,26 @@ impl KnowledgeBase {
                 event: DeltaEvent { seq: self.version, aspect, change: change.clone() },
                 payload: payload.map(|(kind, rel)| StoredRelation::capture(kind, rel)),
             };
-            if let Err(e) = self.durable.as_mut().expect("checked above").append(&record) {
-                // an un-fsyncable log must not silently pretend to be
-                // durable: detach it and hold the error for
-                // storage_health; in-memory operation continues
-                self.storage_error.get_or_insert(e);
-                self.durable = None;
+            match self.durable.as_mut().expect("checked above").append(&record) {
+                Ok(bytes) => {
+                    // one fsync per append under the current WAL contract
+                    self.obs.incr(obs_key::WAL_APPENDS);
+                    self.obs.incr(obs_key::WAL_FSYNCS);
+                    self.obs.add(obs_key::WAL_BYTES, bytes);
+                }
+                Err(e) => {
+                    // an un-fsyncable log must not silently pretend to be
+                    // durable: detach it and hold the error for
+                    // storage_health; in-memory operation continues
+                    self.obs.incr(obs_key::STORAGE_ERRORS);
+                    self.storage_error.get_or_insert(e);
+                    self.durable = None;
+                }
             }
         }
         self.journal.record(self.version, aspect, change);
+        // structural: one journal event per version bump, at every knob
+        self.obs.incr(obs_key::KB_EVENTS);
     }
 
     /// The full persistent image of the current extensional state — what a
@@ -886,6 +957,7 @@ impl KnowledgeBase {
     /// full rebuild.
     pub fn query(&self, query_src: &str) -> Result<Vec<Tuple>> {
         let q = parse_query(query_src)?;
+        self.obs.incr(obs_key::KB_QUERIES);
         let mut cache = self.dep_cache.lock();
         match cache.entry.take() {
             Some((v, db)) if v == self.version => {
@@ -900,17 +972,17 @@ impl KnowledgeBase {
                             db.clear_predicate(pred);
                             self.insert_dependency_pred(&mut db, pred);
                         }
-                        cache.patches += 1;
+                        self.obs.incr(obs_key::DEPCACHE_PATCHES);
                         cache.entry = Some((self.version, db));
                     }
                     None => {
-                        cache.rebuilds += 1;
+                        self.obs.incr(obs_key::DEPCACHE_REBUILDS);
                         cache.entry = Some((self.version, self.build_dependency_db()));
                     }
                 }
             }
             None => {
-                cache.rebuilds += 1;
+                self.obs.incr(obs_key::DEPCACHE_REBUILDS);
                 cache.entry = Some((self.version, self.build_dependency_db()));
             }
         }
@@ -922,11 +994,14 @@ impl KnowledgeBase {
     }
 
     /// `(from-scratch builds, journal-driven patches)` of the dependency
-    /// view over this knowledge base's lifetime — the observability hook
-    /// for the no-rebuild-on-unchanged-aspects regression tests.
+    /// view over this knowledge base's lifetime. A thin shim over the
+    /// counter registry (`kb.depcache.rebuilds` / `kb.depcache.patches`)
+    /// kept for the no-rebuild-on-unchanged-aspects regression tests.
     pub fn dep_cache_stats(&self) -> (u64, u64) {
-        let cache = self.dep_cache.lock();
-        (cache.rebuilds, cache.patches)
+        (
+            self.obs.get(obs_key::DEPCACHE_REBUILDS),
+            self.obs.get(obs_key::DEPCACHE_PATCHES),
+        )
     }
 
     /// Whether a dependency query has at least one answer.

@@ -1,6 +1,7 @@
 //! Mapping execution: run the Vadalog program against the source
 //! relations and coerce the answers into the typed target schema.
 
+use vada_common::obs::{key as obs_key, Obs};
 use vada_common::{
     par, AttrType, Parallelism, Relation, Result, Schema, Sharding, Tuple, VadaError, Value,
 };
@@ -122,6 +123,7 @@ pub(crate) fn build_input_db_with(
     kb: &KnowledgeBase,
     sharding: Sharding,
     parallelism: Parallelism,
+    obs: &Obs,
     store: Option<&mut ShardedStore>,
 ) -> Result<Database> {
     if !sharding.is_sharded() {
@@ -136,6 +138,7 @@ pub(crate) fn build_input_db_with(
         }
     };
     store.set_parallelism(parallelism);
+    store.set_obs(obs.clone());
     // only the mapping's sources are scanned here, so the store never pays
     // to partition results or intermediates (scope only grows, so a store
     // shared across mappings keeps every source it ever scanned synced)
@@ -150,7 +153,8 @@ pub(crate) fn build_input_db_with(
         let view = store
             .view(source)
             .ok_or_else(|| VadaError::Kb(format!("no sharded view for `{source}`")))?;
-        let per_shard = par::par_shards(
+        let per_shard = par::par_shards_obs(
+            obs,
             parallelism,
             "map/shard_input_scan",
             view.shard_count(),
@@ -204,7 +208,15 @@ pub fn execute_mapping_with(
         )));
     }
     let program = parse_program(&mapping.rules)?;
-    let input = build_input_db_with(mapping, kb, cfg.sharding, cfg.engine.parallelism, store)?;
+    cfg.engine.obs.incr(obs_key::MAP_FULL);
+    let input = build_input_db_with(
+        mapping,
+        kb,
+        cfg.sharding,
+        cfg.engine.parallelism,
+        &cfg.engine.obs,
+        store,
+    )?;
     let engine = Engine::new(cfg.engine.clone());
     // A mapping run demands its *entire* target relation — an all-free
     // access pattern — so under QueryMode::Directed the magic rewrite

@@ -58,6 +58,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use vada_common::obs::key as obs_key;
 use vada_common::{Relation, Result, Schema, Tuple, VadaError, Value};
 use vada_datalog::incremental::{DeltaMode, IncrementalSession};
 use vada_kb::{DeltaChange, DeltaEvent, KnowledgeBase, MappingDef};
@@ -330,12 +331,14 @@ impl IncrementalExecutor {
         self.lru.push(fp.clone());
 
         if let Some(ms) = self.sessions.get_mut(&fp) {
-            // adopt the current worker count: the orchestrator may have
-            // re-broadcast since this session was bootstrapped (output is
-            // level-invariant, only wall-clock changes)
+            // adopt the current worker count and registry: the orchestrator
+            // may have re-broadcast since this session was bootstrapped
+            // (output is level-invariant, only wall-clock changes)
             ms.session.set_parallelism(cfg.engine.parallelism);
+            ms.session.set_obs(cfg.engine.obs.clone());
             match self.plan_delta(&fp, mapping, kb) {
                 Ok(plan) => {
+                    cfg.engine.obs.incr(obs_key::MAP_INCREMENTAL);
                     let outcome = self.apply_delta(&fp, plan, mapping, &target, kb);
                     match outcome {
                         Ok(rel) => return Ok(rel),
@@ -525,8 +528,14 @@ impl IncrementalExecutor {
         kb: &KnowledgeBase,
         store: Option<&mut vada_kb::ShardedStore>,
     ) -> Result<Relation> {
-        let input =
-            build_input_db_with(mapping, kb, cfg.sharding, cfg.engine.parallelism, store)?;
+        let input = build_input_db_with(
+            mapping,
+            kb,
+            cfg.sharding,
+            cfg.engine.parallelism,
+            &cfg.engine.obs,
+            store,
+        )?;
         // first-occurrence source index and contributor count per helper
         // fact, and row multiplicities, in the same scan order
         // build_input_db uses
@@ -549,6 +558,7 @@ impl IncrementalExecutor {
                 }
             }
         }
+        cfg.engine.obs.incr(obs_key::MAP_FULL);
         let mut session = IncrementalSession::new(cfg.engine.clone(), &mapping.rules)?;
         session.run_full(input)?;
         let mut result = Relation::empty(target.clone());

@@ -7,7 +7,7 @@
 //! ```
 
 use vada::Wrangler;
-use vada_common::{csv, AttrType, Schema};
+use vada_common::{csv, AttrType, Obs, Schema};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // two listing sources as they might arrive from web extraction — note
@@ -41,6 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let mut wrangler = Wrangler::new();
+    // collect pipeline counters even without a VADA_OBS export target
+    // (under VADA_OBS the env-configured sink is already attached)
+    if !wrangler.obs().is_enabled() {
+        wrangler.set_obs(Obs::enabled());
+    }
     wrangler.add_source(rightmove);
     wrangler.add_source(onthemarket);
     wrangler.set_target(target);
@@ -54,6 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = wrangler.result().expect("a result is materialised");
     println!("wrangled result ({} rows):", result.len());
     println!("{}", result.to_table(10));
+
+    // what the pipeline did, as deterministic counters: the `pipeline.*`
+    // names are byte-identical at every knob setting
+    println!("{}", wrangler.obs_report().render());
 
     // the duplicate listing (12 high street) was fused; prices are typed
     // integers with the currency formatting stripped
