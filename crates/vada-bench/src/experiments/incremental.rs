@@ -112,6 +112,14 @@ struct MagicRow {
     directed_derivations: usize,
 }
 
+struct CacheRow {
+    base_rows: usize,
+    delta_rows: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    delta_ms: f64,
+}
+
 /// Transitive closure over disconnected blocks: a bound-argument query
 /// only needs its own block, the full fixpoint derives every block.
 const MAGIC_PROGRAM: &str = "tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), e(Y, Z).";
@@ -180,6 +188,78 @@ fn measure_magic(n: usize, block: usize, rounds: usize, obs: &Obs) -> MagicRow {
         directed_ms: median_ms(directed_times),
         full_derivations,
         directed_derivations,
+    }
+}
+
+/// A repeated bound-pattern query served through the persistent
+/// [`vada_datalog::QueryCache`]: the cold call pays the demanded build,
+/// the warm repeat is a pure lookup — the counters prove zero stratum
+/// passes and zero `datalog/index_build` work — and a k-row edit
+/// maintains the cached view O(change) instead of rebuilding it.
+fn measure_query_cache(n: usize, k: usize, rounds: usize, obs: &Obs) -> CacheRow {
+    use vada_common::obs::key as obs_key;
+    use vada_datalog::{CacheDelta, DeltaBatch, QueryCache};
+    let cfg = EngineConfig { obs: obs.clone(), ..Default::default() };
+    let qsrc = "picked(3, P)";
+
+    // cold: a fresh cache per round pays the full demanded build
+    let mut cold_times = Vec::new();
+    for _ in 0..rounds {
+        let mut cache = QueryCache::new(cfg.clone());
+        let start = Instant::now();
+        let answers = cache
+            .query(PROGRAM, qsrc, 1, 1, CacheDelta::Unchanged, || Ok(base_db(n)))
+            .expect("cold query evaluates");
+        cold_times.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(!answers.is_empty(), "the bound query must have answers");
+    }
+
+    // warm: repeats on an unchanged base must serve the cached view with
+    // no evaluation work at all
+    let mut cache = QueryCache::new(cfg.clone());
+    let cold_answers = cache
+        .query(PROGRAM, qsrc, 1, 1, CacheDelta::Unchanged, || Ok(base_db(n)))
+        .expect("cold query evaluates");
+    let passes = obs.get(obs_key::STRATUM_PASSES);
+    let builds = obs.get(obs_key::INDEX_BUILDS);
+    let mut warm_times = Vec::new();
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let warm = cache
+            .query(PROGRAM, qsrc, 1, 1, CacheDelta::Unchanged, || Ok(base_db(n)))
+            .expect("warm query evaluates");
+        warm_times.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(warm, cold_answers, "warm answers must be byte-identical");
+    }
+    assert_eq!(obs.get(obs_key::STRATUM_PASSES), passes, "a warm hit must not derive");
+    assert_eq!(obs.get(obs_key::INDEX_BUILDS), builds, "a warm hit must not re-index");
+
+    // delta: a k-row edit maintains the view through the session's fast
+    // path (the build closure must never run)
+    let mut delta_times = Vec::new();
+    for round in 0..rounds {
+        let facts = delta(k, round);
+        let version = 2 + round as u64;
+        let start = Instant::now();
+        cache
+            .query(
+                PROGRAM,
+                qsrc,
+                1,
+                version,
+                CacheDelta::Rows(vec![DeltaBatch::Append(facts)]),
+                || unreachable!("a row delta must maintain the view, not rebuild it"),
+            )
+            .expect("delta query evaluates");
+        delta_times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    CacheRow {
+        base_rows: n,
+        delta_rows: k,
+        cold_ms: median_ms(cold_times),
+        warm_ms: median_ms(warm_times),
+        delta_ms: median_ms(delta_times),
     }
 }
 
@@ -412,10 +492,11 @@ fn to_json(
     scans: &[ScanRow],
     recoveries: &[RecoveryRow],
     magics: &[MagicRow],
+    caches: &[CacheRow],
     counters: &[(&str, BTreeMap<String, u64>)],
 ) -> String {
     let workers = vada_common::Parallelism::from_env().workers();
-    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v6\",\n");
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v7\",\n");
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str("  \"datalog_incremental_vs_full\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -492,8 +573,22 @@ fn to_json(
             if i + 1 == magics.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"datalog_query_cache\": [\n");
+    for (i, r) in caches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"base_rows\": {}, \"delta_rows\": {}, \"cold_ms\": {:.3}, \
+             \"warm_ms\": {:.3}, \"delta_ms\": {:.3}, \"warm_speedup\": {:.1}}}{}\n",
+            r.base_rows,
+            r.delta_rows,
+            r.cold_ms,
+            r.warm_ms,
+            r.delta_ms,
+            r.cold_ms / r.warm_ms.max(1e-9),
+            if i + 1 == caches.len() { "" } else { "," }
+        ));
+    }
     // per-experiment observability snapshots: what the substrate tallied
-    // while the family above was measured (schema v6)
+    // while the family above was measured (schema v7)
     out.push_str("  ],\n  \"counters\": {\n");
     for (i, (family, snapshot)) in counters.iter().enumerate() {
         out.push_str(&format!("    \"{}\": {{", json_escape(family)));
@@ -518,6 +613,7 @@ pub fn incremental_baseline() -> String {
     let ret_obs = Obs::enabled();
     let rec_obs = Obs::enabled();
     let magic_obs = Obs::enabled();
+    let cache_obs = Obs::enabled();
     let rows = vec![
         measure(5_000, 64, 5, &inc_obs),
         measure(20_000, 64, 5, &inc_obs),
@@ -535,13 +631,15 @@ pub fn incremental_baseline() -> String {
         measure_wal_recovery(20_000, 128, 5, &rec_obs),
     ];
     let magics = vec![measure_magic(20_000, 50, 5, &magic_obs)];
+    let caches = vec![measure_query_cache(20_000, 64, 5, &cache_obs)];
     let counters = [
         ("datalog_incremental_vs_full", inc_obs.counters()),
         ("datalog_retraction_vs_full", ret_obs.counters()),
         ("kb_wal_recovery", rec_obs.counters()),
         ("datalog_magic_vs_full", magic_obs.counters()),
+        ("datalog_query_cache", cache_obs.counters()),
     ];
-    let json = to_json(&rows, &retractions, &scans, &recoveries, &magics, &counters);
+    let json = to_json(&rows, &retractions, &scans, &recoveries, &magics, &caches, &counters);
     let write_note = match std::fs::write(BASELINE_PATH, &json) {
         Ok(()) => format!("baseline written to {BASELINE_PATH}"),
         Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
@@ -602,6 +700,19 @@ pub fn incremental_baseline() -> String {
             ]
         })
         .collect();
+    let cache_rows: Vec<Vec<String>> = caches
+        .iter()
+        .map(|r| {
+            vec![
+                r.base_rows.to_string(),
+                r.delta_rows.to_string(),
+                format!("{:.2}", r.cold_ms),
+                format!("{:.3}", r.warm_ms),
+                format!("{:.2}", r.delta_ms),
+                format!("{:.0}x", r.cold_ms / r.warm_ms.max(1e-9)),
+            ]
+        })
+        .collect();
     let recovery_rows: Vec<Vec<String>> = recoveries
         .iter()
         .map(|r| {
@@ -638,7 +749,13 @@ pub fn incremental_baseline() -> String {
          A bound-argument query answered under QueryMode::Directed derives\n\
          only the facts its demand set reaches; the full fixpoint derives\n\
          every block of the base. Answers are asserted byte-identical, so\n\
-         the derivation gap is the pure benefit of demand.\n\n{}\n{}",
+         the derivation gap is the pure benefit of demand.\n\n{}\n\n\
+         == Persistent query cache (warm vs cold bound queries) ==\n\
+         A repeated bound-pattern query served through the QueryCache: the\n\
+         cold call pays the demanded build, the warm repeat is a pure\n\
+         lookup (zero stratum passes, zero index builds — the counters\n\
+         prove it), and a k-row edit maintains the cached view O(change)\n\
+         through the incremental session instead of rebuilding it.\n\n{}\n{}",
         table(
             &[
                 "base rows",
@@ -682,6 +799,10 @@ pub fn incremental_baseline() -> String {
             ],
             &magic_rows,
         ),
+        table(
+            &["base rows", "delta rows", "cold ms", "warm ms", "delta ms", "warm speedup"],
+            &cache_rows,
+        ),
         write_note,
     )
 }
@@ -711,18 +832,25 @@ mod tests {
         // answer byte-identity internally
         let mr = measure_magic(2_000, 50, 2, &obs);
         assert!(mr.directed_derivations > 0, "the demanded chain must still derive");
+        // the cache measurement asserts zero warm evaluation work and
+        // answer byte-identity internally
+        let cr = measure_query_cache(2_000, 32, 2, &obs);
+        assert!(cr.cold_ms > 0.0 && cr.warm_ms > 0.0 && cr.delta_ms > 0.0);
         let snapshot = obs.counters();
         assert!(snapshot.get("incremental.outcome.incremental").copied().unwrap_or(0) > 0);
         assert!(snapshot.get("wal.appends").copied().unwrap_or(0) > 0);
         assert!(snapshot.get("magic.rewrite.applied").copied().unwrap_or(0) > 0);
+        assert!(snapshot.get("magic.cache.hits").copied().unwrap_or(0) > 0);
+        assert!(snapshot.get("magic.cache.misses").copied().unwrap_or(0) > 0);
         let counters = [("all", snapshot)];
-        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr], &counters);
+        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr], &[cr], &counters);
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"datalog_retraction_vs_full\""), "{json}");
         assert!(json.contains("\"kb_sharded_scan\""), "{json}");
         assert!(json.contains("\"kb_wal_recovery\""), "{json}");
         assert!(json.contains("\"datalog_magic_vs_full\""), "{json}");
-        assert!(json.contains("vada-bench-baseline/v6"), "{json}");
+        assert!(json.contains("\"datalog_query_cache\""), "{json}");
+        assert!(json.contains("vada-bench-baseline/v7"), "{json}");
         // the whole baseline must be well-formed JSON, counters included
         let doc = vada_common::obs::Json::parse(&json).expect("baseline parses");
         let all = doc.get("counters").unwrap().get("all").unwrap();

@@ -32,7 +32,8 @@ impl Default for Durability {
 impl Durability {
     /// Read the `VADA_WAL` override:
     ///
-    /// - unset, empty, `0`, or `off` (case-insensitive) → [`Durability::Off`]
+    /// - unset, empty, `0`, or `off` (the shared [`crate::env`]
+    ///   off-switch rules) → [`Durability::Off`]
     /// - the literal `tmpdir` (case-insensitive) → a `vada-wal` directory
     ///   under [`std::env::temp_dir`] — the spelling the CI tier-1 leg uses
     /// - anything else → treated as a directory path
@@ -41,7 +42,7 @@ impl Durability {
             Err(_) => Durability::Off,
             Ok(raw) => {
                 let v = raw.trim();
-                if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+                if crate::env::parse_off(v) {
                     Durability::Off
                 } else if v.eq_ignore_ascii_case("tmpdir") {
                     Durability::Wal(std::env::temp_dir().join("vada-wal"))

@@ -35,15 +35,15 @@ impl Default for Evaluation {
 }
 
 impl Evaluation {
-    /// Read the `VADA_INCREMENTAL` override: `1`, `true` or `on`
-    /// (case-insensitive) select [`Evaluation::Incremental`]; anything
-    /// else, including unset, selects [`Evaluation::Full`].
+    /// Read the `VADA_INCREMENTAL` override: `1`, `true` or `on` (under
+    /// the shared [`crate::env`] rules) select
+    /// [`Evaluation::Incremental`]; anything else, including unset,
+    /// selects [`Evaluation::Full`].
     pub fn from_env() -> Evaluation {
-        match std::env::var("VADA_INCREMENTAL") {
-            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
-                Evaluation::Incremental
-            }
-            _ => Evaluation::Full,
+        if crate::env::flag("VADA_INCREMENTAL") {
+            Evaluation::Incremental
+        } else {
+            Evaluation::Full
         }
     }
 
@@ -62,7 +62,7 @@ mod tests {
         // the default must agree with whatever the ambient environment says
         // (CI runs the whole suite under VADA_INCREMENTAL=1 on one leg)
         match std::env::var("VADA_INCREMENTAL") {
-            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
+            Ok(v) if crate::env::parse_flag(&v) => {
                 assert_eq!(Evaluation::from_env(), Evaluation::Incremental)
             }
             _ => assert_eq!(Evaluation::from_env(), Evaluation::Full),

@@ -11,11 +11,13 @@
 pub mod codec;
 pub mod csv;
 pub mod durability;
+pub mod env;
 pub mod error;
 pub mod evaluation;
 pub mod idgen;
 pub mod obs;
 pub mod par;
+pub mod querycache;
 pub mod querymode;
 pub mod relation;
 pub mod schema;
@@ -29,6 +31,7 @@ pub use error::{Result, VadaError};
 pub use evaluation::Evaluation;
 pub use obs::{Obs, ObsReport, ObsSink, SpanGuard};
 pub use par::Parallelism;
+pub use querycache::QueryCaching;
 pub use querymode::QueryMode;
 pub use sharding::{HashPartitioner, KeyPartitioner, Partitioner, Sharding};
 pub use relation::Relation;

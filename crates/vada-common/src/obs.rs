@@ -114,6 +114,16 @@ pub mod key {
     /// Seed demand facts generated across applied rewrites.
     pub const MAGIC_DEMAND_FACTS: &str = "magic.demand_facts";
 
+    /// Query-cache answers served (or maintained in O(change)) from a
+    /// cached demanded view.
+    pub const MAGIC_CACHE_HITS: &str = "magic.cache.hits";
+    /// Query-cache cold builds (first sight of a (program, query) pair).
+    pub const MAGIC_CACHE_MISSES: &str = "magic.cache.misses";
+    /// Cached views (or persistent index sets) discarded: journal lineage
+    /// diverged, the delta window was pruned, or the deltas were not
+    /// provably replayable.
+    pub const MAGIC_CACHE_INVALIDATIONS: &str = "magic.cache.invalidations";
+
     /// Incremental steps that ran as explicit bootstraps.
     pub const INC_BOOTSTRAP: &str = "incremental.outcome.bootstrap";
     /// Incremental steps that took the semi-naive fast path.

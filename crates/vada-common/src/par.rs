@@ -47,14 +47,12 @@ impl Default for Parallelism {
 }
 
 impl Parallelism {
-    /// Read the `VADA_THREADS` override: `>= 2` selects
-    /// [`Parallelism::Threads`], anything else (including unset or
-    /// unparseable) selects [`Parallelism::Sequential`].
+    /// Read the `VADA_THREADS` override: `>= 2` (under the shared
+    /// [`crate::env`] count rules) selects [`Parallelism::Threads`],
+    /// anything else (including unset or unparseable) selects
+    /// [`Parallelism::Sequential`].
     pub fn from_env() -> Parallelism {
-        match std::env::var("VADA_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
+        match crate::env::count("VADA_THREADS") {
             Some(n) if n >= 2 => Parallelism::Threads(n),
             _ => Parallelism::Sequential,
         }

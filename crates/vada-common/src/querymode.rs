@@ -40,15 +40,14 @@ impl Default for QueryMode {
 }
 
 impl QueryMode {
-    /// Read the `VADA_MAGIC` override: `1`, `true` or `on`
-    /// (case-insensitive) select [`QueryMode::Directed`]; anything else,
-    /// including unset, selects [`QueryMode::Undirected`].
+    /// Read the `VADA_MAGIC` override: `1`, `true` or `on` (under the
+    /// shared [`crate::env`] rules) select [`QueryMode::Directed`];
+    /// anything else, including unset, selects [`QueryMode::Undirected`].
     pub fn from_env() -> QueryMode {
-        match std::env::var("VADA_MAGIC") {
-            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
-                QueryMode::Directed
-            }
-            _ => QueryMode::Undirected,
+        if crate::env::flag("VADA_MAGIC") {
+            QueryMode::Directed
+        } else {
+            QueryMode::Undirected
         }
     }
 
@@ -67,7 +66,7 @@ mod tests {
         // the default must agree with whatever the ambient environment says
         // (CI runs the whole suite under VADA_MAGIC=1 on the all-knobs leg)
         match std::env::var("VADA_MAGIC") {
-            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
+            Ok(v) if crate::env::parse_flag(&v) => {
                 assert_eq!(QueryMode::from_env(), QueryMode::Directed)
             }
             _ => assert_eq!(QueryMode::from_env(), QueryMode::Undirected),

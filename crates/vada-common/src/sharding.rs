@@ -55,14 +55,11 @@ impl Default for Sharding {
 pub const MAX_SHARDS: usize = 1024;
 
 impl Sharding {
-    /// Read the `VADA_SHARDS` override: `>= 2` selects
-    /// [`Sharding::Shards`], anything else (including unset or
-    /// unparseable) selects [`Sharding::Off`].
+    /// Read the `VADA_SHARDS` override: `>= 2` (under the shared
+    /// [`crate::env`] count rules) selects [`Sharding::Shards`], anything
+    /// else (including unset or unparseable) selects [`Sharding::Off`].
     pub fn from_env() -> Sharding {
-        match std::env::var("VADA_SHARDS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
+        match crate::env::count("VADA_SHARDS") {
             Some(n) if n >= 2 => Sharding::Shards(n),
             _ => Sharding::Off,
         }

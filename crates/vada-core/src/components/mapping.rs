@@ -1,11 +1,11 @@
 //! Mapping transducers: generation, selection, execution.
 
-use vada_common::{Evaluation, Parallelism, Relation, Result, Sharding, VadaError};
+use vada_common::{Evaluation, Parallelism, QueryCaching, Relation, Result, Sharding, VadaError};
 use vada_context::UserContext;
 use vada_kb::{KnowledgeBase, ShardedStore};
 use vada_map::{
-    execute_mapping_with, generate_candidates, rank_mappings, ExecuteConfig, IncrementalExecutor,
-    MapGenConfig, MappingScore,
+    execute_mapping_cached, generate_candidates, rank_mappings, ExecuteConfig, IncrementalExecutor,
+    IndexCache, MapGenConfig, MappingScore,
 };
 
 use crate::components::feedback::apply_vetoes;
@@ -155,6 +155,11 @@ pub struct MappingExecution {
     /// sharding is on): synced O(change) from the delta journal between
     /// runs, consumed by the per-shard input-database scans.
     store: Option<ShardedStore>,
+    /// Persistent hash indexes for the directed one-shot execution path,
+    /// revalidated per run against the journal identity (see
+    /// [`execute_mapping_cached`]); idle unless
+    /// [`ExecuteConfig::query_caching`] is on.
+    index_cache: IndexCache,
 }
 
 /// The persistent [`ShardedStore`] a mapping-executing transducer scans
@@ -209,6 +214,10 @@ impl Transducer for MappingExecution {
         self.config.engine.obs = obs;
     }
 
+    fn set_query_caching(&mut self, caching: QueryCaching) {
+        self.config.query_caching = caching;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let id = kb
             .selected_mapping()
@@ -228,7 +237,9 @@ impl Transducer for MappingExecution {
             Err(_) if self.evaluation.is_incremental() => {
                 self.executor.execute_with(&self.config, &mapping, kb, store)?
             }
-            Err(_) => execute_mapping_with(&self.config, &mapping, kb, store)?,
+            Err(_) => {
+                execute_mapping_cached(&self.config, &mapping, kb, store, &mut self.index_cache)?
+            }
         };
         let vetoed = apply_vetoes(&mut result, kb.vetoes());
         let rows = result.len();

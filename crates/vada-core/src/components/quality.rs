@@ -128,6 +128,10 @@ pub struct MappingQuality {
     /// [`crate::components::mapping::MappingExecution`]): one store serves
     /// every candidate, synced O(change) from the journal per run.
     store: Option<vada_kb::ShardedStore>,
+    /// One persistent index cache per candidate mapping for the directed
+    /// one-shot execution path (see [`vada_map::execute_mapping_cached`]);
+    /// idle unless [`ExecuteConfig::query_caching`] is on.
+    index_caches: std::collections::BTreeMap<String, vada_map::IndexCache>,
 }
 
 impl MappingQuality {
@@ -171,6 +175,10 @@ impl Transducer for MappingQuality {
         self.config.engine.obs = obs;
     }
 
+    fn set_query_caching(&mut self, caching: vada_common::QueryCaching) {
+        self.config.query_caching = caching;
+    }
+
     fn run(&mut self, kb: &mut KnowledgeBase) -> Result<RunOutcome> {
         let mappings: Vec<_> = kb.mappings().cloned().collect();
         let cfds: Vec<_> = kb.cfds().cloned().collect();
@@ -200,7 +208,13 @@ impl Transducer for MappingQuality {
             let result = if self.evaluation.is_incremental() {
                 self.executor.execute_with(&self.config, mapping, kb, store)?
             } else {
-                vada_map::execute_mapping_with(&self.config, mapping, kb, store)?
+                vada_map::execute_mapping_cached(
+                    &self.config,
+                    mapping,
+                    kb,
+                    store,
+                    self.index_caches.entry(mapping.id.clone()).or_default(),
+                )?
             };
             // completeness per target attribute
             for attr in result.schema().attr_names().iter().map(|s| s.to_string()) {

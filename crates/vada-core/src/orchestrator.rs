@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use vada_common::obs::key as obs_key;
-use vada_common::{Evaluation, Obs, Parallelism, Result, Sharding, VadaError};
+use vada_common::{Evaluation, Obs, Parallelism, QueryCaching, Result, Sharding, VadaError};
 use vada_kb::KnowledgeBase;
 
 use crate::network::{GenericPolicy, SchedulingPolicy};
@@ -38,6 +38,14 @@ pub struct OrchestratorConfig {
     /// byte-identical at any shard count (the `shard_equivalence` suite
     /// pins this). Defaults to the `VADA_SHARDS` override.
     pub sharding: Sharding,
+    /// Query-caching mode broadcast to every registered transducer (see
+    /// [`Transducer::set_query_caching`]). Under
+    /// [`QueryCaching::Persistent`] the transducers running directed
+    /// one-shot Datalog executions keep their hash indexes alive between
+    /// runs and revalidate them against the delta journal's identity;
+    /// results and traces are byte-identical either way. Defaults to the
+    /// `VADA_QUERY_CACHE` override.
+    pub query_caching: QueryCaching,
 }
 
 impl Default for OrchestratorConfig {
@@ -47,6 +55,7 @@ impl Default for OrchestratorConfig {
             parallelism: Parallelism::default(),
             evaluation: Evaluation::default(),
             sharding: Sharding::default(),
+            query_caching: QueryCaching::default(),
         }
     }
 }
@@ -104,6 +113,7 @@ impl Orchestrator {
             t.set_parallelism(orch.config.parallelism);
             t.set_evaluation(orch.config.evaluation);
             t.set_sharding(orch.config.sharding);
+            t.set_query_caching(orch.config.query_caching);
         }
         orch
     }
@@ -115,6 +125,7 @@ impl Orchestrator {
             t.set_parallelism(config.parallelism);
             t.set_evaluation(config.evaluation);
             t.set_sharding(config.sharding);
+            t.set_query_caching(config.query_caching);
         }
         self.config = config;
     }
@@ -131,6 +142,7 @@ impl Orchestrator {
         t.set_parallelism(self.config.parallelism);
         t.set_evaluation(self.config.evaluation);
         t.set_sharding(self.config.sharding);
+        t.set_query_caching(self.config.query_caching);
         t.set_obs(self.obs.clone());
         self.transducers.push(t);
     }

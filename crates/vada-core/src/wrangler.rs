@@ -4,7 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use vada_common::{
-    Durability, Evaluation, Obs, ObsReport, Parallelism, Relation, Result, Schema, Sharding,
+    Durability, Evaluation, Obs, ObsReport, Parallelism, QueryCaching, Relation, Result, Schema,
+    Sharding,
 };
 use vada_kb::{ContextKind, FeedbackRecord, KnowledgeBase, PairwiseStatement};
 
@@ -196,6 +197,23 @@ impl Wrangler {
     /// in step with the catalog via the delta journal.
     pub fn set_sharding(&mut self, sharding: Sharding) {
         let config = OrchestratorConfig { sharding, ..self.orchestrator.config().clone() };
+        self.orchestrator.set_config(config);
+    }
+
+    /// Set the query-caching mode. Under [`QueryCaching::Persistent`] the
+    /// knowledge base keeps hash indexes over its dependency-fact view
+    /// alive across [`KnowledgeBase::query`] calls, and the transducers
+    /// running directed one-shot Datalog executions keep theirs between
+    /// runs, revalidated against the delta journal's identity. Safe to
+    /// change at any point: cached and uncached paths produce identical
+    /// results, traces, and errors (the `query_equivalence` suite pins
+    /// this); the `magic.cache.{hits,misses,invalidations}` counters
+    /// record how the cache behaved. Defaults to the `VADA_QUERY_CACHE`
+    /// override.
+    pub fn set_query_caching(&mut self, caching: QueryCaching) {
+        self.kb.set_query_caching(caching);
+        let config =
+            OrchestratorConfig { query_caching: caching, ..self.orchestrator.config().clone() };
         self.orchestrator.set_config(config);
     }
 

@@ -96,6 +96,16 @@ impl FactSet {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     rels: HashMap<String, FactSet>,
+    /// Per-predicate *reorder epoch*: bumped by every mutation that can
+    /// shrink or rewrite a predicate's row-id space (removals, clears,
+    /// wholesale replacement) — never by inserts, which only append. A
+    /// shared index records the epoch it was built against, so an index
+    /// that survives across mutations (see [`crate::cache::IndexCache`])
+    /// can tell "rows were appended" (extend in O(change)) from "row ids
+    /// moved" (rebuild), even when the predicate regrows to its old
+    /// length. Kept outside [`FactSet`] deliberately: `clear_predicate`
+    /// drops the fact set entirely, and the epoch must survive that.
+    epochs: HashMap<String, u64>,
 }
 
 impl Database {
@@ -117,14 +127,22 @@ impl Database {
     /// Remove a fact, preserving the insertion order of the remaining facts
     /// of the predicate; returns `true` if it was present.
     pub fn remove(&mut self, pred: &str, t: &Tuple) -> bool {
-        self.rels.get_mut(pred).is_some_and(|fs| fs.remove(t))
+        let removed = self.rels.get_mut(pred).is_some_and(|fs| fs.remove(t));
+        if removed {
+            self.bump_epoch(pred);
+        }
+        removed
     }
 
     /// Remove every listed fact of one predicate in a single pass,
     /// preserving the insertion order of the rest; returns how many were
     /// present and removed.
     pub fn remove_facts(&mut self, pred: &str, gone: &HashSet<Tuple>) -> usize {
-        self.rels.get_mut(pred).map_or(0, |fs| fs.remove_all(gone))
+        let removed = self.rels.get_mut(pred).map_or(0, |fs| fs.remove_all(gone));
+        if removed > 0 {
+            self.bump_epoch(pred);
+        }
+        removed
     }
 
     /// Drop every fact of one predicate. Used by the knowledge-base
@@ -133,7 +151,19 @@ impl Database {
     /// fact order a from-scratch build would have, because insertion order
     /// within a predicate is first-insert order.
     pub fn clear_predicate(&mut self, pred: &str) {
-        self.rels.remove(pred);
+        if self.rels.remove(pred).is_some() {
+            self.bump_epoch(pred);
+        }
+    }
+
+    /// The predicate's reorder epoch; 0 until a shrinking/rewriting
+    /// mutation first touches it.
+    pub(crate) fn epoch(&self, pred: &str) -> u64 {
+        self.epochs.get(pred).copied().unwrap_or(0)
+    }
+
+    fn bump_epoch(&mut self, pred: &str) {
+        *self.epochs.entry(pred.to_string()).or_insert(0) += 1;
     }
 
     /// Facts for a predicate (empty slice if unknown).
@@ -216,6 +246,8 @@ impl Database {
     /// arbitrary replacement would break the append-only order reasoning.
     pub(crate) fn set_fact_set(&mut self, pred: &str, fs: FactSet) {
         self.rels.insert(pred.to_string(), fs);
+        // replacement gives no prefix guarantee, so row ids may have moved
+        self.bump_epoch(pred);
     }
 }
 
@@ -281,7 +313,7 @@ impl Engine {
     /// Evaluate `program` starting from `db` (extensional facts); returns
     /// the database extended with all derived facts.
     pub fn run(&self, program: &Program, db: Database) -> Result<Database> {
-        self.run_impl(program, db, None)
+        self.run_impl(program, db, None, None)
     }
 
     /// Demand-driven evaluation: compute the [`Demand`] a query's bound
@@ -292,6 +324,21 @@ impl Engine {
     /// touch is kept — so `eval_query` over either database returns the
     /// same answers in the same order.
     pub fn run_directed(&self, program: &Program, db: Database, query: &Rule) -> Result<Database> {
+        self.run_directed_with(program, db, query, None)
+    }
+
+    /// [`Engine::run_directed`] with an optional *persistent*
+    /// [`IndexStore`] (see [`crate::cache::IndexCache`]): the shared hash
+    /// indexes survive into the caller's next run instead of dying with
+    /// this one. Output is unaffected — a surviving index is extended or
+    /// rebuilt by `refresh` exactly as a fresh one would be populated.
+    pub(crate) fn run_directed_with(
+        &self,
+        program: &Program,
+        db: Database,
+        query: &Rule,
+        store: Option<&mut IndexStore>,
+    ) -> Result<Database> {
         let demand = magic::demand_for(self, program, &db, query)?;
         let obs = &self.config.obs;
         if demand.is_unrestricted() {
@@ -301,7 +348,7 @@ impl Engine {
             obs.add(obs_key::MAGIC_RULES, demand.magic_rule_count() as u64);
             obs.add(obs_key::MAGIC_DEMAND_FACTS, demand.demand_fact_count() as u64);
         }
-        self.run_impl(program, db, Some(&demand))
+        self.run_impl(program, db, Some(&demand), store)
     }
 
     /// Answer a stand-alone query over `program` + `db`, honouring
@@ -330,6 +377,7 @@ impl Engine {
         program: &Program,
         mut db: Database,
         demand: Option<&Demand>,
+        external: Option<&mut IndexStore>,
     ) -> Result<Database> {
         let strat = stratify(program)?;
         let fault = self.config.inject_fault;
@@ -337,8 +385,15 @@ impl Engine {
         // shared hash indexes over the growing database, registered from
         // each stratum's compiled lookup shapes and refreshed incrementally
         // before every parallel batch; identical to the per-pass lazy
-        // indexes by construction, so it only changes wall-clock
-        let mut store = IndexStore::default();
+        // indexes by construction, so it only changes wall-clock. A caller
+        // may pass in a store that outlives the run (the cross-query index
+        // cache); `refresh` extends or rebuilds its surviving indexes
+        // against this run's database, so reuse is output-invariant too.
+        let mut local = IndexStore::default();
+        let store: &mut IndexStore = match external {
+            Some(s) => s,
+            None => &mut local,
+        };
         store.obs = obs.clone();
 
         // ground facts
@@ -413,7 +468,7 @@ impl Engine {
                     initial_par,
                     "datalog/stratum-initial",
                     &batch,
-                    |_, &ci| self.eval_rule_with(&compiled[ci], &db, None, Some(&store)),
+                    |_, &ci| self.eval_rule_with(&compiled[ci], &db, None, Some(&*store)),
                 )?;
                 for derived in outs {
                     for (pred, t) in derived {
@@ -478,7 +533,7 @@ impl Engine {
                                 &compiled[ci],
                                 &db,
                                 Some(DeltaSpec::Insert { delta: &delta, occ }),
-                                Some(&store),
+                                Some(&*store),
                             )
                         },
                     )?;
@@ -514,6 +569,36 @@ impl Engine {
             }
         }
         Ok(out)
+    }
+
+    /// [`Engine::eval_query`] against a *persistent* [`IndexStore`]: the
+    /// query's lookup shapes are registered, the store is refreshed
+    /// (O(change) for appended rows, rebuild for shrunk/rewritten
+    /// predicates), and the evaluation probes the shared indexes instead
+    /// of building lazy per-call ones. Answers are byte-identical to
+    /// [`Engine::eval_query`]; returns whether the refresh had to index
+    /// anything, so callers can tell a warm hit from index work.
+    pub(crate) fn eval_query_with_store(
+        &self,
+        query: &Rule,
+        db: &Database,
+        store: &mut IndexStore,
+    ) -> Result<(Vec<Tuple>, bool)> {
+        let cr = CompiledRule::compile(query, usize::MAX)?;
+        store.obs = self.config.obs.clone();
+        for (pred, cols) in cr.indexed_lookups() {
+            store.register(pred, cols);
+        }
+        let refreshed = store.refresh(db, self.config.inject_fault)?;
+        let derived = self.eval_rule_with(&cr, db, None, Some(&*store))?;
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for (_, t) in derived {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+        Ok((out, refreshed))
     }
 
     /// Engine configuration (read access for the incremental layer).
@@ -995,10 +1080,21 @@ pub(crate) struct IndexStore {
 struct SharedIndex {
     /// How many rows of the predicate are already indexed.
     covered: usize,
+    /// The predicate's [`Database::epoch`] the covered rows were read
+    /// under. `covered` alone cannot be trusted: a predicate that shrinks
+    /// and regrows to the same length keeps its old length while its row
+    /// ids point at different facts, so the index is version-keyed on the
+    /// reorder epoch and rebuilt whenever it no longer matches.
+    epoch: u64,
     map: HashMap<Tuple, Vec<usize>>,
 }
 
 impl IndexStore {
+    /// Whether no shape has been registered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
     /// Ensure an index exists for this lookup shape (idempotent).
     pub(crate) fn register(&mut self, pred: &str, cols: &[usize]) {
         self.indexes
@@ -1008,21 +1104,39 @@ impl IndexStore {
             .or_default();
     }
 
-    /// Extend every registered index over the rows appended since the last
-    /// refresh. `fault` is the engine's injection knob: `"index-build"`
-    /// panics here, surfacing as a [`VadaError::Parallel`] naming the
-    /// `datalog/index_build` stage. Rows too short to project (mixed-arity
-    /// predicates) are skipped — the join's arity check would reject them
-    /// anyway.
-    pub(crate) fn refresh(&mut self, db: &Database, fault: Option<&'static str>) -> Result<()> {
-        self.obs.incr(obs_key::INDEX_BUILDS);
+    /// Bring every registered index up to date with `db`: an index whose
+    /// predicate only grew is extended over the appended rows in
+    /// O(change); one whose predicate shrank or changed reorder epoch is
+    /// rebuilt from row 0 (its row ids may point at different facts —
+    /// including the shrink-and-regrow-to-the-same-length case a bare
+    /// length watermark cannot see). `datalog.index.builds` counts only
+    /// refreshes that indexed at least one row, so the counter tracks
+    /// actual work, not call sites. `fault` is the engine's injection
+    /// knob: `"index-build"` panics here (on every call, whether or not
+    /// work was pending, so fault identity is schedule-independent),
+    /// surfacing as a [`VadaError::Parallel`] naming the
+    /// `datalog/index_build` stage. Rows too short to project
+    /// (mixed-arity predicates) are skipped — the join's arity check
+    /// would reject them anyway.
+    pub(crate) fn refresh(&mut self, db: &Database, fault: Option<&'static str>) -> Result<bool> {
+        let mut built = false;
         magic::guard_stage("datalog/index_build", || {
             if fault == Some("index-build") {
                 panic!("injected index-build fault");
             }
             for (pred, shapes) in self.indexes.iter_mut() {
                 let facts = db.facts(pred);
+                let epoch = db.epoch(pred);
                 for (cols, index) in shapes.iter_mut() {
+                    if index.epoch != epoch || facts.len() < index.covered {
+                        index.map.clear();
+                        index.covered = 0;
+                        index.epoch = epoch;
+                    }
+                    if index.covered == facts.len() {
+                        continue;
+                    }
+                    built = true;
                     for (row, t) in facts.iter().enumerate().skip(index.covered) {
                         if cols.iter().all(|&c| c < t.arity()) {
                             index.map.entry(t.project(cols)).or_default().push(row);
@@ -1032,14 +1146,19 @@ impl IndexStore {
                 }
             }
             Ok(())
-        })
+        })?;
+        if built {
+            self.obs.incr(obs_key::INDEX_BUILDS);
+        }
+        Ok(built)
     }
 
     /// Row ids matching `key`, if this shape is registered and covers the
-    /// predicate's current length (`None` falls back to the lazy index).
+    /// predicate's current length *and* reorder epoch (`None` falls back
+    /// to the lazy index).
     fn lookup(&self, db: &Database, pred: &str, cols: &[usize], key: &Tuple) -> Option<Vec<usize>> {
         let index = self.indexes.get(pred)?.get(cols)?;
-        if index.covered != db.facts(pred).len() {
+        if index.covered != db.facts(pred).len() || index.epoch != db.epoch(pred) {
             return None;
         }
         // probe tallies are commutative adds: the total depends only on
@@ -1503,6 +1622,116 @@ mod tests {
         assert_eq!(fs.remove_all(&gone), 2);
         assert_eq!(fs.tuples(), &[tuple![1], tuple![3]]);
         assert!(!fs.contains(&tuple![0]));
+    }
+
+    #[test]
+    fn shrunk_then_regrown_predicate_is_reindexed() {
+        // regression: `covered` used to be treated as an append-only
+        // watermark, so a predicate that shrank and regrew to the same
+        // length kept serving the old row ids — and the join's term
+        // re-check silently *dropped* the rows that moved
+        let mut db = Database::new();
+        for (a, b) in [(1, 10), (2, 20), (3, 30)] {
+            db.insert("e", tuple![a, b]);
+        }
+        let mut store = IndexStore::default();
+        store.register("e", &[0]);
+        store.refresh(&db, None).unwrap();
+        assert_eq!(store.lookup(&db, "e", &[0], &tuple![3]), Some(vec![2]));
+
+        // shrink by one row, regrow to the same length with a new row:
+        // facts are now [(1,10), (3,30), (4,40)] — same length as covered
+        db.remove("e", &tuple![2, 20]);
+        db.insert("e", tuple![4, 40]);
+        store.refresh(&db, None).unwrap();
+        assert_eq!(store.lookup(&db, "e", &[0], &tuple![3]), Some(vec![1]));
+        assert_eq!(store.lookup(&db, "e", &[0], &tuple![4]), Some(vec![2]));
+        assert_eq!(store.lookup(&db, "e", &[0], &tuple![2]), Some(vec![]));
+
+        // the observable symptom: an indexed join must match a scan-join
+        let program = parse_program("q(Y) :- e(4, Y).").unwrap();
+        let cr = CompiledRule::compile(&program.rules[0], 0).unwrap();
+        let engine = Engine::default();
+        let scan = engine.eval_rule(&cr, &db, None).unwrap();
+        let indexed = engine.eval_rule_with(&cr, &db, None, Some(&store)).unwrap();
+        assert_eq!(scan, vec![("q".to_string(), tuple![40])]);
+        assert_eq!(indexed, scan);
+
+        // clear-and-reinsert to the same length (the dependency-view
+        // patch pattern) must rebuild too, via the reorder epoch
+        db.clear_predicate("e");
+        for (a, b) in [(7, 70), (8, 80), (9, 90)] {
+            db.insert("e", tuple![a, b]);
+        }
+        store.refresh(&db, None).unwrap();
+        assert_eq!(store.lookup(&db, "e", &[0], &tuple![8]), Some(vec![1]));
+        assert_eq!(store.lookup(&db, "e", &[0], &tuple![3]), Some(vec![]));
+    }
+
+    #[test]
+    fn stale_index_is_never_served_between_refreshes() {
+        // between refreshes, a mutated predicate must make `lookup` bail
+        // to the lazy path (`None`) rather than answer from stale state —
+        // including the regrow-to-the-same-length case, which the length
+        // check alone cannot see
+        let mut db = Database::new();
+        db.insert("p", tuple![1]);
+        db.insert("p", tuple![2]);
+        let mut store = IndexStore::default();
+        store.register("p", &[0]);
+        store.refresh(&db, None).unwrap();
+        db.remove("p", &tuple![1]);
+        assert_eq!(store.lookup(&db, "p", &[0], &tuple![2]), None);
+        db.insert("p", tuple![3]);
+        assert_eq!(store.lookup(&db, "p", &[0], &tuple![2]), None);
+        store.refresh(&db, None).unwrap();
+        assert_eq!(store.lookup(&db, "p", &[0], &tuple![2]), Some(vec![0]));
+    }
+
+    #[test]
+    fn index_builds_counter_tracks_work_not_calls() {
+        let obs = vada_common::Obs::enabled();
+        let mut db = Database::new();
+        let mut store = IndexStore::default();
+        store.obs = obs.clone();
+
+        // nothing registered: refreshing is free and uncounted
+        store.refresh(&db, None).unwrap();
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), 0);
+
+        store.register("p", &[0]);
+        store.refresh(&db, None).unwrap();
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), 0, "empty predicate: no rows indexed");
+
+        db.insert("p", tuple![1]);
+        assert!(store.refresh(&db, None).unwrap());
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), 1);
+
+        // warm: nothing changed, nothing counted
+        assert!(!store.refresh(&db, None).unwrap());
+        store.refresh(&db, None).unwrap();
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), 1);
+
+        // appended rows extend (and count once per refresh that works)
+        db.insert("p", tuple![2]);
+        db.insert("p", tuple![3]);
+        assert!(store.refresh(&db, None).unwrap());
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), 2);
+
+        // a shrink rebuilds — that is work too
+        db.remove("p", &tuple![2]);
+        assert!(store.refresh(&db, None).unwrap());
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), 3);
+    }
+
+    #[test]
+    fn injected_index_build_fault_fires_even_on_warm_refreshes() {
+        // the fault knob must keep its call-site identity: it fires on
+        // every refresh call, not only on refreshes that have work to do
+        let db = Database::new();
+        let mut store = IndexStore::default();
+        let err = store.refresh(&db, Some("index-build")).unwrap_err();
+        assert!(err.to_string().contains("datalog/index_build"), "{err}");
     }
 
     #[test]

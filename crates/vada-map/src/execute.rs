@@ -3,9 +3,11 @@
 
 use vada_common::obs::{key as obs_key, Obs};
 use vada_common::{
-    par, AttrType, Parallelism, Relation, Result, Schema, Sharding, Tuple, VadaError, Value,
+    par, AttrType, Parallelism, QueryCaching, Relation, Result, Schema, Sharding, Tuple,
+    VadaError, Value,
 };
 use vada_datalog::ast::{Atom, HeadTerm, Literal, Rule, Term};
+use vada_datalog::cache::IndexCache;
 use vada_datalog::engine::{Database, Engine, EngineConfig};
 use vada_datalog::parse_program;
 use vada_kb::{KnowledgeBase, MappingDef, ShardedStore};
@@ -20,6 +22,10 @@ pub struct ExecuteConfig {
     /// back in canonical row order, so the execution result is byte-identical
     /// at any shard count. Defaults to the `VADA_SHARDS` override.
     pub sharding: Sharding,
+    /// Whether a directed one-shot execution probes a caller-held
+    /// [`IndexCache`] (see [`execute_mapping_cached`]) instead of building
+    /// per-run indexes. Defaults to the `VADA_QUERY_CACHE` override.
+    pub query_caching: QueryCaching,
 }
 
 /// Extract the outward code (district) of a postcode-shaped string.
@@ -198,6 +204,34 @@ pub fn execute_mapping_with(
     kb: &KnowledgeBase,
     store: Option<&mut ShardedStore>,
 ) -> Result<Relation> {
+    execute_mapping_impl(cfg, mapping, kb, store, None)
+}
+
+/// [`execute_mapping_with`] with a caller-held persistent [`IndexCache`]:
+/// under [`ExecuteConfig::query_caching`] + directed mode the demanded
+/// run's hash indexes survive into the next call instead of dying with it.
+/// The cache is validated against the knowledge base's journal identity —
+/// indexes are reused only at an unchanged `(lineage, version)`, where the
+/// input database this call builds is byte-identical to the one they
+/// cover; any other identity drops them (`magic.cache.*` counters record
+/// the outcome). The result is byte-identical to the uncached call.
+pub fn execute_mapping_cached(
+    cfg: &ExecuteConfig,
+    mapping: &MappingDef,
+    kb: &KnowledgeBase,
+    store: Option<&mut ShardedStore>,
+    cache: &mut IndexCache,
+) -> Result<Relation> {
+    execute_mapping_impl(cfg, mapping, kb, store, Some(cache))
+}
+
+fn execute_mapping_impl(
+    cfg: &ExecuteConfig,
+    mapping: &MappingDef,
+    kb: &KnowledgeBase,
+    store: Option<&mut ShardedStore>,
+    cache: Option<&mut IndexCache>,
+) -> Result<Relation> {
     let target: &Schema = kb
         .target_schema()
         .ok_or_else(|| VadaError::Kb("no target schema registered".into()))?;
@@ -224,7 +258,23 @@ pub fn execute_mapping_with(
     // the full one; routing through run_directed keeps the knob live
     // end-to-end while the result stays byte-identical by construction.
     let output = if cfg.engine.query_mode.is_directed() {
-        engine.run_directed(&program, input, &all_free_query(&target.name, target.arity()))?
+        let query = all_free_query(&target.name, target.arity());
+        match cache {
+            // the cache only pays off (and is only sound to consult) on
+            // the directed path with the knob on; the `ensure` key pins
+            // reuse to an input database byte-identical to the one the
+            // surviving indexes were built over
+            Some(cache) if cfg.query_caching.is_enabled() => {
+                let warm = cache.ensure(kb.journal().lineage(), kb.version());
+                cfg.engine.obs.incr(if warm {
+                    obs_key::MAGIC_CACHE_HITS
+                } else {
+                    obs_key::MAGIC_CACHE_MISSES
+                });
+                engine.run_directed_cached(&program, input, &query, cache)?
+            }
+            _ => engine.run_directed(&program, input, &query)?,
+        }
     } else {
         engine.run(&program, input)?
     };
@@ -388,6 +438,47 @@ mod tests {
             coerce_value(&Value::str("2.5"), AttrType::Float),
             Value::Float(2.5)
         );
+    }
+
+    #[test]
+    fn cached_directed_execution_matches_and_reuses_indexes() {
+        use vada_common::QueryMode;
+
+        let rules = r#"
+            property(S, PC, P, C) :- rightmove(P, S, PC), postcode_district(PC, D), deprivation(D, C).
+            property(S, PC, P, null) :- rightmove(P, S, PC), not has_crime(PC).
+            has_crime(PC) :- postcode_district(PC, D), deprivation(D, _).
+        "#;
+        let m = mapping(rules, &["rightmove", "deprivation"]);
+        let mut kb = kb();
+        let obs = Obs::enabled();
+        let mut cfg = ExecuteConfig {
+            query_caching: QueryCaching::Persistent,
+            ..ExecuteConfig::default()
+        };
+        cfg.engine.query_mode = QueryMode::Directed;
+        cfg.engine.obs = obs.clone();
+        let mut cache = IndexCache::new();
+
+        let cold = execute_mapping_cached(&cfg, &m, &kb, None, &mut cache).unwrap();
+        assert_eq!(obs.get(obs_key::MAGIC_CACHE_MISSES), 1);
+        let builds_after_cold = obs.get(obs_key::INDEX_BUILDS);
+
+        // unchanged kb: warm reuse, byte-identical result, zero new builds
+        let warm = execute_mapping_cached(&cfg, &m, &kb, None, &mut cache).unwrap();
+        assert_eq!(warm.tuples(), cold.tuples());
+        assert_eq!(obs.get(obs_key::MAGIC_CACHE_HITS), 1);
+        assert_eq!(obs.get(obs_key::INDEX_BUILDS), builds_after_cold);
+
+        // a kb edit changes the journal identity: the cache is dropped and
+        // the run matches the uncached path on the new state
+        let mut grown = kb.relation("deprivation").unwrap().clone();
+        grown.push(tuple!["EH1", "900"]).unwrap();
+        kb.register_source(grown);
+        let edited = execute_mapping_cached(&cfg, &m, &kb, None, &mut cache).unwrap();
+        assert_eq!(obs.get(obs_key::MAGIC_CACHE_MISSES), 2);
+        let plain = execute_mapping_with(&cfg, &m, &kb, None).unwrap();
+        assert_eq!(edited.tuples(), plain.tuples());
     }
 
     #[test]

@@ -375,3 +375,214 @@ fn engine_config_default_honours_the_env_knob() {
     let expect = QueryMode::from_env();
     assert_eq!(EngineConfig::default().query_mode, expect);
 }
+
+/// The cache leg: a [`QueryCache`] driven through seed-logged randomized
+/// edit scripts — appends, row removals, metadata-only steps, in-place
+/// rewrites the row-delta vocabulary can't express (a pruned journal
+/// window), and lineage divergence — with repeated bound-pattern queries
+/// interleaved after every step. Every cached answer must be
+/// byte-identical to a cold directed run over a freshly built database,
+/// across `{parallelism} × {sharding}`; the pruned-window and
+/// diverged-lineage steps must drop the view and rebuild clean, and the
+/// `magic.cache.*` counters must account for every call exactly once.
+#[test]
+fn cached_queries_equal_cold_directed_runs_across_edit_scripts() {
+    use vada_common::Obs;
+    use vada_datalog::{CacheDelta, DeltaBatch, QueryCache};
+
+    // one tc cycle + one non-recursive join + a filter: the recursive view
+    // maintains through full fallback, the flat ones through the semi-naive
+    // fast path — both must stay byte-identical to cold runs
+    let program_src = r#"
+        tc(X, Y) :- e(X, Y).
+        tc(X, Z) :- tc(X, Y), e(Y, Z).
+        res(X, W) :- e(X, Y), lab(Y, W).
+        big(X) :- lab(X, V), V > 10.
+    "#;
+    let program = parse_program(program_src).unwrap();
+    let queries =
+        [r#"tc("v0", Y)"#, r#"res("v3", W)"#, "big(X)", r#"e(X, "v5")"#];
+
+    // the deterministic script skeleton (content is seed-randomized):
+    // 0 append, 1 append, 2 remove, 3 metadata-only, 4 in-place rewrite
+    // (pruned window → Unknown), 5 append, 6 lineage divergence, 7 remove
+    const STEPS: usize = 8;
+
+    for seed in 0..4u64 {
+        println!("query_cache_equivalence: seed {seed}");
+        for par in PARS {
+            for sharding in SHARDS {
+                let mut rng = StdRng::seed_from_u64(seed * 31 + 5);
+                let obs = Obs::enabled();
+                let mut cfg = config(par, QueryMode::Directed);
+                cfg.obs = obs.clone();
+                let mut cache = QueryCache::new(cfg.clone());
+
+                // ground truth, in knowledge-base row order; edges are
+                // unique so removal-by-value is unambiguous
+                let mut e_rows: Vec<Tuple> = (0..8)
+                    .map(|i| {
+                        Tuple::new(vec![
+                            Value::str(format!("v{i}")),
+                            Value::str(format!("v{}", (i + 1) % 8)),
+                        ])
+                    })
+                    .collect();
+                let mut lab_rows: Vec<Tuple> = (0..8)
+                    .map(|i| {
+                        Tuple::new(vec![
+                            Value::str(format!("v{i}")),
+                            Value::Int(rng.gen_range(0..30i64)),
+                        ])
+                    })
+                    .collect();
+                let mut fresh = 0usize;
+
+                let mut lineage = seed;
+                let mut version = 0u64;
+                for step in 0..STEPS {
+                    let delta = match step {
+                        0 | 1 | 5 => {
+                            // append a unique edge into the live graph plus
+                            // a label for its new endpoint
+                            let a = rng.gen_range(0..8usize);
+                            let b = format!("w{fresh}");
+                            fresh += 1;
+                            let e = Tuple::new(vec![
+                                Value::str(format!("v{a}")),
+                                Value::str(b.clone()),
+                            ]);
+                            let lab = Tuple::new(vec![
+                                Value::str(b),
+                                Value::Int(rng.gen_range(0..30i64)),
+                            ]);
+                            e_rows.push(e.clone());
+                            lab_rows.push(lab.clone());
+                            CacheDelta::Rows(vec![DeltaBatch::Append(vec![
+                                ("e".into(), e),
+                                ("lab".into(), lab),
+                            ])])
+                        }
+                        2 | 7 => {
+                            let victim = e_rows.remove(rng.gen_range(0..e_rows.len()));
+                            CacheDelta::Rows(vec![DeltaBatch::Remove(vec![(
+                                "e".into(),
+                                victim,
+                            )])])
+                        }
+                        3 => CacheDelta::Unchanged,
+                        4 => {
+                            // rewrite a label in place: inexpressible as an
+                            // ordered append/remove suffix, i.e. the journal
+                            // window was pruned under the view
+                            let i = rng.gen_range(0..lab_rows.len());
+                            lab_rows[i] = Tuple::new(vec![
+                                lab_rows[i][0].clone(),
+                                Value::Int(rng.gen_range(0..30i64)),
+                            ]);
+                            CacheDelta::Unknown
+                        }
+                        6 => {
+                            // a different journal identity: even an innocent
+                            // delta claim must not be trusted
+                            lineage += 1000;
+                            e_rows.remove(0);
+                            CacheDelta::Unchanged
+                        }
+                        _ => unreachable!(),
+                    };
+                    version += 1;
+
+                    let slices: Vec<(&str, &[Tuple])> =
+                        vec![("e", &e_rows), ("lab", &lab_rows)];
+                    for (qi, qsrc) in queries.iter().enumerate() {
+                        let query = parse_query(qsrc).unwrap();
+                        let cold_db = build_db(&slices, sharding, par);
+                        let cold = render(
+                            &Engine::new(cfg.clone())
+                                .run_query(&program, &cold_db, &query)
+                                .unwrap(),
+                        );
+                        // first call maintains or rebuilds, the repeat must
+                        // serve warm; both byte-identical to the cold run
+                        for repeat in 0..2 {
+                            let got = render(
+                                &cache
+                                    .query(program_src, qsrc, lineage, version, delta.clone(), || {
+                                        Ok(build_db(&slices, sharding, par))
+                                    })
+                                    .unwrap(),
+                            );
+                            assert_eq!(
+                                got, cold,
+                                "seed {seed} step {step} query #{qi} `{qsrc}` repeat {repeat} \
+                                 {par:?} {sharding:?}"
+                            );
+                        }
+                    }
+                }
+
+                // counter audit: every call lands on exactly one counter;
+                // only the initial colds are misses, and exactly the
+                // pruned-window + diverged-lineage steps invalidate
+                let q = queries.len() as u64;
+                let calls = (STEPS as u64) * q * 2;
+                let (hits, misses, invalidations) = (
+                    obs.get(vada_common::obs::key::MAGIC_CACHE_HITS),
+                    obs.get(vada_common::obs::key::MAGIC_CACHE_MISSES),
+                    obs.get(vada_common::obs::key::MAGIC_CACHE_INVALIDATIONS),
+                );
+                assert_eq!(misses, q, "{par:?} {sharding:?}");
+                assert_eq!(invalidations, 2 * q, "{par:?} {sharding:?}");
+                assert_eq!(hits, calls - misses - invalidations, "{par:?} {sharding:?}");
+            }
+        }
+    }
+}
+
+/// The warm-path acceptance pin at the engine level: a repeated bound
+/// query over an unchanged base does **zero** `datalog/index_build` work
+/// and **zero** stratum passes — the counters prove the repeat never
+/// re-derives or re-indexes anything.
+#[test]
+fn repeated_bound_query_on_unchanged_base_does_no_evaluation_work() {
+    use vada_common::Obs;
+    use vada_datalog::{CacheDelta, QueryCache};
+
+    let program_src = "tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), e(Y, Z).";
+    let mut db = Database::new();
+    for i in 0..30 {
+        db.insert(
+            "e",
+            Tuple::new(vec![Value::Int(i), Value::Int(i + 1)]),
+        );
+    }
+
+    let obs = Obs::enabled();
+    let mut cfg = EngineConfig { query_mode: QueryMode::Directed, ..EngineConfig::default() };
+    cfg.obs = obs.clone();
+    let mut cache = QueryCache::new(cfg);
+
+    let build = || {
+        let mut fresh = Database::new();
+        for i in 0..30 {
+            fresh.insert("e", Tuple::new(vec![Value::Int(i), Value::Int(i + 1)]));
+        }
+        Ok(fresh)
+    };
+    let cold = cache
+        .query(program_src, r#"tc(3, Y)"#, 1, 1, CacheDelta::Unchanged, build)
+        .unwrap();
+    assert!(!cold.is_empty());
+
+    use vada_common::obs::key as obs_key;
+    let passes = obs.get(obs_key::STRATUM_PASSES);
+    assert!(passes > 0, "the cold build must have derived something");
+    let builds = obs.get(obs_key::INDEX_BUILDS);
+    let warm = cache
+        .query(program_src, r#"tc(3, Y)"#, 1, 1, CacheDelta::Unchanged, build)
+        .unwrap();
+    assert_eq!(warm, cold);
+    assert_eq!(obs.get(obs_key::STRATUM_PASSES), passes, "a warm hit re-derived");
+    assert_eq!(obs.get(obs_key::INDEX_BUILDS), builds, "a warm hit re-indexed");
+}
