@@ -3,12 +3,32 @@
 //! ```text
 //! cargo run -p vada-bench --bin repro --release -- all
 //! cargo run -p vada-bench --bin repro --release -- paygo feedback
+//! cargo run -p vada-bench --bin repro --release -- bench --check
 //! ```
+//!
+//! `bench --check` re-measures the baseline families and diffs their
+//! structural counters and span shapes against the committed
+//! `BENCH_baseline.json` instead of rewriting it — exit 1 on regression.
 
-use vada_bench::experiments;
+use vada_bench::{check, experiments};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        args.retain(|a| a != "--check" && a != "bench");
+        if !args.is_empty() {
+            eprintln!("--check applies to the bench experiment only (got: {})", args.join(", "));
+            std::process::exit(2);
+        }
+        match check::run_check() {
+            Ok(report) => println!("{report}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {

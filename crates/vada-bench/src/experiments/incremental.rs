@@ -293,6 +293,10 @@ fn measure_wal_recovery(n: usize, edits: usize, rounds: usize, obs: &Obs) -> Rec
     };
 
     let mut kb = KnowledgeBase::new();
+    // route the KB's wal.* tallies AND its wal/append / wal/compact spans
+    // straight into the experiment's registry (a post-hoc counter merge
+    // would drop the span records)
+    kb.set_obs(obs.clone());
     kb.persist_to(&dir).expect("durable dir initialises");
     kb.register_source(rel.clone());
     for e in 0..edits {
@@ -300,9 +304,6 @@ fn measure_wal_recovery(n: usize, edits: usize, rounds: usize, obs: &Obs) -> Rec
     }
     kb.storage_health().expect("log stays healthy");
     let version = kb.version();
-    // the KB's always-on local registry holds the wal.* tallies; fold them
-    // into the experiment's snapshot before the handle goes away
-    obs.merge_counters_from(kb.obs());
     drop(kb);
     let wal_bytes = std::fs::metadata(dir.join("wal.log")).expect("log exists").len();
 
@@ -486,6 +487,80 @@ fn measure(n: usize, k: usize, rounds: usize, obs: &Obs) -> Row {
     }
 }
 
+/// Canonical span-tree rendering for one experiment family, fit for exact
+/// comparison across runs: the `bytes` attribute is redacted because byte
+/// magnitudes are environment-sensitive (they get a tolerance band in the
+/// *counter* channel as `wal.bytes`, not exactness in the span channel).
+fn family_shapes(obs: &Obs) -> Vec<String> {
+    let records: Vec<_> = obs
+        .span_records()
+        .into_iter()
+        .map(|mut r| {
+            r.attrs.retain(|(k, _)| k != "bytes");
+            r
+        })
+        .collect();
+    vada_common::obs::span_shape(&records)
+}
+
+/// Everything one measurement pass produces: the timing rows feeding the
+/// human-readable report, plus the structural channels (counters and span
+/// shapes) that `BENCH_baseline.json` pins and `--check` diffs.
+pub(crate) struct Families {
+    rows: Vec<Row>,
+    retractions: Vec<RetractRow>,
+    scans: Vec<ScanRow>,
+    recoveries: Vec<RecoveryRow>,
+    magics: Vec<MagicRow>,
+    caches: Vec<CacheRow>,
+    pub(crate) counters: Vec<(&'static str, BTreeMap<String, u64>)>,
+    pub(crate) span_shapes: Vec<(&'static str, Vec<String>)>,
+}
+
+/// Run every experiment family once, each against its own registry, so the
+/// structural snapshots attribute tallies and span trees to the family
+/// that produced them. Shared by the baseline writer and `--check`.
+pub(crate) fn measure_families() -> Families {
+    let inc_obs = Obs::enabled();
+    let ret_obs = Obs::enabled();
+    let rec_obs = Obs::enabled();
+    let magic_obs = Obs::enabled();
+    let cache_obs = Obs::enabled();
+    let rows = vec![
+        measure(5_000, 64, 5, &inc_obs),
+        measure(20_000, 64, 5, &inc_obs),
+    ];
+    let retractions = vec![
+        measure_retraction(5_000, 64, 5, &ret_obs),
+        measure_retraction(20_000, 64, 5, &ret_obs),
+    ];
+    let scans = vec![
+        measure_sharded_scan(10_000, 4, 5),
+        measure_sharded_scan(40_000, 4, 5),
+    ];
+    let recoveries = vec![
+        measure_wal_recovery(5_000, 128, 5, &rec_obs),
+        measure_wal_recovery(20_000, 128, 5, &rec_obs),
+    ];
+    let magics = vec![measure_magic(20_000, 50, 5, &magic_obs)];
+    let caches = vec![measure_query_cache(20_000, 64, 5, &cache_obs)];
+    let counters = vec![
+        ("datalog_incremental_vs_full", inc_obs.counters()),
+        ("datalog_retraction_vs_full", ret_obs.counters()),
+        ("kb_wal_recovery", rec_obs.counters()),
+        ("datalog_magic_vs_full", magic_obs.counters()),
+        ("datalog_query_cache", cache_obs.counters()),
+    ];
+    let span_shapes = vec![
+        ("datalog_incremental_vs_full", family_shapes(&inc_obs)),
+        ("datalog_retraction_vs_full", family_shapes(&ret_obs)),
+        ("kb_wal_recovery", family_shapes(&rec_obs)),
+        ("datalog_magic_vs_full", family_shapes(&magic_obs)),
+        ("datalog_query_cache", family_shapes(&cache_obs)),
+    ];
+    Families { rows, retractions, scans, recoveries, magics, caches, counters, span_shapes }
+}
+
 fn to_json(
     rows: &[Row],
     retractions: &[RetractRow],
@@ -494,9 +569,10 @@ fn to_json(
     magics: &[MagicRow],
     caches: &[CacheRow],
     counters: &[(&str, BTreeMap<String, u64>)],
+    span_shapes: &[(&str, Vec<String>)],
 ) -> String {
     let workers = vada_common::Parallelism::from_env().workers();
-    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v7\",\n");
+    let mut out = String::from("{\n  \"schema\": \"vada-bench-baseline/v8\",\n");
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str("  \"datalog_incremental_vs_full\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -600,6 +676,20 @@ fn to_json(
         }
         out.push_str(if i + 1 == counters.len() { "}\n" } else { "},\n" });
     }
+    // per-experiment span trees in the canonical shape rendering (schema
+    // v8): names, parent edges and structural attrs — durations are
+    // quarantined in the timing channel and never land here
+    out.push_str("  },\n  \"span_shapes\": {\n");
+    for (i, (family, lines)) in span_shapes.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": [", json_escape(family)));
+        for (j, line) in lines.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json_escape(line)));
+        }
+        out.push_str(if i + 1 == span_shapes.len() { "]\n" } else { "],\n" });
+    }
     out.push_str("  }\n}\n");
     out
 }
@@ -607,39 +697,19 @@ fn to_json(
 /// Run the baseline measurements, write `BENCH_baseline.json`, and return
 /// the human-readable report.
 pub fn incremental_baseline() -> String {
-    // one registry per experiment family, so the snapshots attribute the
-    // tallies to the family that produced them
-    let inc_obs = Obs::enabled();
-    let ret_obs = Obs::enabled();
-    let rec_obs = Obs::enabled();
-    let magic_obs = Obs::enabled();
-    let cache_obs = Obs::enabled();
-    let rows = vec![
-        measure(5_000, 64, 5, &inc_obs),
-        measure(20_000, 64, 5, &inc_obs),
-    ];
-    let retractions = vec![
-        measure_retraction(5_000, 64, 5, &ret_obs),
-        measure_retraction(20_000, 64, 5, &ret_obs),
-    ];
-    let scans = vec![
-        measure_sharded_scan(10_000, 4, 5),
-        measure_sharded_scan(40_000, 4, 5),
-    ];
-    let recoveries = vec![
-        measure_wal_recovery(5_000, 128, 5, &rec_obs),
-        measure_wal_recovery(20_000, 128, 5, &rec_obs),
-    ];
-    let magics = vec![measure_magic(20_000, 50, 5, &magic_obs)];
-    let caches = vec![measure_query_cache(20_000, 64, 5, &cache_obs)];
-    let counters = [
-        ("datalog_incremental_vs_full", inc_obs.counters()),
-        ("datalog_retraction_vs_full", ret_obs.counters()),
-        ("kb_wal_recovery", rec_obs.counters()),
-        ("datalog_magic_vs_full", magic_obs.counters()),
-        ("datalog_query_cache", cache_obs.counters()),
-    ];
-    let json = to_json(&rows, &retractions, &scans, &recoveries, &magics, &caches, &counters);
+    let fam = measure_families();
+    let Families { rows, retractions, scans, recoveries, magics, caches, counters, span_shapes } =
+        fam;
+    let json = to_json(
+        &rows,
+        &retractions,
+        &scans,
+        &recoveries,
+        &magics,
+        &caches,
+        &counters,
+        &span_shapes,
+    );
     let write_note = match std::fs::write(BASELINE_PATH, &json) {
         Ok(()) => format!("baseline written to {BASELINE_PATH}"),
         Err(e) => format!("could not write {BASELINE_PATH}: {e}"),
@@ -842,18 +912,34 @@ mod tests {
         assert!(snapshot.get("magic.rewrite.applied").copied().unwrap_or(0) > 0);
         assert!(snapshot.get("magic.cache.hits").copied().unwrap_or(0) > 0);
         assert!(snapshot.get("magic.cache.misses").copied().unwrap_or(0) > 0);
+        let shapes = family_shapes(&obs);
+        assert!(
+            shapes.iter().any(|l| l.contains("datalog/stratum")),
+            "the measurement pass must record deep spans: {shapes:?}"
+        );
+        assert!(
+            shapes.iter().any(|l| l.contains("wal/append")),
+            "the recovery pass must record wal spans: {shapes:?}"
+        );
+        assert!(
+            shapes.iter().all(|l| !l.contains("bytes=")),
+            "byte magnitudes are redacted from the pinned shapes: {shapes:?}"
+        );
         let counters = [("all", snapshot)];
-        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr], &[cr], &counters);
+        let span_shapes = [("all", shapes)];
+        let json = to_json(&[r], &[rr], &[sr], &[rec], &[mr], &[cr], &counters, &span_shapes);
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"datalog_retraction_vs_full\""), "{json}");
         assert!(json.contains("\"kb_sharded_scan\""), "{json}");
         assert!(json.contains("\"kb_wal_recovery\""), "{json}");
         assert!(json.contains("\"datalog_magic_vs_full\""), "{json}");
         assert!(json.contains("\"datalog_query_cache\""), "{json}");
-        assert!(json.contains("vada-bench-baseline/v7"), "{json}");
+        assert!(json.contains("vada-bench-baseline/v8"), "{json}");
         // the whole baseline must be well-formed JSON, counters included
         let doc = vada_common::obs::Json::parse(&json).expect("baseline parses");
         let all = doc.get("counters").unwrap().get("all").unwrap();
         assert!(all.get("datalog.stratum.passes").unwrap().as_u64().unwrap() > 0);
+        let shapes = doc.get("span_shapes").unwrap().get("all").unwrap();
+        assert!(!shapes.items().unwrap().is_empty(), "{json}");
     }
 }

@@ -6,6 +6,7 @@
 //! in DESIGN.md §4; the Criterion benches cover the scaling behaviour of
 //! every subsystem.
 
+pub mod check;
 pub mod experiments;
 pub mod paygo;
 pub mod report;

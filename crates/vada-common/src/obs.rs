@@ -152,8 +152,15 @@ pub mod key {
     /// Items submitted to those stages.
     pub const PAR_ITEMS: &str = "par.items";
 
-    /// Sink failures observed (each one, not just the sticky first).
+    /// Sink failures observed, plus every export write suppressed after
+    /// the sink detached — the size of the telemetry loss, not just the
+    /// sticky first error.
     pub const SINK_ERRORS: &str = "obs.sink_errors";
+    /// Export-file rotations performed by a rotating sink.
+    pub const OBS_ROTATIONS: &str = "obs.rotations";
+    /// Counter-snapshot sample records emitted in place of per-event
+    /// lines (`sample=M` export policy).
+    pub const OBS_SAMPLES: &str = "obs.samples";
 }
 
 /// Lock a mutex, recovering from poisoning (a panicking worker must not
@@ -202,6 +209,12 @@ pub trait ObsSink: Send {
     fn flush(&mut self) -> Result<()> {
         Ok(())
     }
+    /// Rotations performed so far (rotating sinks only). The collector
+    /// folds the running total into the `obs.rotations` counter after
+    /// each successful sink operation.
+    fn rotations(&self) -> u64 {
+        0
+    }
 }
 
 /// JSON lines to standard error.
@@ -221,21 +234,25 @@ pub struct FileSink {
     file: std::fs::File,
 }
 
+/// Open (append, create) a sink file, creating parent directories.
+fn open_append(path: &std::path::Path) -> Result<std::fs::File> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| VadaError::Obs(format!("create {}: {e}", dir.display())))?;
+        }
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| VadaError::Obs(format!("open {}: {e}", path.display())))
+}
+
 impl FileSink {
     /// Open (append, create) the sink file, creating parent directories.
     pub fn open(path: &std::path::Path) -> Result<FileSink> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| VadaError::Obs(format!("create {}: {e}", dir.display())))?;
-            }
-        }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| VadaError::Obs(format!("open {}: {e}", path.display())))?;
-        Ok(FileSink { file })
+        Ok(FileSink { file: open_append(path)? })
     }
 }
 
@@ -253,6 +270,141 @@ impl ObsSink for FileSink {
         self.file
             .flush()
             .map_err(|e| VadaError::Obs(format!("flush: {e}")))
+    }
+}
+
+/// [`FileSink`] with size-based rotation: a line that would push the
+/// current file past `rotate_bytes` first shifts the generation chain
+/// `<path>.1 .. <path>.keep` by atomic renames (oldest generation falls
+/// off the end) and reopens a fresh file. The decision is taken *before*
+/// writing, so a JSON line is never torn across generations — every file
+/// in the chain is a well-formed JSON-lines document.
+pub struct RotatingFileSink {
+    path: PathBuf,
+    file: std::fs::File,
+    /// Bytes in the live file (seeded from its length on open, so an
+    /// exporter restarted onto an existing file rotates on schedule).
+    written: u64,
+    rotate_bytes: u64,
+    keep: usize,
+    rotations: u64,
+}
+
+impl RotatingFileSink {
+    /// Open the live file (append, create), rotating once it would
+    /// exceed `rotate_bytes` and keeping `keep` rotated generations.
+    pub fn open(path: &std::path::Path, rotate_bytes: u64, keep: usize) -> Result<RotatingFileSink> {
+        let file = open_append(path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(RotatingFileSink {
+            path: path.to_path_buf(),
+            file,
+            written,
+            rotate_bytes: rotate_bytes.max(1),
+            keep: keep.max(1),
+            rotations: 0,
+        })
+    }
+
+    fn generation(&self, i: usize) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{i}"));
+        PathBuf::from(name)
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        self.file
+            .flush()
+            .map_err(|e| VadaError::Obs(format!("flush before rotate: {e}")))?;
+        let _ = std::fs::remove_file(self.generation(self.keep));
+        for i in (1..self.keep).rev() {
+            let from = self.generation(i);
+            if from.exists() {
+                std::fs::rename(&from, self.generation(i + 1)).map_err(|e| {
+                    VadaError::Obs(format!("rotate {}: {e}", from.display()))
+                })?;
+            }
+        }
+        std::fs::rename(&self.path, self.generation(1))
+            .map_err(|e| VadaError::Obs(format!("rotate {}: {e}", self.path.display())))?;
+        self.file = open_append(&self.path)?;
+        self.written = 0;
+        self.rotations += 1;
+        Ok(())
+    }
+}
+
+impl ObsSink for RotatingFileSink {
+    fn write_line(&mut self, line: &str) -> Result<()> {
+        let len = line.len() as u64 + 1;
+        if self.written > 0 && self.written + len > self.rotate_bytes {
+            self.rotate()?;
+        }
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.file
+            .write_all(buf.as_bytes())
+            .map_err(|e| VadaError::Obs(format!("write: {e}")))?;
+        self.written += len;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.file
+            .flush()
+            .map_err(|e| VadaError::Obs(format!("flush: {e}")))
+    }
+
+    fn rotations(&self) -> u64 {
+        self.rotations
+    }
+}
+
+/// Export-sink policy, parsed from trailing `rotate=`/`keep=`/`sample=`
+/// options on the `VADA_OBS` value (e.g. `out.jsonl:rotate=65536:sample=100`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportPolicy {
+    /// Rotate the export file once it would exceed this many bytes
+    /// (0 = never rotate).
+    pub rotate_bytes: u64,
+    /// Rotated generations kept as `<path>.1 .. <path>.keep`.
+    pub keep: usize,
+    /// Emit one counter-snapshot `sample` record per this many per-event
+    /// lines instead of the lines themselves (0 = export every line).
+    pub sample_every: u64,
+}
+
+impl Default for ExportPolicy {
+    fn default() -> ExportPolicy {
+        ExportPolicy { rotate_bytes: 0, keep: 3, sample_every: 0 }
+    }
+}
+
+impl ExportPolicy {
+    /// Split a `VADA_OBS` value into its sink spec and policy: trailing
+    /// `:rotate=N` / `:keep=N` / `:sample=N` segments are consumed from
+    /// the right; everything before them (which may itself contain `:`)
+    /// is the sink spec.
+    pub fn parse(value: &str) -> (&str, ExportPolicy) {
+        let mut policy = ExportPolicy::default();
+        let mut spec = value;
+        loop {
+            let Some((head, tail)) = spec.rsplit_once(':') else { break };
+            let opt = tail.trim();
+            let parsed = opt.split_once('=').and_then(|(k, v)| {
+                let n = v.trim().parse::<u64>().ok()?;
+                Some((k.trim(), n))
+            });
+            match parsed {
+                Some(("rotate", n)) => policy.rotate_bytes = n,
+                Some(("keep", n)) => policy.keep = (n as usize).max(1),
+                Some(("sample", n)) => policy.sample_every = n,
+                _ => break,
+            }
+            spec = head;
+        }
+        (spec, policy)
     }
 }
 
@@ -313,6 +465,13 @@ struct SinkState {
     sink: Option<Box<dyn ObsSink>>,
     error: Option<VadaError>,
     path: Option<PathBuf>,
+    /// `sample=M` policy: emit one counter-snapshot record per `M`
+    /// per-event lines instead of the lines themselves (0 = off).
+    sample_every: u64,
+    /// Per-event lines seen while sampling is active.
+    sampled: u64,
+    /// Sink rotations already folded into `obs.rotations`.
+    rotations_seen: u64,
 }
 
 /// The shared collection state behind an enabled [`Obs`] handle.
@@ -325,12 +484,19 @@ pub struct ObsCollector {
 }
 
 impl ObsCollector {
-    fn new(sink: Option<Box<dyn ObsSink>>, path: Option<PathBuf>) -> ObsCollector {
+    fn new(sink: Option<Box<dyn ObsSink>>, path: Option<PathBuf>, sample_every: u64) -> ObsCollector {
         ObsCollector {
             counters: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(SpanState { records: Vec::new(), stack: Vec::new() }),
             timings: Mutex::new(Vec::new()),
-            sink: Mutex::new(SinkState { sink, error: None, path }),
+            sink: Mutex::new(SinkState {
+                sink,
+                error: None,
+                path,
+                sample_every,
+                sampled: 0,
+                rotations_seen: 0,
+            }),
             sink_failures: AtomicU64::new(0),
         }
     }
@@ -380,12 +546,18 @@ impl Obs {
 
     /// An enabled in-memory collector with no export sink.
     pub fn enabled() -> Obs {
-        Obs { inner: Some(Arc::new(ObsCollector::new(None, None))) }
+        Obs { inner: Some(Arc::new(ObsCollector::new(None, None, 0))) }
     }
 
     /// An enabled collector exporting JSON lines to `sink`.
     pub fn with_sink(sink: Box<dyn ObsSink>) -> Obs {
-        Obs { inner: Some(Arc::new(ObsCollector::new(Some(sink), None))) }
+        Obs { inner: Some(Arc::new(ObsCollector::new(Some(sink), None, 0))) }
+    }
+
+    /// [`Obs::with_sink`] under an export policy (the sampling half; the
+    /// rotation half lives in the sink itself).
+    pub fn with_sink_policy(sink: Box<dyn ObsSink>, policy: ExportPolicy) -> Obs {
+        Obs { inner: Some(Arc::new(ObsCollector::new(Some(sink), None, policy.sample_every))) }
     }
 
     /// Read the `VADA_OBS` override (the env-default pattern shared with
@@ -397,6 +569,11 @@ impl Obs {
     ///   `$TMPDIR/vada-obs/` — the spelling the CI all-knobs leg uses
     /// - anything else → treated as a file path (append mode)
     ///
+    /// Any spelling may carry trailing `:rotate=N` (size-based file
+    /// rotation), `:keep=N` (rotated generations retained), and
+    /// `:sample=N` (counter-snapshot sampling instead of per-event
+    /// lines) options — see [`ExportPolicy`].
+    ///
     /// A sink that cannot be opened never fails construction: the
     /// collector starts detached with the error sticky in [`Obs::health`].
     pub fn from_env() -> Obs {
@@ -404,21 +581,23 @@ impl Obs {
             Err(_) => Obs::disabled(),
             Ok(raw) => {
                 let v = raw.trim();
-                if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+                let (spec, policy) = ExportPolicy::parse(v);
+                let spec = spec.trim();
+                if spec.is_empty() || spec == "0" || spec.eq_ignore_ascii_case("off") {
                     Obs::disabled()
-                } else if v.eq_ignore_ascii_case("stderr") {
-                    Obs::with_sink(Box::new(StderrSink))
+                } else if spec.eq_ignore_ascii_case("stderr") {
+                    Obs::with_sink_policy(Box::new(StderrSink), policy)
                 } else {
-                    let path = if v.eq_ignore_ascii_case("tmpfile") {
+                    let path = if spec.eq_ignore_ascii_case("tmpfile") {
                         let n = NEXT_OBS_FILE.fetch_add(1, Ordering::Relaxed);
                         std::env::temp_dir().join("vada-obs").join(format!(
                             "obs-{}-{n}.jsonl",
                             std::process::id()
                         ))
                     } else {
-                        PathBuf::from(v)
+                        PathBuf::from(spec)
                     };
-                    Obs::at_path(path)
+                    Obs::at_path_with(path, policy)
                 }
             }
         }
@@ -426,13 +605,26 @@ impl Obs {
 
     /// An enabled collector exporting to a file at `path` (append mode).
     pub fn at_path(path: PathBuf) -> Obs {
-        match FileSink::open(&path) {
+        Obs::at_path_with(path, ExportPolicy::default())
+    }
+
+    /// [`Obs::at_path`] under an explicit [`ExportPolicy`]: a nonzero
+    /// `rotate_bytes` opens a [`RotatingFileSink`] instead of the plain
+    /// append-only [`FileSink`].
+    pub fn at_path_with(path: PathBuf, policy: ExportPolicy) -> Obs {
+        let opened: Result<Box<dyn ObsSink>> = if policy.rotate_bytes > 0 {
+            RotatingFileSink::open(&path, policy.rotate_bytes, policy.keep)
+                .map(|s| Box::new(s) as Box<dyn ObsSink>)
+        } else {
+            FileSink::open(&path).map(|s| Box::new(s) as Box<dyn ObsSink>)
+        };
+        match opened {
             Ok(sink) => {
-                let c = ObsCollector::new(Some(Box::new(sink)), Some(path));
+                let c = ObsCollector::new(Some(sink), Some(path), policy.sample_every);
                 Obs { inner: Some(Arc::new(c)) }
             }
             Err(e) => {
-                let c = ObsCollector::new(None, Some(path));
+                let c = ObsCollector::new(None, Some(path), policy.sample_every);
                 lock(&c.sink).error = Some(e);
                 c.sink_failures.fetch_add(1, Ordering::Relaxed);
                 Obs { inner: Some(Arc::new(c)) }
@@ -450,6 +642,14 @@ impl Obs {
     /// matrix.
     pub fn is_structural(name: &str) -> bool {
         name.starts_with("pipeline.")
+    }
+
+    /// Whether a span name belongs to the structural span class — the
+    /// spans pinned byte-identical across the whole knob matrix (the
+    /// rest of the tree is mode-scoped: it exists only under its knob,
+    /// but is still pinned invariant to the thread count).
+    pub fn is_structural_span(name: &str) -> bool {
+        name.starts_with("orchestrator/")
     }
 
     /// Add `n` to the named monotone counter. No-op when disabled.
@@ -558,6 +758,16 @@ impl Obs {
         }
     }
 
+    /// Number of spans currently open on the coordinating thread. A
+    /// well-formed run — including one unwound by a panic, since
+    /// [`SpanGuard`] closes on drop — ends at zero.
+    pub fn open_span_count(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(c) => lock(&c.spans).stack.len(),
+        }
+    }
+
     /// The timing channel: one entry per closed span, quarantined from
     /// every structural surface.
     pub fn timings(&self) -> Vec<Timing> {
@@ -576,6 +786,15 @@ impl Obs {
                 None => Ok(()),
                 Some(e) => Err(e.clone()),
             },
+        }
+    }
+
+    /// Total sink failures plus suppressed export writes — the size of
+    /// the telemetry loss behind the sticky [`Obs::health`] error.
+    pub fn sink_failures(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(c) => c.sink_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -609,17 +828,7 @@ impl Obs {
         let Some(c) = &self.inner else { return };
         let counters = lock(&c.counters).clone();
         let mut line = String::from("{\"type\":\"counters\",\"counters\":{");
-        let mut first = true;
-        for (k, v) in &counters {
-            if !first {
-                line.push(',');
-            }
-            first = false;
-            line.push('"');
-            line.push_str(&json_escape(k));
-            line.push_str("\":");
-            line.push_str(&v.to_string());
-        }
+        push_counters_body(&mut line, &counters);
         line.push_str("}}");
         self.emit_line(&line);
         self.with_sink_guarded(|sink| sink.flush());
@@ -634,18 +843,31 @@ impl Obs {
             spans: self.span_records(),
             timings: self.timings(),
             health: self.health().err(),
+            sink_failures: self.sink_failures(),
         }
     }
 
     /// Run one sink operation under the failure contract: a panic or an
     /// `Err` detaches the sink, records the sticky first error, and bumps
     /// the failure tally — the run itself never observes the problem.
+    /// Once detached, every further attempt still bumps the tally, so
+    /// `obs.sink_errors` sizes the telemetry loss instead of freezing at
+    /// the first failure. (A collector that never had a sink counts
+    /// nothing — there is no export to lose.)
     fn with_sink_guarded(&self, f: impl FnOnce(&mut Box<dyn ObsSink>) -> Result<()>) {
         let Some(c) = &self.inner else { return };
-        let failed = {
+        let (failed, rotated) = {
             let mut s = lock(&c.sink);
-            let Some(sink) = s.sink.as_mut() else { return };
-            match catch_unwind(AssertUnwindSafe(|| f(sink))) {
+            let Some(sink) = s.sink.as_mut() else {
+                let suppressed = s.error.is_some();
+                drop(s);
+                if suppressed {
+                    c.sink_failures.fetch_add(1, Ordering::Relaxed);
+                    self.incr(key::SINK_ERRORS);
+                }
+                return;
+            };
+            let failed = match catch_unwind(AssertUnwindSafe(|| f(sink))) {
                 Ok(Ok(())) => None,
                 Ok(Err(e)) => Some(e),
                 Err(payload) => {
@@ -663,16 +885,61 @@ impl Obs {
                     s.error = Some(e.clone());
                 }
                 e
-            })
+            });
+            let rotated = match s.sink.as_ref() {
+                Some(sink) => {
+                    let total = sink.rotations();
+                    let delta = total.saturating_sub(s.rotations_seen);
+                    s.rotations_seen = total;
+                    delta
+                }
+                None => 0,
+            };
+            (failed, rotated)
         };
         if failed.is_some() {
             c.sink_failures.fetch_add(1, Ordering::Relaxed);
             self.incr(key::SINK_ERRORS);
         }
+        if rotated > 0 {
+            self.add(key::OBS_ROTATIONS, rotated);
+        }
     }
 
     fn emit_line(&self, line: &str) {
         self.with_sink_guarded(|sink| sink.write_line(line));
+    }
+
+    /// Export one per-event line (span or timing), subject to the
+    /// sampling policy: under `sample=M`, the line itself is suppressed
+    /// and every M-th event emits one counter-snapshot `sample` record
+    /// instead — bounded export for long-lived processes.
+    fn emit_event_line(&self, line: &str) {
+        let Some(c) = &self.inner else { return };
+        let due = {
+            let mut s = lock(&c.sink);
+            if s.sample_every == 0 {
+                None
+            } else {
+                s.sampled += 1;
+                Some((s.sampled, s.sampled % s.sample_every == 0))
+            }
+        };
+        match due {
+            None => self.emit_line(line),
+            Some((_, false)) => {}
+            Some((events, true)) => {
+                self.incr(key::OBS_SAMPLES);
+                let counters = match &self.inner {
+                    Some(c) => lock(&c.counters).clone(),
+                    None => BTreeMap::new(),
+                };
+                let mut out = format!("{{\"type\":\"sample\",\"events\":{events},\"counters\":{{");
+                push_counters_body(&mut out, &counters);
+                out.push_str("}}");
+                self.emit_line(&out);
+            }
+        }
     }
 
     /// Close span `id`: record the timing into the separate channel, pop
@@ -689,8 +956,8 @@ impl Obs {
             spans.records.get(id as usize - 1).cloned()
         };
         if let Some(r) = record {
-            self.emit_line(&span_json(&r));
-            self.emit_line(&format!(
+            self.emit_event_line(&span_json(&r));
+            self.emit_event_line(&format!(
                 "{{\"type\":\"timing\",\"span\":{id},\"micros\":{micros}}}"
             ));
         }
@@ -703,6 +970,68 @@ impl Obs {
             r.attrs.push((name.to_string(), value));
         }
     }
+}
+
+/// Serialize a counter map's entries (without the surrounding braces).
+fn push_counters_body(out: &mut String, counters: &BTreeMap<String, u64>) {
+    let mut first = true;
+    for (k, v) in counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&json_escape(k));
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+}
+
+/// Canonical structural rendering of a span list: one line per span,
+/// `<id> <parent> <name> k=v;k=v` — ids, parent edges, names, and
+/// structural attributes only, never durations. Two trees are
+/// byte-comparable exactly when their shapes match, which is what the
+/// equivalence suites and the bench `--check` gate compare.
+pub fn span_shape(spans: &[SpanRecord]) -> Vec<String> {
+    spans.iter().map(shape_line).collect()
+}
+
+fn shape_line(s: &SpanRecord) -> String {
+    shape_line_with(s.id, s.parent, s)
+}
+
+fn shape_line_with(id: u64, parent: u64, s: &SpanRecord) -> String {
+    let mut line = format!("{id} {parent} {}", s.name);
+    for (i, (k, v)) in s.attrs.iter().enumerate() {
+        line.push(if i == 0 { ' ' } else { ';' });
+        line.push_str(k);
+        line.push('=');
+        line.push_str(v);
+    }
+    line
+}
+
+/// [`span_shape`] restricted to the structural span class
+/// ([`Obs::is_structural_span`]), with ids renumbered densely and each
+/// parent edge lifted to the nearest structural ancestor — so the
+/// rendering is identical across knobs even though mode-scoped spans
+/// shift the absolute ids between runs.
+pub fn structural_span_shape(spans: &[SpanRecord]) -> Vec<String> {
+    let parent_of: BTreeMap<u64, u64> = spans.iter().map(|s| (s.id, s.parent)).collect();
+    let structural: Vec<&SpanRecord> =
+        spans.iter().filter(|s| Obs::is_structural_span(&s.name)).collect();
+    let renum: BTreeMap<u64, u64> =
+        structural.iter().enumerate().map(|(i, s)| (s.id, i as u64 + 1)).collect();
+    structural
+        .iter()
+        .map(|s| {
+            let mut p = s.parent;
+            while p != 0 && !renum.contains_key(&p) {
+                p = parent_of.get(&p).copied().unwrap_or(0);
+            }
+            shape_line_with(renum[&s.id], renum.get(&p).copied().unwrap_or(0), s)
+        })
+        .collect()
 }
 
 fn span_json(r: &SpanRecord) -> String {
@@ -778,6 +1107,9 @@ pub struct ObsReport {
     pub timings: Vec<Timing>,
     /// The sticky first sink error, if any.
     pub health: Option<VadaError>,
+    /// Sink failures plus suppressed export writes — how much telemetry
+    /// the detached sink lost.
+    pub sink_failures: u64,
 }
 
 impl ObsReport {
@@ -802,7 +1134,10 @@ impl ObsReport {
         }
         match &self.health {
             None => out.push_str("  sink: healthy\n"),
-            Some(e) => out.push_str(&format!("  sink: detached ({e})\n")),
+            Some(e) => out.push_str(&format!(
+                "  sink: detached ({e}; {} writes lost)\n",
+                self.sink_failures
+            )),
         }
         out
     }
@@ -1250,10 +1585,26 @@ mod tests {
         assert!(!obs.sink_attached(), "failed sink is detached");
         let first = obs.health().unwrap_err();
         assert!(first.to_string().contains("sink refused"));
+        // one failure plus span "a"'s suppressed timing line
+        assert_eq!(obs.get(key::SINK_ERRORS), 2);
         obs.span("b"); // collection continues, error stays the first one
         assert_eq!(obs.span_count(), 2);
         assert_eq!(obs.health().unwrap_err(), first);
-        assert_eq!(obs.get(key::SINK_ERRORS), 1);
+        // the loss keeps being sized after the detach: span "b" attempted
+        // a span line and a timing line, both suppressed
+        assert_eq!(obs.get(key::SINK_ERRORS), 4);
+        assert_eq!(obs.sink_failures(), 4);
+        let report = obs.report();
+        assert!(report.render().contains("4 writes lost"));
+    }
+
+    #[test]
+    fn sinkless_collector_counts_no_suppressed_writes() {
+        let obs = Obs::enabled();
+        obs.span("a");
+        obs.flush();
+        assert_eq!(obs.get(key::SINK_ERRORS), 0, "no sink, no export to lose");
+        assert_eq!(obs.sink_failures(), 0);
     }
 
     #[test]
@@ -1325,6 +1676,202 @@ mod tests {
         assert_eq!(slug("recursive predicate `tc` in delta"), "recursive_predicate_tc_in_delta");
         assert_eq!(slug("***"), "unknown");
         assert!(slug(&"x y ".repeat(100)).len() <= 64);
+    }
+
+    #[test]
+    fn span_guard_closes_on_unwind() {
+        let obs = Obs::enabled();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let outer = obs.span("orchestrator/run");
+            outer.attr("mode", "fault");
+            let _inner = obs.span("datalog/stratum");
+            panic!("injected fault");
+        }));
+        assert!(result.is_err());
+        // both guards closed on the way out: no dangling open spans, and
+        // each closed span recorded its timing
+        assert_eq!(obs.open_span_count(), 0, "unwind must close every span");
+        assert_eq!(obs.span_count(), 2);
+        assert_eq!(obs.timings().len(), 2);
+        // a span opened after the panic is a clean top-level root, not a
+        // child of a zombie
+        {
+            let after = obs.span("orchestrator/run");
+            assert_ne!(after.id(), 0);
+        }
+        let spans = obs.span_records();
+        assert_eq!(spans[2].parent, 0, "post-panic span must not dangle off the dead tree");
+    }
+
+    #[test]
+    fn export_policy_parses_trailing_options() {
+        assert_eq!(ExportPolicy::parse("out.jsonl"), ("out.jsonl", ExportPolicy::default()));
+        let (spec, p) = ExportPolicy::parse("out.jsonl:rotate=4096:sample=100");
+        assert_eq!(spec, "out.jsonl");
+        assert_eq!(p, ExportPolicy { rotate_bytes: 4096, keep: 3, sample_every: 100 });
+        let (spec, p) = ExportPolicy::parse("tmpfile:rotate=512:keep=5");
+        assert_eq!(spec, "tmpfile");
+        assert_eq!(p.rotate_bytes, 512);
+        assert_eq!(p.keep, 5);
+        // a path containing `:` that is not an option stays a path
+        let (spec, p) = ExportPolicy::parse("dir:with:colons/out.jsonl");
+        assert_eq!(spec, "dir:with:colons/out.jsonl");
+        assert_eq!(p, ExportPolicy::default());
+        // options only strip from the right; garbage is part of the path
+        let (spec, _) = ExportPolicy::parse("out.jsonl:rotate=notanumber");
+        assert_eq!(spec, "out.jsonl:rotate=notanumber");
+    }
+
+    fn temp_obs_path(tag: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join("vada-obs-test")
+            .join(format!("{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn cleanup_generations(path: &PathBuf) {
+        let _ = std::fs::remove_file(path);
+        for i in 1..=8 {
+            let mut gen = path.as_os_str().to_os_string();
+            gen.push(format!(".{i}"));
+            let _ = std::fs::remove_file(PathBuf::from(gen));
+        }
+    }
+
+    #[test]
+    fn rotation_never_tears_a_line_and_counts_rotations() {
+        let path = temp_obs_path("rotate");
+        cleanup_generations(&path);
+        let obs =
+            Obs::at_path_with(path.clone(), ExportPolicy { rotate_bytes: 120, keep: 3, sample_every: 0 });
+        // every span close writes a span line plus a timing line; a line
+        // near the threshold must land whole in exactly one generation
+        for i in 0..40 {
+            let s = obs.span("stage/rotation");
+            s.attr("item", i);
+            s.attr("pad", "x".repeat(i % 17));
+        }
+        obs.flush();
+        assert!(obs.health().is_ok(), "rotation must not detach the sink");
+        assert!(obs.get(key::OBS_ROTATIONS) > 0, "the workload must have rotated");
+        let mut files = vec![path.clone()];
+        for i in 1..=3 {
+            let mut gen = path.as_os_str().to_os_string();
+            gen.push(format!(".{i}"));
+            files.push(PathBuf::from(gen));
+        }
+        let mut seen = 0usize;
+        for file in &files {
+            let Ok(text) = std::fs::read_to_string(file) else { continue };
+            assert!(
+                text.len() as u64 <= 120 + 1,
+                "{}: rotation must bound each generation (got {} bytes)",
+                file.display(),
+                text.len()
+            );
+            for line in text.lines() {
+                Json::parse(line).unwrap_or_else(|e| {
+                    panic!("torn line in {}: {e} ({line})", file.display())
+                });
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "some lines must survive in the kept generations");
+        cleanup_generations(&path);
+    }
+
+    #[test]
+    fn rotation_keeps_a_bounded_generation_chain() {
+        let path = temp_obs_path("keep");
+        cleanup_generations(&path);
+        let mut sink = RotatingFileSink::open(&path, 32, 2).unwrap();
+        for i in 0..30 {
+            sink.write_line(&format!("{{\"n\":{i}}}")).unwrap();
+        }
+        sink.flush().unwrap();
+        assert!(sink.rotations() >= 3);
+        let mut gen3 = path.as_os_str().to_os_string();
+        gen3.push(".3");
+        assert!(!PathBuf::from(gen3).exists(), "keep=2 must drop the third generation");
+        // the newest rotated generation ends with an intact line
+        let mut gen1 = path.as_os_str().to_os_string();
+        gen1.push(".1");
+        let text = std::fs::read_to_string(PathBuf::from(gen1)).unwrap();
+        for line in text.lines() {
+            Json::parse(line).expect("every rotated line parses");
+        }
+        cleanup_generations(&path);
+    }
+
+    #[test]
+    fn sampling_replaces_per_event_lines_with_snapshots() {
+        let (sink, lines) = MemorySink::new();
+        let obs = Obs::with_sink_policy(
+            Box::new(sink),
+            ExportPolicy { rotate_bytes: 0, keep: 3, sample_every: 4 },
+        );
+        for _ in 0..6 {
+            obs.incr(key::ORCH_STEPS);
+            obs.span("stage/sampled");
+        }
+        // 6 spans → 12 per-event lines → 3 sample records, zero raw lines
+        obs.flush();
+        let lines = lines.lock().unwrap();
+        let kinds: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(kinds, vec!["sample", "sample", "sample", "counters"]);
+        assert_eq!(obs.get(key::OBS_SAMPLES), 3);
+        let last_sample = Json::parse(&lines[2]).unwrap();
+        assert_eq!(last_sample.get("events").and_then(Json::as_u64), Some(12));
+        assert_eq!(
+            last_sample
+                .get("counters")
+                .and_then(|c| c.get(key::ORCH_STEPS))
+                .and_then(Json::as_u64),
+            Some(6)
+        );
+        // the in-memory record is untouched by sampling
+        assert_eq!(obs.span_count(), 6);
+        assert_eq!(obs.timings().len(), 6);
+    }
+
+    #[test]
+    fn span_shape_is_structural_only() {
+        let obs = Obs::enabled();
+        {
+            let run = obs.span("orchestrator/run");
+            run.attr("steps", 1);
+            {
+                let _deep = obs.span("datalog/stratum");
+                let step = obs.span("orchestrator/step");
+                step.attr("transducer", "mapping");
+            }
+        }
+        let spans = obs.span_records();
+        let full = span_shape(&spans);
+        assert_eq!(
+            full,
+            vec![
+                "1 0 orchestrator/run steps=1",
+                "2 1 datalog/stratum",
+                "3 2 orchestrator/step transducer=mapping",
+            ]
+        );
+        // structural view renumbers densely and lifts parents over the
+        // mode-scoped span in the middle
+        let structural = structural_span_shape(&spans);
+        assert_eq!(
+            structural,
+            vec!["1 0 orchestrator/run steps=1", "2 1 orchestrator/step transducer=mapping"]
+        );
     }
 
     #[test]

@@ -242,6 +242,14 @@ where
 }
 
 /// [`par_shards`] with scheduling telemetry (see [`par_try_map_obs`]).
+///
+/// Also records the dispatch as a span subtree: one `par/shards` span for
+/// the stage with a `par/shard` child per shard. The children are opened
+/// and closed on the *coordinating* thread at submission time — worker
+/// closures never touch the span stack — so the recorded tree is a pure
+/// function of the shard layout, identical at every thread count; their
+/// durations measure submission, not shard runtime (the stage span wraps
+/// the full dispatch-to-join interval).
 pub fn par_shards_obs<A, F>(
     obs: &crate::obs::Obs,
     par: Parallelism,
@@ -255,6 +263,13 @@ where
 {
     obs.incr(crate::obs::key::PAR_STAGES);
     obs.add(crate::obs::key::PAR_ITEMS, shards as u64);
+    let stage_span = obs.span("par/shards");
+    stage_span.attr("stage", stage);
+    stage_span.attr("shards", shards);
+    for shard in 0..shards {
+        let s = obs.span("par/shard");
+        s.attr("shard", shard);
+    }
     par_shards(par, stage, shards, f)
 }
 
@@ -379,6 +394,21 @@ mod tests {
             assert!(err.message().contains("kb/shard_scan"), "{err}");
             assert!(err.message().contains("item 3"), "{err}");
         }
+    }
+
+    #[test]
+    fn shard_span_tree_is_identical_at_every_level() {
+        use crate::obs::{span_shape, Obs};
+        let mut shapes = Vec::new();
+        for par in all_levels() {
+            let obs = Obs::enabled();
+            par_shards_obs(&obs, par, "unit/shards", 3, Ok).unwrap();
+            shapes.push(span_shape(&obs.span_records()));
+        }
+        assert!(shapes.windows(2).all(|w| w[0] == w[1]), "tree must not depend on threads");
+        assert_eq!(shapes[0].len(), 4, "one stage span plus one per shard");
+        assert_eq!(shapes[0][0], "1 0 par/shards stage=unit/shards;shards=3");
+        assert_eq!(shapes[0][1], "2 1 par/shard shard=0");
     }
 
     #[test]

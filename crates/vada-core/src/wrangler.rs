@@ -280,7 +280,15 @@ impl Wrangler {
     /// Orchestrate to fixpoint with whatever information is currently
     /// available.
     pub fn run(&mut self) -> Result<RunReport> {
-        let executed = self.orchestrator.run_to_fixpoint(&mut self.kb)?;
+        // structural root span: every `orchestrator/step` child (and the
+        // mode-scoped subtrees below them) groups under one run
+        let obs = self.orchestrator.obs().clone();
+        let executed = {
+            let span = obs.span("orchestrator/run");
+            let executed = self.orchestrator.run_to_fixpoint(&mut self.kb)?;
+            span.attr("executed", executed);
+            executed
+        };
         // push the counter snapshot out through the sink (if one is
         // attached) so an exported JSON stream is complete per run
         self.orchestrator.obs().flush();

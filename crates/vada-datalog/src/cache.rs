@@ -252,6 +252,12 @@ impl QueryCache {
         build_input: impl FnOnce() -> Result<Database>,
     ) -> Result<Vec<Tuple>> {
         let q = parse_query(query)?;
+        // one span per lookup; the resolution (exactly one of hit / miss /
+        // invalidation, mirroring the counter contract) is attached where
+        // the matching counter is tallied, and a cold build's session and
+        // engine spans nest underneath
+        let obs = self.obs().clone();
+        let span = obs.span("cache/query");
         if let Some(pos) =
             self.views.iter().position(|v| v.program == program && v.query == query)
         {
@@ -259,8 +265,10 @@ impl QueryCache {
             let mut view = self.views.remove(pos);
             if view.lineage != lineage {
                 // same version numbers may cover a diverged history
+                span.attr("outcome", "invalidation");
                 self.obs().incr(obs_key::MAGIC_CACHE_INVALIDATIONS);
             } else if view.version == version {
+                span.attr("outcome", "hit");
                 self.obs().incr(obs_key::MAGIC_CACHE_HITS);
                 let answers = view.answers.clone();
                 self.views.push(view);
@@ -269,6 +277,7 @@ impl QueryCache {
                 match delta {
                     CacheDelta::Unchanged => {
                         view.version = version;
+                        span.attr("outcome", "hit");
                         self.obs().incr(obs_key::MAGIC_CACHE_HITS);
                         let answers = view.answers.clone();
                         self.views.push(view);
@@ -301,16 +310,19 @@ impl QueryCache {
                             engine.eval_query_cached(&q, view.session.database(), &mut view.index)?;
                         view.answers = answers.clone();
                         view.version = version;
+                        span.attr("outcome", "hit");
                         self.obs().incr(obs_key::MAGIC_CACHE_HITS);
                         self.views.push(view);
                         return Ok(answers);
                     }
                     CacheDelta::Unknown => {
+                        span.attr("outcome", "invalidation");
                         self.obs().incr(obs_key::MAGIC_CACHE_INVALIDATIONS);
                     }
                 }
             }
         } else {
+            span.attr("outcome", "miss");
             self.obs().incr(obs_key::MAGIC_CACHE_MISSES);
         }
 

@@ -411,11 +411,23 @@ impl Engine {
             }
         }
 
+        // one run-level span so stratum children group under their
+        // evaluation, wherever the engine was invoked from
+        let run_span = obs.span("datalog/run");
+        run_span.attr("strata", strat.stratum_count);
+        run_span.attr("mode", if demand.is_some() { "directed" } else { "undirected" });
+
         for stratum in 0..strat.stratum_count {
             let rule_idxs = &strat.strata_rules[stratum];
             if rule_idxs.is_empty() {
                 continue;
             }
+            // structural attributes only: the stratum index, its rule
+            // count, and (attached at close) the semi-naive iteration
+            // count — all invariant across the thread knob
+            let stratum_span = obs.span("datalog/stratum");
+            stratum_span.attr("stratum", stratum);
+            stratum_span.attr("rules", rule_idxs.len());
             let compiled: Vec<CompiledRule> = rule_idxs
                 .iter()
                 .map(|&ri| CompiledRule::compile(&program.rules[ri], ri))
@@ -551,6 +563,7 @@ impl Engine {
                 self.check_size(&db)?;
                 delta = new_delta;
             }
+            stratum_span.attr("delta_passes", iter);
         }
         Ok(db)
     }

@@ -577,8 +577,25 @@ impl IncrementalSession {
 
     /// Tally the outcome on the registry, then append it to the history.
     /// Every history entry goes through here, so
-    /// `incremental.outcome.*` always sums to `history().len()`.
+    /// `incremental.outcome.*` always sums to `history().len()` — and
+    /// every step leaves one `incremental/outcome` leaf span under the
+    /// step's session span, naming the mode (and fallback reason) the
+    /// order-safety analysis chose.
     fn record_outcome(&mut self, outcome: DeltaOutcome) {
+        {
+            let s = self.obs.span("incremental/outcome");
+            s.attr(
+                "mode",
+                match outcome.mode {
+                    DeltaMode::Bootstrap => "bootstrap",
+                    DeltaMode::Incremental => "incremental",
+                    DeltaMode::FullFallback => "full_fallback",
+                },
+            );
+            if let Some(reason) = &outcome.fallback_reason {
+                s.attr("reason", slug(reason));
+            }
+        }
         match outcome.mode {
             DeltaMode::Bootstrap => self.obs.incr(obs_key::INC_BOOTSTRAP),
             DeltaMode::Incremental => self.obs.incr(obs_key::INC_INCREMENTAL),
@@ -597,6 +614,9 @@ impl IncrementalSession {
     /// all session state. This is both the bootstrap step and the recovery
     /// path after a poisoned `apply`.
     pub fn run_full(&mut self, input: Database) -> Result<&Database> {
+        let obs = self.obs.clone();
+        let span = obs.span("incremental/bootstrap");
+        span.attr("facts", input.total_facts());
         self.full_run(input, DeltaMode::Bootstrap, None, 0, 0)
     }
 
@@ -723,6 +743,12 @@ impl IncrementalSession {
     /// must arrive in the order a scratch input build would append them;
     /// already-present facts are ignored. Returns the updated database.
     pub fn apply(&mut self, delta: Vec<(String, Tuple)>) -> Result<&Database> {
+        // the session span wraps the whole delta pass, so any engine run a
+        // fallback triggers nests under it; the guard borrows a clone of
+        // the handle (same registry), leaving `self` free for the pass
+        let obs = self.obs.clone();
+        let span = obs.span("incremental/apply");
+        span.attr("facts", delta.len());
         if !self.bootstrapped {
             return Err(VadaError::Eval(
                 "incremental session not bootstrapped: call run_full first".into(),
@@ -1057,6 +1083,9 @@ impl IncrementalSession {
     /// that cannot be guaranteed the session re-derives from scratch,
     /// recording why.
     pub fn retract(&mut self, removals: Vec<(String, Tuple)>) -> Result<&Database> {
+        let obs = self.obs.clone();
+        let span = obs.span("incremental/retract");
+        span.attr("facts", removals.len());
         if !self.bootstrapped {
             return Err(VadaError::Eval(
                 "incremental session not bootstrapped: call run_full first".into(),

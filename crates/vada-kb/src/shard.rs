@@ -390,13 +390,19 @@ impl ShardedStore {
     /// itself (views dropped, watermark cleared) so the next sync starts
     /// from a clean rebuild — never from half-applied state.
     pub fn sync(&mut self, kb: &KnowledgeBase) -> Result<SyncReport> {
+        let obs = self.obs.clone();
+        let span = obs.span("shard/sync");
+        span.attr("shards", self.sharding.shard_count());
         match self.try_sync(kb) {
             Ok(report) => {
-                self.obs.incr(match report.mode {
-                    SyncMode::Rebuild => obs_key::SHARD_SYNC_REBUILD,
-                    SyncMode::Routed => obs_key::SHARD_SYNC_ROUTED,
-                    SyncMode::Noop => obs_key::SHARD_SYNC_NOOP,
-                });
+                let (mode, key) = match report.mode {
+                    SyncMode::Rebuild => ("rebuild", obs_key::SHARD_SYNC_REBUILD),
+                    SyncMode::Routed => ("routed", obs_key::SHARD_SYNC_ROUTED),
+                    SyncMode::Noop => ("noop", obs_key::SHARD_SYNC_NOOP),
+                };
+                span.attr("mode", mode);
+                span.attr("routed_events", report.routed_events);
+                self.obs.incr(key);
                 self.obs.add(obs_key::SHARD_ROUTED_EVENTS, report.routed_events as u64);
                 Ok(report)
             }

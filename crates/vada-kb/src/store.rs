@@ -290,10 +290,13 @@ impl KnowledgeBase {
             // now, so the log never holds events the journal has forgotten
             // (recovery replays log records on top of the snapshot, and
             // both must describe the same window)
+            let span = self.obs.span("wal/compact");
+            span.attr("events", self.journal.len());
             let snap = self.snapshot_state();
             match self.durable.as_mut().expect("checked above").compact(&snap) {
                 Ok(()) => self.obs.incr(obs_key::WAL_COMPACTIONS),
                 Err(e) => {
+                    span.attr("detached", "true");
                     self.obs.incr(obs_key::STORAGE_ERRORS);
                     self.storage_error.get_or_insert(e);
                     self.durable = None;
@@ -303,6 +306,8 @@ impl KnowledgeBase {
         self.version += 1;
         self.aspect_versions.insert(aspect, self.version);
         if self.durable.is_some() {
+            let span = self.obs.span("wal/append");
+            span.attr("aspect", aspect);
             let record = WalRecord {
                 event: DeltaEvent { seq: self.version, aspect, change: change.clone() },
                 payload: payload.map(|(kind, rel)| StoredRelation::capture(kind, rel)),
@@ -310,6 +315,7 @@ impl KnowledgeBase {
             match self.durable.as_mut().expect("checked above").append(&record) {
                 Ok(bytes) => {
                     // one fsync per append under the current WAL contract
+                    span.attr("bytes", bytes);
                     self.obs.incr(obs_key::WAL_APPENDS);
                     self.obs.incr(obs_key::WAL_FSYNCS);
                     self.obs.add(obs_key::WAL_BYTES, bytes);
@@ -318,6 +324,7 @@ impl KnowledgeBase {
                     // an un-fsyncable log must not silently pretend to be
                     // durable: detach it and hold the error for
                     // storage_health; in-memory operation continues
+                    span.attr("detached", "true");
                     self.obs.incr(obs_key::STORAGE_ERRORS);
                     self.storage_error.get_or_insert(e);
                     self.durable = None;

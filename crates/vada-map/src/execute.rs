@@ -243,6 +243,11 @@ fn execute_mapping_impl(
     }
     let program = parse_program(&mapping.rules)?;
     cfg.engine.obs.incr(obs_key::MAP_FULL);
+    // wraps input build + engine run: the shard scans and the engine's
+    // stratum spans nest underneath
+    let span = cfg.engine.obs.span("map/execute");
+    span.attr("mapping", &mapping.id);
+    span.attr("target", &mapping.target);
     let input = build_input_db_with(
         mapping,
         kb,

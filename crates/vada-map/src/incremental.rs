@@ -339,6 +339,10 @@ impl IncrementalExecutor {
             match self.plan_delta(&fp, mapping, kb) {
                 Ok(plan) => {
                     cfg.engine.obs.incr(obs_key::MAP_INCREMENTAL);
+                    // the session's apply/retract spans nest underneath
+                    let span = cfg.engine.obs.span("map/execute_incremental");
+                    span.attr("mapping", &mapping.id);
+                    span.attr("target", &mapping.target);
                     let outcome = self.apply_delta(&fp, plan, mapping, &target, kb);
                     match outcome {
                         Ok(rel) => return Ok(rel),

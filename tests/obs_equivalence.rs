@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use vada::{Evaluation, OrchestratorConfig, Parallelism, Sharding, Wrangler};
-use vada_common::obs::{Json, Obs, ObsSink};
-use vada_common::{csv, Result, VadaError};
+use vada_common::obs::{span_shape, structural_span_shape, Json, Obs, ObsSink};
+use vada_common::{csv, QueryCaching, Result, VadaError};
 use vada_extract::sources::target_schema;
 use vada_extract::{Scenario, ScenarioConfig, UniverseConfig};
 
@@ -28,6 +28,9 @@ fn with_query_mode<T>(directed: bool, f: impl FnOnce() -> T) -> T {
     let _g = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     std::env::remove_var("VADA_WAL");
     std::env::remove_var("VADA_OBS");
+    // the caching knob is driven explicitly via set_query_caching below;
+    // an ambient all-knobs CI leg must not skew individual legs
+    std::env::remove_var("VADA_QUERY_CACHE");
     if directed {
         std::env::set_var("VADA_MAGIC", "directed");
     } else {
@@ -38,12 +41,17 @@ fn with_query_mode<T>(directed: bool, f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// What one wrangle leaves behind: the result catalog (byte-for-byte) and
-/// the registry's counters, split structural / full.
+/// What one wrangle leaves behind: the result catalog (byte-for-byte),
+/// the registry's counters (split structural / full), and the span tree
+/// in both renderings — the structural slice (`orchestrator/` spans,
+/// pinned across the whole matrix) and the full deep tree (pinned across
+/// thread counts for each fixed knob combination).
 struct Observed {
     catalog: String,
     structural: BTreeMap<String, u64>,
     counters: BTreeMap<String, u64>,
+    structural_spans: Vec<String>,
+    full_spans: Vec<String>,
 }
 
 /// Mapping ids (`map<N>`) come from a process-global counter, so their
@@ -96,7 +104,13 @@ fn canonicalize_map_ids(s: &str) -> String {
 
 /// Drive the pay-as-you-go pipeline (bootstrap, data context, an edit
 /// phase, a re-run) under one knob combination with a live registry.
-fn wrangle(par: Parallelism, sharding: Sharding, eval: Evaluation, wal: bool) -> Observed {
+fn wrangle(
+    par: Parallelism,
+    sharding: Sharding,
+    eval: Evaluation,
+    wal: bool,
+    caching: QueryCaching,
+) -> Observed {
     let s = Scenario::generate(ScenarioConfig {
         universe: UniverseConfig { properties: 60, seed: 11 },
         ..Default::default()
@@ -116,6 +130,7 @@ fn wrangle(par: Parallelism, sharding: Sharding, eval: Evaluation, wal: bool) ->
         evaluation: eval,
         ..OrchestratorConfig::default()
     });
+    w.set_query_caching(caching);
     w.set_obs(Obs::enabled());
     w.add_source(s.rightmove.clone());
     w.add_source(s.deprivation.clone());
@@ -146,10 +161,19 @@ fn wrangle(par: Parallelism, sharding: Sharding, eval: Evaluation, wal: bool) ->
     sections.sort();
     let catalog = sections.join("");
     let obs = w.obs();
+    let records = obs.span_records();
+    // span attrs carry mapping ids (`mapping=map<N>`) from the same
+    // process-global counter as the catalog — rank-rewrite them the same
+    // way so trees from different legs compare byte-for-byte
+    let canonical_lines = |lines: Vec<String>| -> Vec<String> {
+        canonicalize_map_ids(&lines.join("\n")).split('\n').map(String::from).collect()
+    };
     Observed {
         catalog,
         structural: obs.structural_counters(),
         counters: obs.counters(),
+        structural_spans: canonical_lines(structural_span_shape(&records)),
+        full_spans: canonical_lines(span_shape(&records)),
     }
 }
 
@@ -158,8 +182,15 @@ fn wrangle(par: Parallelism, sharding: Sharding, eval: Evaluation, wal: bool) ->
 /// unsharded / full / undirected / in-memory.
 #[test]
 fn structural_counters_identical_across_the_knob_matrix() {
-    let baseline =
-        with_query_mode(false, || wrangle(Parallelism::Sequential, Sharding::Off, Evaluation::Full, false));
+    let baseline = with_query_mode(false, || {
+        wrangle(
+            Parallelism::Sequential,
+            Sharding::Off,
+            Evaluation::Full,
+            false,
+            QueryCaching::Off,
+        )
+    });
     assert!(
         baseline.structural.get("pipeline.orchestrator.steps").copied().unwrap_or(0) > 0,
         "the pipeline must take orchestrator steps: {:?}",
@@ -178,6 +209,38 @@ fn structural_counters_identical_across_the_knob_matrix() {
     // every structural name carries the pipeline prefix — nothing
     // mode-scoped leaked into the determinism contract
     assert!(baseline.structural.keys().all(|k| k.starts_with("pipeline.")));
+    // the structural span slice is rooted and non-trivial: three runs,
+    // each an `orchestrator/run` with `orchestrator/step` children
+    assert_eq!(
+        baseline.structural_spans.iter().filter(|l| l.contains("orchestrator/run")).count(),
+        3,
+        "each of the three wrangles roots one structural run span: {:?}",
+        baseline.structural_spans
+    );
+    assert!(
+        baseline.structural_spans.iter().any(|l| l.contains("orchestrator/step")),
+        "step spans are structural: {:?}",
+        baseline.structural_spans
+    );
+    assert!(
+        baseline.structural_spans.iter().all(|l| {
+            let name = l.split(' ').nth(2).unwrap_or("");
+            name.starts_with("orchestrator/")
+        }),
+        "only orchestrator/ spans are structural: {:?}",
+        baseline.structural_spans
+    );
+    // the full tree carries the deep mode-scoped spans below the steps
+    assert!(
+        baseline.full_spans.iter().any(|l| l.contains("datalog/run")),
+        "deep datalog spans must be recorded: {:?}",
+        baseline.full_spans
+    );
+
+    // full span trees per {sharding, eval, directed} combo: the tree is a
+    // pure function of the knobs — thread counts must never change it
+    let mut full_trees: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    full_trees.insert("Off-Full-false".into(), baseline.full_spans.clone());
 
     for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
         for sharding in [Sharding::Off, Sharding::Shards(4)] {
@@ -188,7 +251,9 @@ fn structural_counters_identical_across_the_knob_matrix() {
                     {
                         continue;
                     }
-                    let got = with_query_mode(directed, || wrangle(par, sharding, eval, false));
+                    let got = with_query_mode(directed, || {
+                        wrangle(par, sharding, eval, false, QueryCaching::Off)
+                    });
                     assert_eq!(
                         got.structural, baseline.structural,
                         "{par:?} × {sharding:?} × {eval:?} × directed={directed} \
@@ -199,6 +264,22 @@ fn structural_counters_identical_across_the_knob_matrix() {
                         "{par:?} × {sharding:?} × {eval:?} × directed={directed} \
                          changed the catalog"
                     );
+                    assert_eq!(
+                        got.structural_spans, baseline.structural_spans,
+                        "{par:?} × {sharding:?} × {eval:?} × directed={directed} \
+                         changed the structural span tree"
+                    );
+                    let combo = format!("{sharding:?}-{eval:?}-{directed}");
+                    match full_trees.get(&combo) {
+                        None => {
+                            full_trees.insert(combo, got.full_spans);
+                        }
+                        Some(tree) => assert_eq!(
+                            &got.full_spans, tree,
+                            "{par:?} changed the full span tree of {sharding:?} × \
+                             {eval:?} × directed={directed}"
+                        ),
+                    }
                 }
             }
         }
@@ -206,22 +287,52 @@ fn structural_counters_identical_across_the_knob_matrix() {
 
     // the durability knob: a WAL-backed run is structurally identical too
     // (wal.* diagnostics appear, but only under the pipeline-neutral
-    // mode-scoped namespace)
+    // mode-scoped namespace — and as wal/append spans in the full tree)
     let durable = with_query_mode(false, || {
-        wrangle(Parallelism::Sequential, Sharding::Off, Evaluation::Full, true)
+        wrangle(Parallelism::Sequential, Sharding::Off, Evaluation::Full, true, QueryCaching::Off)
     });
     assert_eq!(durable.structural, baseline.structural, "WAL leg diverged structurally");
     assert_eq!(durable.catalog, baseline.catalog, "WAL leg changed the catalog");
+    assert_eq!(
+        durable.structural_spans, baseline.structural_spans,
+        "WAL leg changed the structural span tree"
+    );
     assert!(
         durable.counters.get("wal.appends").copied().unwrap_or(0) > 0,
         "the durable leg must tally WAL appends: {:?}",
         durable.counters
     );
     assert!(
+        durable.full_spans.iter().any(|l| l.contains("wal/append")),
+        "the durable leg must record wal/append spans: {:?}",
+        durable.full_spans
+    );
+    assert!(
         !baseline.counters.contains_key("wal.appends"),
         "the in-memory leg must not: {:?}",
         baseline.counters
     );
+
+    // the caching knob: persistent query caches never change the pipeline's
+    // structural shape either — counters, catalog, or structural spans
+    for (par, sharding, eval, directed) in [
+        (Parallelism::Sequential, Sharding::Off, Evaluation::Full, false),
+        (Parallelism::Threads(4), Sharding::Shards(4), Evaluation::Incremental, true),
+    ] {
+        let cached = with_query_mode(directed, || {
+            wrangle(par, sharding, eval, false, QueryCaching::Persistent)
+        });
+        assert_eq!(
+            cached.structural, baseline.structural,
+            "cache leg {par:?} × {sharding:?} × {eval:?} × directed={directed} \
+             diverged structurally"
+        );
+        assert_eq!(cached.catalog, baseline.catalog, "cache leg changed the catalog");
+        assert_eq!(
+            cached.structural_spans, baseline.structural_spans,
+            "cache leg changed the structural span tree"
+        );
+    }
 }
 
 /// The exported JSON-lines stream: every line parses, the span tree is
